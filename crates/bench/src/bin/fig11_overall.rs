@@ -1,0 +1,81 @@
+//! Figure 11: overall GPU->CPU data-transfer throughput (§4.6),
+//! `T_overall = ((BW * CR)^-1 + T_compr^-1)^-1`, with the paper's measured
+//! congested PCIe bandwidth of 11.4 GB/s per GPU.
+
+use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
+use fzgpu_bench::{all_fields, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS};
+use fzgpu_core::quant::ErrorBound;
+use fzgpu_metrics::{overall_throughput, psnr};
+use fzgpu_sim::device::A100;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fields = all_fields(scale_from_args(&args));
+    let bw = A100.pcie_congested / 1e9; // 11.4 GB/s
+    println!("Figure 11: overall CPU-GPU data-transfer throughput (GB/s), A100, link {bw} GB/s\n");
+
+    let mut fz_best = 0usize;
+    let mut cells = 0usize;
+    let mut no_compression = Vec::new();
+
+    for field in &fields {
+        let shape = shape_of(field);
+        let n = field.data.len();
+        let mut t = Table::new(&["rel eb", "cuSZ", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU", "raw link"]);
+        for &eb in &REL_EBS {
+            let setting = Setting::Eb(ErrorBound::RelToRange(eb));
+            let overall = |run: &fzgpu_baselines::Run| {
+                overall_throughput(bw, run.ratio(n), run.throughput_gbps(n))
+            };
+
+            let mut fz = FzGpuRunner::new(A100);
+            let fz_run = fz.run(&field.data, shape, setting).unwrap();
+            let fz_overall = overall(&fz_run);
+            let fz_psnr = psnr(&field.data, &fz_run.reconstructed);
+
+            let mut row = vec![format!("{eb:.0e}")];
+            let mut best_other: f64 = 0.0;
+
+            let mut cusz = CuSz::new(A100);
+            let v = cusz.run(&field.data, shape, setting).map(|r| overall(&r));
+            best_other = best_other.max(v.unwrap_or(0.0));
+            row.push(v.map_or("-".into(), fmt));
+
+            let mut zfp = CuZfp::new(A100);
+            let v = zfp_match_psnr(&mut zfp, &field.data, shape, fz_psnr).map(|(_, r)| overall(&r));
+            best_other = best_other.max(v.unwrap_or(0.0));
+            row.push(v.map_or("-".into(), fmt));
+
+            let mut szx = CuSzx::new(A100);
+            let v = szx.run(&field.data, shape, setting).map(|r| overall(&r));
+            best_other = best_other.max(v.unwrap_or(0.0));
+            row.push(v.map_or("-".into(), fmt));
+
+            let mut mgard = Mgard::new(A100);
+            let v = mgard.run(&field.data, shape, setting).map(|r| overall(&r));
+            best_other = best_other.max(v.unwrap_or(0.0));
+            row.push(v.map_or("-".into(), fmt));
+
+            row.push(fmt(fz_overall));
+            row.push(fmt(bw));
+            t.row(row);
+            cells += 1;
+            if fz_overall >= best_other {
+                fz_best += 1;
+            }
+            no_compression.push(fz_overall / bw);
+        }
+        println!("== {} ({}) ==", field.dataset, field.dims.to_string_paper());
+        print!("{}", t.render());
+        println!();
+    }
+    println!("== Summary ==");
+    println!(
+        "FZ-GPU achieves the best overall throughput in {fz_best}/{cells} settings \
+         (paper: best on almost all datasets at all bounds)."
+    );
+    println!(
+        "avg gain over the uncompressed link: {:.1}x at 11.4 GB/s effective bandwidth",
+        mean(&no_compression)
+    );
+}

@@ -1,0 +1,101 @@
+//! Figures 8 & 9: compression throughput of cuSZ, cuSZ-ncb, cuZFP, cuSZx,
+//! MGARD-GPU, and FZ-GPU across datasets and error bounds.
+//!
+//! `--device a100` (default, Fig. 8) or `--device a4000` (Fig. 9). cuZFP's
+//! bars use the bitrate whose PSNR matches FZ-GPU's at each bound, as in
+//! the paper. The summary prints the headline speedups (§4.4).
+
+use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
+use fzgpu_bench::{all_fields, arg_value, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS};
+use fzgpu_core::quant::ErrorBound;
+use fzgpu_metrics::psnr;
+use fzgpu_sim::device;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = device::by_name(&arg_value(&args, "--device").unwrap_or_else(|| "a100".into()))
+        .expect("--device a100|a4000");
+    let fields = all_fields(scale_from_args(&args));
+
+    println!(
+        "Figure {}: compressor throughputs (GB/s) on {} for range-relative error bounds\n",
+        if spec.name == "A100" { 8 } else { 9 },
+        spec.name
+    );
+
+    let mut speedup_cusz = Vec::new();
+    let mut speedup_ncb = Vec::new();
+    let mut speedup_zfp = Vec::new();
+    let mut speedup_szx = Vec::new();
+    let mut speedup_mgard = Vec::new();
+
+    for field in &fields {
+        let shape = shape_of(field);
+        let n = field.data.len();
+        let mut t = Table::new(&[
+            "rel eb", "cuSZ", "cuSZ-ncb", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU",
+        ]);
+        for &eb in &REL_EBS {
+            let setting = Setting::Eb(ErrorBound::RelToRange(eb));
+
+            let mut fz = FzGpuRunner::new(spec);
+            let fz_run = fz.run(&field.data, shape, setting).unwrap();
+            let fz_gbps = fz_run.throughput_gbps(n);
+            let fz_psnr = psnr(&field.data, &fz_run.reconstructed);
+
+            let mut cusz = CuSz::new(spec);
+            let cusz_run = cusz.run(&field.data, shape, setting).unwrap();
+            let cusz_gbps = cusz_run.throughput_gbps(n);
+            let ncb_gbps = cusz_run.throughput_ncb_gbps(n);
+            speedup_cusz.push(fz_gbps / cusz_gbps);
+            speedup_ncb.push(fz_gbps / ncb_gbps);
+
+            let mut zfp = CuZfp::new(spec);
+            let zfp_gbps = match zfp_match_psnr(&mut zfp, &field.data, shape, fz_psnr) {
+                Some((_, run)) => {
+                    let g = run.throughput_gbps(n);
+                    speedup_zfp.push(fz_gbps / g);
+                    fmt(g)
+                }
+                None => "-".into(),
+            };
+
+            let mut szx = CuSzx::new(spec);
+            let szx_run = szx.run(&field.data, shape, setting).unwrap();
+            let szx_gbps = szx_run.throughput_gbps(n);
+            speedup_szx.push(fz_gbps / szx_gbps);
+
+            let mut mgard = Mgard::new(spec);
+            let mgard_gbps = match mgard.run(&field.data, shape, setting) {
+                Some(run) => {
+                    let g = run.throughput_gbps(n);
+                    speedup_mgard.push(fz_gbps / g);
+                    fmt(g)
+                }
+                None => "-".into(),
+            };
+
+            t.row(vec![
+                format!("{eb:.0e}"),
+                fmt(cusz_gbps),
+                fmt(ncb_gbps),
+                zfp_gbps,
+                fmt(szx_gbps),
+                mgard_gbps,
+                fmt(fz_gbps),
+            ]);
+        }
+        println!("== {} ({}) ==", field.dataset, field.dims.to_string_paper());
+        print!("{}", t.render());
+        println!();
+    }
+
+    println!("== Summary: FZ-GPU speedups on {} (paper §4.4) ==", spec.name);
+    println!("vs cuSZ:      avg {:.1}x, max {:.1}x  (paper A100: avg 4.2x, max 11.2x)",
+        mean(&speedup_cusz), speedup_cusz.iter().copied().fold(0.0, f64::max));
+    println!("vs cuSZ-ncb:  avg {:.1}x              (paper: ~2x)", mean(&speedup_ncb));
+    println!("vs cuZFP:     avg {:.1}x              (paper A100: avg 2.3x)", mean(&speedup_zfp));
+    println!("vs cuSZx:     avg {:.2}x              (paper: 1/1.5x = 0.67x — cuSZx is faster)",
+        mean(&speedup_szx));
+    println!("vs MGARD-GPU: avg {:.0}x              (paper: 45.7-87x)", mean(&speedup_mgard));
+}

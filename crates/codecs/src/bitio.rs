@@ -1,0 +1,198 @@
+//! Bit-granular readers and writers over byte buffers.
+//!
+//! LSB-first bit order (bit 0 of byte 0 is the first bit of the stream),
+//! matching how the FZ-GPU bit-flag array and the Huffman/DEFLATE-style
+//! codecs in this workspace lay out their streams.
+
+/// Append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0..8; 0 means last byte is full
+    /// or the buffer is empty).
+    fill: u32,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.fill == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.fill as usize
+        }
+    }
+
+    /// Write one bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.fill == 0 {
+            self.bytes.push(0);
+        }
+        *self.bytes.last_mut().unwrap() |= (bit as u8) << self.fill;
+        self.fill = (self.fill + 1) % 8;
+    }
+
+    /// Write the low `nbits` of `value`, LSB first. `nbits <= 64`.
+    pub fn put_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        for i in 0..nbits {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Pad to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        self.fill = 0;
+    }
+
+    /// Finish and take the underlying bytes (zero-padded to a whole byte).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Bytes written so far (including the partial last byte).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Sequential bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit; `None` at end of stream.
+    #[inline]
+    pub fn get_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bytes.len() * 8 {
+            return None;
+        }
+        let b = (self.bytes[self.pos / 8] >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        Some(b == 1)
+    }
+
+    /// Read `nbits` bits LSB-first; `None` if fewer remain.
+    pub fn get_bits(&mut self, nbits: u32) -> Option<u64> {
+        if self.remaining() < nbits as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for i in 0..nbits {
+            if self.get_bit()? {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Skip to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multibit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0x3FF, 10);
+        w.put_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4), Some(0b1011));
+        assert_eq!(r.get_bits(10), Some(0x3FF));
+        assert_eq!(r.get_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn align_byte_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        w.align_byte();
+        w.put_bits(0xAB, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x01, 0xAB]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bit(), Some(true));
+        r.align_byte();
+        assert_eq!(r.get_bits(8), Some(0xAB));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get_bits(8), Some(0xFF));
+        assert_eq!(r.get_bit(), None);
+        assert_eq!(r.get_bits(1), None);
+    }
+
+    #[test]
+    fn empty_reader() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_bit(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_values(vals in proptest::collection::vec((0u64..u64::MAX, 1u32..=64), 0..100)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &vals {
+                let masked = if n == 64 { v } else { v & ((1 << n) - 1) };
+                w.put_bits(masked, n);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &vals {
+                let masked = if n == 64 { v } else { v & ((1 << n) - 1) };
+                prop_assert_eq!(r.get_bits(n), Some(masked));
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Fixed-width bit packing: `k`-bit unsigned fields laid out back-to-back
+//! in little-endian u32 words — the encoding cuSZx uses for non-constant
+//! blocks and a common substrate for bit-plane style codecs.
+
+/// Words needed for `count` fields of `bits` width.
+#[inline]
+pub fn words_for(count: usize, bits: u8) -> usize {
+    (bits as usize * count).div_ceil(32)
+}
+
+/// Write field `k` (width `bits`) of a packed stream.
+///
+/// `words` is grown on demand. Bits of `q` above `bits` must be zero.
+#[inline]
+pub fn put(words: &mut Vec<u32>, k: usize, bits: u8, q: u32) {
+    debug_assert!(bits == 32 || q < (1u32 << bits), "value {q} exceeds {bits} bits");
+    let bitpos = k * bits as usize;
+    let need = (bitpos + bits as usize).div_ceil(32);
+    if words.len() < need {
+        words.resize(need, 0);
+    }
+    for i in 0..bits as usize {
+        if q >> i & 1 == 1 {
+            let p = bitpos + i;
+            words[p / 32] |= 1 << (p % 32);
+        }
+    }
+}
+
+/// Read field `k` (width `bits`).
+#[inline]
+pub fn get(words: &[u32], k: usize, bits: u8) -> u32 {
+    let bitpos = k * bits as usize;
+    let mut q = 0u32;
+    for i in 0..bits as usize {
+        let p = bitpos + i;
+        if words[p / 32] >> (p % 32) & 1 == 1 {
+            q |= 1 << i;
+        }
+    }
+    q
+}
+
+/// Pack a whole slice at fixed width.
+pub fn pack(values: &[u32], bits: u8) -> Vec<u32> {
+    let mut words = Vec::with_capacity(words_for(values.len(), bits));
+    for (k, &v) in values.iter().enumerate() {
+        put(&mut words, k, bits, v);
+    }
+    words.resize(words_for(values.len(), bits), 0);
+    words
+}
+
+/// Unpack `count` fields at fixed width.
+pub fn unpack(words: &[u32], count: usize, bits: u8) -> Vec<u32> {
+    (0..count).map(|k| get(words, k, bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for bits in [1u8, 3, 5, 8, 13, 16, 31, 32] {
+            let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+            let vals: Vec<u32> =
+                (0..100u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
+            let words = pack(&vals, bits);
+            assert_eq!(words.len(), words_for(100, bits));
+            assert_eq!(unpack(&words, 100, bits), vals);
+        }
+    }
+
+    #[test]
+    fn zero_width_is_free() {
+        assert_eq!(words_for(1000, 0), 0);
+        assert!(pack(&vec![0u32; 1000], 0).is_empty());
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        // 3-bit fields: field 10 spans bits 30..33 (words 0 and 1).
+        let vals: Vec<u32> = (0..12).map(|i| (i % 8) as u32).collect();
+        let words = pack(&vals, 3);
+        assert_eq!(words.len(), 2);
+        assert_eq!(unpack(&words, 12, 3), vals);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(vals in proptest::collection::vec(0u32..1 << 11, 0..500)) {
+            let words = pack(&vals, 11);
+            prop_assert_eq!(unpack(&words, vals.len(), 11), vals);
+        }
+
+        #[test]
+        fn prop_density(count in 1usize..300, bits in 1u8..=32) {
+            // Packed size never wastes more than one word.
+            prop_assert_eq!(words_for(count, bits), (bits as usize * count).div_ceil(32));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Run-length encoding over `u16` symbols.
+//!
+//! Used by the cuSZ+RLE variant discussed in the paper's related work
+//! (Tian et al., CLUSTER'21 — RLE in place of Huffman for high error
+//! bounds) and as an ablation codec for FZ-GPU's zero-heavy streams.
+
+/// A `(symbol, run_length)` pair.
+pub type Run = (u16, u32);
+
+/// Encode into runs.
+pub fn encode(symbols: &[u16]) -> Vec<Run> {
+    let mut runs = Vec::new();
+    let mut iter = symbols.iter().copied();
+    let Some(first) = iter.next() else {
+        return runs;
+    };
+    let mut cur = first;
+    let mut len = 1u32;
+    for s in iter {
+        if s == cur && len < u32::MAX {
+            len += 1;
+        } else {
+            runs.push((cur, len));
+            cur = s;
+            len = 1;
+        }
+    }
+    runs.push((cur, len));
+    runs
+}
+
+/// Decode runs back to symbols.
+pub fn decode(runs: &[Run]) -> Vec<u16> {
+    let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+    let mut out = Vec::with_capacity(total);
+    for &(s, l) in runs {
+        out.extend(std::iter::repeat(s).take(l as usize));
+    }
+    out
+}
+
+/// Serialized byte size of a run vector (u16 symbol + u32 length each).
+pub fn encoded_bytes(runs: &[Run]) -> usize {
+    runs.len() * 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_runs() {
+        let s = [0u16, 0, 0, 5, 5, 1];
+        let runs = encode(&s);
+        assert_eq!(runs, vec![(0, 3), (5, 2), (1, 1)]);
+        assert_eq!(decode(&runs), s);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(encode(&[]).is_empty());
+        assert!(decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_same_is_one_run() {
+        let s = vec![7u16; 10_000];
+        let runs = encode(&s);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(encoded_bytes(&runs), 6);
+        assert_eq!(decode(&runs), s);
+    }
+
+    #[test]
+    fn alternating_worst_case() {
+        let s: Vec<u16> = (0..100).map(|i| (i % 2) as u16).collect();
+        let runs = encode(&s);
+        assert_eq!(runs.len(), 100);
+        assert_eq!(decode(&runs), s);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(s in proptest::collection::vec(0u16..8, 0..5000)) {
+            prop_assert_eq!(decode(&encode(&s)), s);
+        }
+
+        #[test]
+        fn prop_runs_are_maximal(s in proptest::collection::vec(0u16..4, 1..1000)) {
+            let runs = encode(&s);
+            // Adjacent runs never share a symbol (maximality).
+            for w in runs.windows(2) {
+                prop_assert_ne!(w[0].0, w[1].0);
+            }
+        }
+    }
+}

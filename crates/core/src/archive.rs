@@ -1,0 +1,208 @@
+//! Multi-chunk archives: coarse-grained partitioning for multi-GPU and
+//! out-of-core use (§2.4 / §4.1 of the paper: "we partition data in a
+//! coarse-grained manner ... with a data chunk independent from another").
+//!
+//! An archive is a sequence of independent FZ-GPU streams over 1D chunks
+//! of a flat value array, prefixed by a tiny directory. Chunks can be
+//! compressed on different devices, decompressed selectively, and the
+//! whole archive round-trips through the normal pipeline per chunk.
+//!
+//! ```text
+//! [magic "FZAR"][u32 version][u64 total_values][u64 nchunks]
+//! [u64 chunk_byte_len x nchunks]
+//! [chunk 0 stream][chunk 1 stream]...
+//! ```
+
+use crate::format::FormatError;
+use crate::pipeline::FzGpu;
+use crate::quant::ErrorBound;
+
+/// Archive magic.
+pub const ARCHIVE_MAGIC: [u8; 4] = *b"FZAR";
+
+/// A chunked archive of independent FZ-GPU streams.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    /// Total values across all chunks.
+    pub total_values: usize,
+    /// Per-chunk serialized streams.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+impl Archive {
+    /// Compress `data` as 1D chunks of at most `chunk_values` each, all on
+    /// the provided device. (For multi-device compression, build chunks
+    /// with [`FzGpu::compress`] directly and assemble an `Archive` — the
+    /// format is identical; streams are device-independent.)
+    pub fn compress(fz: &mut FzGpu, data: &[f32], chunk_values: usize, eb: ErrorBound) -> Self {
+        assert!(chunk_values > 0);
+        // Resolve a relative bound against the *whole* field so chunks
+        // share one absolute bound (otherwise chunk-local ranges would
+        // change the error semantics of the archive).
+        let eb_abs = match eb {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::RelToRange(_) => {
+                let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                eb.to_abs((hi - lo) as f64)
+            }
+        };
+        let chunks = data
+            .chunks(chunk_values)
+            .map(|chunk| {
+                fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes
+            })
+            .collect();
+        Self { total_values: data.len(), chunks }
+    }
+
+    /// Decompress the whole archive.
+    pub fn decompress(&self, fz: &mut FzGpu) -> Result<Vec<f32>, FormatError> {
+        let mut out = Vec::with_capacity(self.total_values);
+        for chunk in &self.chunks {
+            out.extend(fz.decompress_bytes(chunk)?);
+        }
+        if out.len() != self.total_values {
+            return Err(FormatError::Inconsistent("archive length mismatch"));
+        }
+        Ok(out)
+    }
+
+    /// Decompress a single chunk (selective access — the in-memory-cache
+    /// use case).
+    pub fn decompress_chunk(&self, fz: &mut FzGpu, index: usize) -> Result<Vec<f32>, FormatError> {
+        fz.decompress_bytes(&self.chunks[index])
+    }
+
+    /// Total compressed bytes including the directory.
+    pub fn size_bytes(&self) -> usize {
+        4 + 4 + 8 + 8 + 8 * self.chunks.len() + self.chunks.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Compression ratio over the original f32 data.
+    pub fn ratio(&self) -> f64 {
+        (self.total_values * 4) as f64 / self.size_bytes() as f64
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        out.extend_from_slice(&ARCHIVE_MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(self.total_values as u64).to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+        }
+        for c in &self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        if bytes.len() < 24 || bytes[..4] != ARCHIVE_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != 1 {
+            return Err(FormatError::BadVersion(version));
+        }
+        let total_values = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let nchunks = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let dir_end = 24 + 8 * nchunks;
+        if bytes.len() < dir_end || nchunks > bytes.len() {
+            return Err(FormatError::Truncated);
+        }
+        let mut lens = Vec::with_capacity(nchunks);
+        for i in 0..nchunks {
+            lens.push(u64::from_le_bytes(bytes[24 + 8 * i..32 + 8 * i].try_into().unwrap()) as usize);
+        }
+        let mut chunks = Vec::with_capacity(nchunks);
+        let mut pos = dir_end;
+        for len in lens {
+            let end = pos.checked_add(len).ok_or(FormatError::Truncated)?;
+            if end > bytes.len() {
+                return Err(FormatError::Truncated);
+            }
+            chunks.push(bytes[pos..end].to_vec());
+            pos = end;
+        }
+        Ok(Self { total_values, chunks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fzgpu_sim::device::A100;
+
+    fn data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.003).sin() * 5.0).collect()
+    }
+
+    #[test]
+    fn archive_roundtrip() {
+        let d = data(10_000);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 3000, ErrorBound::Abs(1e-3));
+        assert_eq!(a.chunks.len(), 4); // 3000*3 + 1000
+        let back = a.decompress(&mut fz).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (&x, &y) in d.iter().zip(&back) {
+            assert!((x - y).abs() <= 1.1e-3);
+        }
+    }
+
+    #[test]
+    fn selective_chunk_access() {
+        let d = data(8192);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 2048, ErrorBound::Abs(1e-3));
+        let c2 = a.decompress_chunk(&mut fz, 2).unwrap();
+        assert_eq!(c2.len(), 2048);
+        for (i, &y) in c2.iter().enumerate() {
+            assert!((d[4096 + i] - y).abs() <= 1.1e-3);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let d = data(5000);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1500, ErrorBound::RelToRange(1e-3));
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), a.size_bytes());
+        let b = Archive::from_bytes(&bytes).unwrap();
+        assert_eq!(b.total_values, a.total_values);
+        assert_eq!(b.chunks, a.chunks);
+    }
+
+    #[test]
+    fn relative_bound_is_global_not_per_chunk() {
+        // A chunk that is flat must still use the global range's bound.
+        let mut d = data(4096);
+        for v in &mut d[..2048] {
+            *v = 0.0;
+        }
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 2048, ErrorBound::RelToRange(1e-3));
+        // Parse both chunk headers: same absolute eb.
+        let h0 = crate::format::Header::from_bytes(&a.chunks[0]).unwrap();
+        let h1 = crate::format::Header::from_bytes(&a.chunks[1]).unwrap();
+        assert_eq!(h0.eb, h1.eb);
+    }
+
+    #[test]
+    fn corrupt_archive_rejected() {
+        let d = data(2048);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1024, ErrorBound::Abs(1e-3));
+        let mut bytes = a.to_bytes();
+        bytes[0] = b'X';
+        assert!(Archive::from_bytes(&bytes).is_err());
+        let short = &a.to_bytes()[..30];
+        assert!(Archive::from_bytes(short).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Bitshuffle: 32x32 bit-matrix transpose per tile (CPU reference).
+//!
+//! Within each tile of 32 rows x 32 columns of `u32` words, the shuffled
+//! word at `(bit i, row y)` collects bit `i` of the 32 words of row `y`:
+//!
+//! `out[i*32 + y] = ballot_{x in 0..32}( (in[y*32 + x] >> i) & 1 )`
+//!
+//! Small quantization codes leave the high bits of every word zero, so
+//! after the transpose entire output words (and runs of words) become
+//! zero — the redundancy the zero-block encoder removes. This CPU version
+//! is the semantics oracle for the warp-ballot GPU kernel.
+
+use crate::pack::TILE_WORDS;
+
+/// Forward bitshuffle of a whole stream (`words.len()` must be a multiple
+/// of [`TILE_WORDS`]).
+pub fn shuffle(words: &[u32]) -> Vec<u32> {
+    assert_eq!(words.len() % TILE_WORDS, 0, "stream not tile-aligned");
+    let mut out = vec![0u32; words.len()];
+    for (tin, tout) in words.chunks_exact(TILE_WORDS).zip(out.chunks_exact_mut(TILE_WORDS)) {
+        shuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap());
+    }
+    out
+}
+
+/// Inverse bitshuffle.
+pub fn unshuffle(words: &[u32]) -> Vec<u32> {
+    assert_eq!(words.len() % TILE_WORDS, 0, "stream not tile-aligned");
+    let mut out = vec![0u32; words.len()];
+    for (tin, tout) in words.chunks_exact(TILE_WORDS).zip(out.chunks_exact_mut(TILE_WORDS)) {
+        unshuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap());
+    }
+    out
+}
+
+/// 32x32 bit-matrix transpose (Hacker's Delight §7-3): after the call,
+/// bit `j` of `a[k]` equals bit `k` of the original `a[j]`.
+#[inline]
+pub fn transpose32(a: &mut [u32; 32]) {
+    let mut j = 16usize;
+    let mut m = 0x0000_FFFFu32;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 32 {
+            let t = (a[k] ^ (a[k + j] >> j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// One tile forward: `out[i*32 + y]` = bit `i` of row `y`'s words.
+pub fn shuffle_tile(input: &[u32; TILE_WORDS], out: &mut [u32; TILE_WORDS]) {
+    for y in 0..32 {
+        let row = &input[y * 32..y * 32 + 32];
+        let b = lsb_transpose(row.try_into().unwrap());
+        // b[i] bit x = row[x] bit i — exactly the warp-ballot word of bit
+        // plane i over row y.
+        for (i, &w) in b.iter().enumerate() {
+            out[i * 32 + y] = w;
+        }
+    }
+}
+
+/// LSB-oriented transpose: returns `t` with `t[i]` bit `x` = `a[x]` bit `i`.
+/// Adapts the MSB-first Hacker's Delight kernel by reversing word order and
+/// bit order on input.
+#[inline]
+fn lsb_transpose(a: &[u32; 32]) -> [u32; 32] {
+    let mut b: [u32; 32] = core::array::from_fn(|x| a[31 - x].reverse_bits());
+    transpose32(&mut b);
+    b
+}
+
+/// One tile inverse: bit `i` of `out[y*32 + x]` = bit `x` of `in[i*32 + y]`.
+pub fn unshuffle_tile(input: &[u32; TILE_WORDS], out: &mut [u32; TILE_WORDS]) {
+    for y in 0..32 {
+        let c: [u32; 32] = core::array::from_fn(|i| input[i * 32 + y]);
+        // t[x] bit i = plane i's bit x = the original word (y, x) bit i.
+        let t = lsb_transpose(&c);
+        out[y * 32..y * 32 + 32].copy_from_slice(&t);
+    }
+}
+
+/// Naive reference implementations (oracles for the property tests).
+#[cfg(test)]
+mod reference {
+    use super::TILE_WORDS;
+
+    pub fn shuffle_tile(input: &[u32; TILE_WORDS], out: &mut [u32; TILE_WORDS]) {
+        for y in 0..32 {
+            let row = &input[y * 32..y * 32 + 32];
+            for i in 0..32 {
+                let mut ballot = 0u32;
+                for (x, &w) in row.iter().enumerate() {
+                    ballot |= ((w >> i) & 1) << x;
+                }
+                out[i * 32 + y] = ballot;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fast_transpose_matches_naive_reference() {
+        let words: Vec<u32> = (0..TILE_WORDS as u32)
+            .map(|i| i.wrapping_mul(0x9E3779B9) ^ (i << 7))
+            .collect();
+        let input: &[u32; TILE_WORDS] = words.as_slice().try_into().unwrap();
+        let mut fast = [0u32; TILE_WORDS];
+        let mut naive = [0u32; TILE_WORDS];
+        shuffle_tile(input, &mut fast);
+        reference::shuffle_tile(input, &mut naive);
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn transpose32_is_involution() {
+        let mut a: [u32; 32] = core::array::from_fn(|i| (i as u32).wrapping_mul(2654435761));
+        let orig = a;
+        transpose32(&mut a);
+        assert_ne!(a, orig);
+        transpose32(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let words: Vec<u32> = (0..TILE_WORDS as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(unshuffle(&shuffle(&words)), words);
+    }
+
+    #[test]
+    fn zero_tile_stays_zero() {
+        let words = vec![0u32; TILE_WORDS];
+        assert!(shuffle(&words).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn small_codes_concentrate_zeros() {
+        // Codes < 8 use only bits 0..3 of each u16 half, i.e. bits
+        // 0-2 and 16-18 of each u32. All other bit rows must be zero.
+        let words: Vec<u32> = (0..TILE_WORDS as u32).map(|i| (i % 8) | ((i % 5) << 16)).collect();
+        let shuffled = shuffle(&words);
+        let zero_words = shuffled.iter().filter(|&&w| w == 0).count();
+        // 6 live bit-planes of 32 -> at least 26/32 of output words zero.
+        assert!(zero_words >= TILE_WORDS * 26 / 32, "only {zero_words} zero");
+        for i in 0..32 {
+            let plane_nonzero = (0..32).any(|y| shuffled[i * 32 + y] != 0);
+            let expected_live = i < 3 || (16..19).contains(&i);
+            assert_eq!(plane_nonzero, expected_live, "bit plane {i}");
+        }
+    }
+
+    #[test]
+    fn single_bit_lands_at_transposed_position() {
+        let mut words = vec![0u32; TILE_WORDS];
+        // Row 5, column 9, bit 20.
+        words[5 * 32 + 9] = 1 << 20;
+        let shuffled = shuffle(&words);
+        for (j, &w) in shuffled.iter().enumerate() {
+            if j == 20 * 32 + 5 {
+                assert_eq!(w, 1 << 9);
+            } else {
+                assert_eq!(w, 0, "stray bits at {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tile_streams_are_independent() {
+        let mut words = vec![0u32; 2 * TILE_WORDS];
+        words[0] = 0xFFFF_FFFF;
+        words[TILE_WORDS] = 0x1;
+        let shuffled = shuffle(&words);
+        // Tile 0 row 0 all bits set -> every bit plane's y=0 word has bit 0.
+        for i in 0..32 {
+            assert_eq!(shuffled[i * 32], 1);
+        }
+        // Tile 1: only bit 0 of row 0 col 0.
+        assert_eq!(shuffled[TILE_WORDS], 1);
+        assert!(shuffled[TILE_WORDS + 1..].iter().all(|&w| w == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unshuffle_inverts_shuffle(
+            words in proptest::collection::vec(any::<u32>(), TILE_WORDS..=TILE_WORDS),
+        ) {
+            prop_assert_eq!(unshuffle(&shuffle(&words)), words);
+        }
+
+        #[test]
+        fn prop_shuffle_preserves_popcount(
+            words in proptest::collection::vec(any::<u32>(), TILE_WORDS..=TILE_WORDS),
+        ) {
+            let before: u32 = words.iter().map(|w| w.count_ones()).sum();
+            let after: u32 = shuffle(&words).iter().map(|w| w.count_ones()).sum();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! FZ-OMP: the multi-threaded CPU implementation of the same algorithm
+//! (§4.4 "Comparison with the CPU implementation").
+//!
+//! Same pipeline, same stream format — the bytes are bit-identical to the
+//! GPU path (tested in `tests/stream_equivalence.rs`). Parallelized with
+//! rayon (the OpenMP substitute per DESIGN.md). Wall-clock measurements of
+//! this path are *real*, unlike the modeled GPU times.
+
+use rayon::prelude::*;
+
+use crate::bitshuffle::{shuffle_tile, unshuffle_tile};
+use crate::format::{assemble, disassemble, FormatError, Header};
+use crate::lorenzo;
+use crate::lorenzo::Shape;
+use crate::pack::{pack_codes, TILE_WORDS};
+use crate::pipeline::Compressed;
+use crate::quant::ErrorBound;
+use crate::zeroblock::BLOCK_WORDS;
+
+/// The CPU compressor (stateless; methods measure wall time themselves
+/// when wrapped by the bench harness).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FzOmp;
+
+impl FzOmp {
+    /// Compress; bit-identical stream to [`crate::pipeline::FzGpu`].
+    pub fn compress(&self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
+        let (nz, ny, nx) = shape;
+        assert_eq!(data.len(), nz * ny * nx, "shape/data mismatch");
+        let eb_abs = match eb {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::RelToRange(_) => {
+                let lo = data.par_iter().copied().reduce(|| f32::INFINITY, f32::min);
+                let hi = data.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max);
+                eb.to_abs((hi - lo) as f64)
+            }
+        };
+        assert!(eb_abs > 0.0, "error bound must be positive");
+
+        // Stage 1: dual-quantization (parallel over planes).
+        let codes = lorenzo::forward(data, shape, eb_abs);
+        let words = pack_codes(&codes);
+
+        // Stage 2: bitshuffle, parallel over tiles.
+        let mut shuffled = vec![0u32; words.len()];
+        words
+            .par_chunks_exact(TILE_WORDS)
+            .zip(shuffled.par_chunks_exact_mut(TILE_WORDS))
+            .for_each(|(tin, tout)| {
+                shuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap())
+            });
+
+        // Stage 3: zero-block flags (parallel), prefix offsets, compaction
+        // (parallel scatter using the offsets).
+        let num_blocks = shuffled.len() / BLOCK_WORDS;
+        let flags: Vec<u8> = shuffled
+            .par_chunks_exact(BLOCK_WORDS)
+            .map(|b| b.iter().any(|&w| w != 0) as u8)
+            .collect();
+        let mut offsets = vec![0u32; num_blocks];
+        let mut acc = 0u32;
+        for (b, &f) in flags.iter().enumerate() {
+            offsets[b] = acc;
+            acc += f as u32;
+        }
+        let present = acc as usize;
+
+        let mut bit_flags = vec![0u32; num_blocks.div_ceil(32)];
+        for (b, &f) in flags.iter().enumerate() {
+            bit_flags[b / 32] |= (f as u32) << (b % 32);
+        }
+
+        let mut payload = vec![0u32; present * BLOCK_WORDS];
+        // Parallel scatter: each present block owns a disjoint output range.
+        payload
+            .par_chunks_exact_mut(BLOCK_WORDS)
+            .enumerate()
+            .for_each(|(slot, out)| {
+                // Binary-search the block whose offset == slot and flag set.
+                // offsets is nondecreasing; find first b with offsets[b] ==
+                // slot and flags[b] == 1.
+                let mut lo = offsets.partition_point(|&o| (o as usize) < slot);
+                while flags[lo] == 0 {
+                    lo += 1;
+                }
+                out.copy_from_slice(&shuffled[lo * BLOCK_WORDS..(lo + 1) * BLOCK_WORDS]);
+            });
+
+        let header = Header {
+            shape,
+            eb: eb_abs,
+            n_values: data.len(),
+            num_blocks,
+            payload_words: payload.len(),
+        };
+        Compressed { bytes: assemble(&header, &bit_flags, &payload), header }
+    }
+
+    /// Decompress (accepts GPU- or CPU-produced streams).
+    pub fn decompress(&self, compressed: &Compressed) -> Result<Vec<f32>, FormatError> {
+        self.decompress_bytes(&compressed.bytes)
+    }
+
+    /// Decompress from raw bytes.
+    pub fn decompress_bytes(&self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
+        let (header, bit_flags, payload) = disassemble(bytes)?;
+        let num_blocks = header.num_blocks;
+
+        // Flags + offsets.
+        let flags: Vec<u8> =
+            (0..num_blocks).map(|b| (bit_flags[b / 32] >> (b % 32) & 1) as u8).collect();
+        let mut offsets = vec![0u32; num_blocks];
+        let mut acc = 0u32;
+        for (b, &f) in flags.iter().enumerate() {
+            offsets[b] = acc;
+            acc += f as u32;
+        }
+        if acc as usize * BLOCK_WORDS != header.payload_words {
+            return Err(FormatError::Inconsistent("flag popcount vs payload length"));
+        }
+
+        // Scatter.
+        let mut shuffled = vec![0u32; num_blocks * BLOCK_WORDS];
+        shuffled
+            .par_chunks_exact_mut(BLOCK_WORDS)
+            .enumerate()
+            .for_each(|(b, out)| {
+                if flags[b] != 0 {
+                    let src = offsets[b] as usize * BLOCK_WORDS;
+                    out.copy_from_slice(&payload[src..src + BLOCK_WORDS]);
+                }
+            });
+
+        // Un-shuffle.
+        let mut words = vec![0u32; shuffled.len()];
+        shuffled
+            .par_chunks_exact(TILE_WORDS)
+            .zip(words.par_chunks_exact_mut(TILE_WORDS))
+            .for_each(|(tin, tout)| {
+                unshuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap())
+            });
+
+        // Unpack + inverse dual-quantization.
+        let codes = crate::pack::unpack_codes(&words, header.n_values);
+        Ok(lorenzo::inverse(&codes, header.shape, header.eb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.013).sin() * 4.0 + (i as f32 * 0.0007).cos()).collect()
+    }
+
+    #[test]
+    fn cpu_roundtrip_within_bound() {
+        let data = wavy(20_000);
+        let shape = (1, 1, 20_000);
+        let eb = 1e-3;
+        let fz = FzOmp;
+        let c = fz.compress(&data, shape, ErrorBound::Abs(eb));
+        let back = fz.decompress(&c).unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            assert!((a as f64 - b as f64).abs() <= eb * 1.00001);
+        }
+    }
+
+    #[test]
+    fn cpu_roundtrip_2d_relative_bound() {
+        let (ny, nx) = (100, 200);
+        let data: Vec<f32> =
+            (0..ny * nx).map(|i| ((i / nx) as f32 * 0.1).sin() * ((i % nx) as f32 * 0.05).cos()).collect();
+        let fz = FzOmp;
+        let c = fz.compress(&data, (1, ny, nx), ErrorBound::RelToRange(1e-3));
+        let back = fz.decompress(&c).unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            assert!((a as f64 - b as f64).abs() <= c.header.eb * 1.00001);
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data() {
+        let data = wavy(65_536);
+        let fz = FzOmp;
+        let c = fz.compress(&data, (1, 1, 65_536), ErrorBound::RelToRange(1e-2));
+        assert!(c.ratio() > 6.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let data = wavy(4096);
+        let fz = FzOmp;
+        let c = fz.compress(&data, (1, 1, 4096), ErrorBound::Abs(1e-3));
+        assert!(fz.decompress_bytes(&c.bytes[..40]).is_err());
+    }
+}

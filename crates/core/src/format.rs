@@ -1,0 +1,235 @@
+//! Compressed stream format.
+//!
+//! ```text
+//! [64-byte header][bit-flag words][compacted payload words]
+//! ```
+//!
+//! Header layout (little-endian):
+//! `magic "FZGP" | version u32 | nz u64 | ny u64 | nx u64 | eb f64 |`
+//! `n_values u64 | num_blocks u64 | payload_words u64`
+
+use crate::lorenzo::Shape;
+
+/// Stream magic.
+pub const MAGIC: [u8; 4] = *b"FZGP";
+/// Format version.
+pub const VERSION: u32 = 1;
+/// Serialized header size in bytes.
+pub const HEADER_BYTES: usize = 64;
+
+/// Parsed stream header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Header {
+    /// Field shape `(nz, ny, nx)`.
+    pub shape: Shape,
+    /// Absolute error bound the stream was produced with.
+    pub eb: f64,
+    /// Number of f32 values in the original field.
+    pub n_values: usize,
+    /// Zero-block flag count (defines the padded stream length).
+    pub num_blocks: usize,
+    /// Words in the compacted payload.
+    pub payload_words: usize,
+}
+
+/// Errors when parsing a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Too short to contain a header/declared sections.
+    Truncated,
+    /// Magic bytes don't match.
+    BadMagic,
+    /// Unknown version.
+    BadVersion(u32),
+    /// Header fields are internally inconsistent.
+    Inconsistent(&'static str),
+}
+
+impl core::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FormatError::Truncated => write!(f, "stream truncated"),
+            FormatError::BadMagic => write!(f, "bad magic"),
+            FormatError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FormatError::Inconsistent(what) => write!(f, "inconsistent header: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl Header {
+    /// Bit-flag section length in u32 words.
+    pub fn bitflag_words(&self) -> usize {
+        self.num_blocks.div_ceil(32)
+    }
+
+    /// Serialize into the 64-byte header.
+    pub fn to_bytes(&self) -> [u8; HEADER_BYTES] {
+        let mut out = [0u8; HEADER_BYTES];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        out[8..16].copy_from_slice(&(self.shape.0 as u64).to_le_bytes());
+        out[16..24].copy_from_slice(&(self.shape.1 as u64).to_le_bytes());
+        out[24..32].copy_from_slice(&(self.shape.2 as u64).to_le_bytes());
+        out[32..40].copy_from_slice(&self.eb.to_le_bytes());
+        out[40..48].copy_from_slice(&(self.n_values as u64).to_le_bytes());
+        out[48..56].copy_from_slice(&(self.num_blocks as u64).to_le_bytes());
+        out[56..64].copy_from_slice(&(self.payload_words as u64).to_le_bytes());
+        out
+    }
+
+    /// Parse and validate a header from the start of `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(FormatError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(FormatError::BadVersion(version));
+        }
+        let rd = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap()) as usize;
+        let header = Header {
+            shape: (rd(8), rd(16), rd(24)),
+            eb: f64::from_le_bytes(bytes[32..40].try_into().unwrap()),
+            n_values: rd(40),
+            num_blocks: rd(48),
+            payload_words: rd(56),
+        };
+        let (nz, ny, nx) = header.shape;
+        let Some(n) = nz.checked_mul(ny).and_then(|zy| zy.checked_mul(nx)) else {
+            return Err(FormatError::Inconsistent("shape overflow"));
+        };
+        if n != header.n_values {
+            return Err(FormatError::Inconsistent("shape vs n_values"));
+        }
+        if !(header.eb > 0.0) {
+            return Err(FormatError::Inconsistent("non-positive error bound"));
+        }
+        // num_blocks is fully determined by n_values (codes are packed two
+        // per word and padded to whole bitshuffle tiles) — reject anything
+        // else so corrupted headers cannot drive out-of-bounds decode.
+        let words = header
+            .n_values
+            .div_ceil(2)
+            .div_ceil(crate::pack::TILE_WORDS)
+            .max(1)
+            * crate::pack::TILE_WORDS;
+        if header.num_blocks != words / crate::zeroblock::BLOCK_WORDS {
+            return Err(FormatError::Inconsistent("num_blocks vs n_values"));
+        }
+        if header.payload_words % crate::zeroblock::BLOCK_WORDS != 0 {
+            return Err(FormatError::Inconsistent("payload not block-aligned"));
+        }
+        if header.payload_words > words {
+            return Err(FormatError::Inconsistent("payload larger than stream"));
+        }
+        Ok(header)
+    }
+
+    /// Total stream length implied by the header.
+    pub fn stream_bytes(&self) -> usize {
+        HEADER_BYTES + self.bitflag_words() * 4 + self.payload_words * 4
+    }
+}
+
+/// Assemble a full stream from its sections.
+pub fn assemble(header: &Header, bit_flags: &[u32], payload: &[u32]) -> Vec<u8> {
+    assert_eq!(bit_flags.len(), header.bitflag_words());
+    assert_eq!(payload.len(), header.payload_words);
+    let mut out = Vec::with_capacity(header.stream_bytes());
+    out.extend_from_slice(&header.to_bytes());
+    for w in bit_flags {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    for w in payload {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Split a stream into `(header, bit_flags, payload)`.
+pub fn disassemble(bytes: &[u8]) -> Result<(Header, Vec<u32>, Vec<u32>), FormatError> {
+    let header = Header::from_bytes(bytes)?;
+    if bytes.len() < header.stream_bytes() {
+        return Err(FormatError::Truncated);
+    }
+    let words = |lo: usize, n: usize| -> Vec<u32> {
+        bytes[lo..lo + n * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    };
+    let nbf = header.bitflag_words();
+    let bit_flags = words(HEADER_BYTES, nbf);
+    let payload = words(HEADER_BYTES + nbf * 4, header.payload_words);
+    Ok((header, bit_flags, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header { shape: (4, 8, 16), eb: 1e-3, n_values: 512, num_blocks: 256, payload_words: 12 }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        assert_eq!(Header::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = sample_header().to_bytes();
+        b[0] = b'X';
+        assert_eq!(Header::from_bytes(&b), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = sample_header().to_bytes();
+        b[4] = 99;
+        assert_eq!(Header::from_bytes(&b), Err(FormatError::BadVersion(99)));
+    }
+
+    #[test]
+    fn inconsistent_shape_rejected() {
+        let mut h = sample_header();
+        h.n_values = 511;
+        assert!(matches!(Header::from_bytes(&h.to_bytes()), Err(FormatError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(Header::from_bytes(&[0u8; 10]), Err(FormatError::Truncated));
+    }
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        let h = sample_header();
+        let bit_flags: Vec<u32> = (0..h.bitflag_words() as u32).map(|i| i * 3 + 1).collect();
+        let payload: Vec<u32> = (0..h.payload_words as u32).map(|i| i ^ 0xDEAD).collect();
+        let bytes = assemble(&h, &bit_flags, &payload);
+        assert_eq!(bytes.len(), h.stream_bytes());
+        let (h2, bf2, p2) = disassemble(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(bf2, bit_flags);
+        assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let h = sample_header();
+        let bytes = assemble(
+            &h,
+            &vec![0u32; h.bitflag_words()],
+            &vec![0u32; h.payload_words],
+        );
+        assert!(matches!(disassemble(&bytes[..bytes.len() - 1]), Err(FormatError::Truncated)));
+    }
+}

@@ -1,0 +1,146 @@
+//! GPU encoding phase 2 (§3.4): prefix-sum the byte flags into compaction
+//! offsets, then write the non-zero blocks to the output payload.
+//!
+//! The device-wide synchronization between flag generation and compaction
+//! is realized exactly as the paper describes — by splitting into two
+//! kernels with the CUB-style [`fzgpu_sim::scan::exclusive_sum`] in
+//! between ("a synchronization can be conveniently triggered when a GPU
+//! kernel exits").
+
+use fzgpu_sim::scan::exclusive_sum;
+use fzgpu_sim::{Gpu, GpuBuffer};
+
+use crate::zeroblock::BLOCK_WORDS;
+
+/// Widen byte flags to u32 for the scan (CUB scans these as integers).
+pub fn widen_flags(gpu: &mut Gpu, byte_flags: &GpuBuffer<u8>) -> GpuBuffer<u32> {
+    let n = byte_flags.len();
+    let out: GpuBuffer<u32> = gpu.alloc(n);
+    let blocks = n.div_ceil(256) as u32;
+    gpu.launch("encode.widen_flags", blocks, 256u32, |blk| {
+        let base = blk.block_linear() * 256;
+        blk.warps(|w| {
+            let v = w.load(byte_flags, |l| (base + l.ltid < n).then_some(base + l.ltid));
+            w.store(&out, |l| (base + l.ltid < n).then(|| (base + l.ltid, v[l.id] as u32)));
+        });
+    });
+    out
+}
+
+/// Exclusive prefix sum over the (widened) flags. Returns
+/// `(offsets, total_nonzero_blocks)`.
+pub fn flag_offsets(gpu: &mut Gpu, flags_u32: &GpuBuffer<u32>) -> (GpuBuffer<u32>, usize) {
+    let n = flags_u32.len();
+    let offsets: GpuBuffer<u32> = gpu.alloc(n);
+    let total = exclusive_sum(gpu, flags_u32, &offsets, n) as usize;
+    (offsets, total)
+}
+
+/// Compaction kernel: copy block `b` to `payload[offsets[b] * BLOCK_WORDS]`
+/// when its flag is set ("if the corresponding data block has a valid
+/// offset, the compressed data block will be saved").
+pub fn compact(
+    gpu: &mut Gpu,
+    shuffled: &GpuBuffer<u32>,
+    byte_flags: &GpuBuffer<u8>,
+    offsets: &GpuBuffer<u32>,
+    total_blocks_present: usize,
+) -> GpuBuffer<u32> {
+    let nflags = byte_flags.len();
+    assert_eq!(shuffled.len(), nflags * BLOCK_WORDS);
+    let payload: GpuBuffer<u32> = gpu.alloc(total_blocks_present * BLOCK_WORDS);
+    let blocks = nflags.div_ceil(256) as u32;
+    gpu.launch("encode.compact", blocks, 256u32, |blk| {
+        let base = blk.block_linear() * 256;
+        blk.warps(|w| {
+            let flag = w.load(byte_flags, |l| (base + l.ltid < nflags).then_some(base + l.ltid));
+            let off = w.load(offsets, |l| (base + l.ltid < nflags).then_some(base + l.ltid));
+            for k in 0..BLOCK_WORDS {
+                let v = w.load(shuffled, |l| {
+                    let b = base + l.ltid;
+                    (b < nflags && flag[l.id] != 0).then_some(b * BLOCK_WORDS + k)
+                });
+                w.store(&payload, |l| {
+                    let b = base + l.ltid;
+                    (b < nflags && flag[l.id] != 0)
+                        .then(|| (off[l.id] as usize * BLOCK_WORDS + k, v[l.id]))
+                });
+            }
+        });
+    });
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zeroblock;
+    use fzgpu_sim::device::A100;
+
+    fn flags_and_words() -> (Vec<u32>, Vec<u8>) {
+        // 512 blocks, ~1/4 nonzero.
+        let mut words = vec![0u32; 512 * BLOCK_WORDS];
+        let mut flags = vec![0u8; 512];
+        for b in 0..512 {
+            if b % 4 == 1 || b % 31 == 0 {
+                flags[b] = 1;
+                for k in 0..BLOCK_WORDS {
+                    words[b * BLOCK_WORDS + k] = (b * 10 + k) as u32 + 1;
+                }
+            }
+        }
+        (words, flags)
+    }
+
+    #[test]
+    fn widen_preserves_values() {
+        let mut gpu = Gpu::new(A100);
+        let flags: Vec<u8> = (0..1000).map(|i| (i % 3 == 0) as u8).collect();
+        let d = gpu.upload(&flags);
+        let wide = widen_flags(&mut gpu, &d);
+        assert_eq!(wide.to_vec(), flags.iter().map(|&f| f as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn offsets_count_preceding_nonzero_blocks() {
+        let mut gpu = Gpu::new(A100);
+        let (_, flags) = flags_and_words();
+        let d_flags = gpu.upload(&flags);
+        let wide = widen_flags(&mut gpu, &d_flags);
+        let (offsets, total) = flag_offsets(&mut gpu, &wide);
+        let off = offsets.to_vec();
+        let mut expect = 0u32;
+        for (b, &f) in flags.iter().enumerate() {
+            assert_eq!(off[b], expect, "offset {b}");
+            expect += f as u32;
+        }
+        assert_eq!(total, expect as usize);
+    }
+
+    #[test]
+    fn compact_matches_cpu_reference_encoder() {
+        let (words, flags) = flags_and_words();
+        let mut gpu = Gpu::new(A100);
+        let d_words = gpu.upload(&words);
+        let d_flags = gpu.upload(&flags);
+        let wide = widen_flags(&mut gpu, &d_flags);
+        let (offsets, total) = flag_offsets(&mut gpu, &wide);
+        let payload = compact(&mut gpu, &d_words, &d_flags, &offsets, total);
+        let reference = zeroblock::encode(&words);
+        assert_eq!(payload.to_vec(), reference.payload);
+    }
+
+    #[test]
+    fn all_zero_input_yields_empty_payload() {
+        let words = vec![0u32; 64 * BLOCK_WORDS];
+        let flags = vec![0u8; 64];
+        let mut gpu = Gpu::new(A100);
+        let d_words = gpu.upload(&words);
+        let d_flags = gpu.upload(&flags);
+        let wide = widen_flags(&mut gpu, &d_flags);
+        let (offsets, total) = flag_offsets(&mut gpu, &wide);
+        assert_eq!(total, 0);
+        let payload = compact(&mut gpu, &d_words, &d_flags, &offsets, total);
+        assert!(payload.is_empty());
+    }
+}

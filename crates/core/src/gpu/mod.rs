@@ -1,0 +1,8 @@
+//! GPU kernel implementations of the FZ-GPU pipeline, written against the
+//! warp-synchronous simulator in [`fzgpu_sim`].
+
+pub mod bitshuffle;
+pub mod fused;
+pub mod decode;
+pub mod encode;
+pub mod quant;

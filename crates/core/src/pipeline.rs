@@ -1,0 +1,320 @@
+//! The FZ-GPU compressor: public API over the GPU kernel pipeline.
+//!
+//! Compression (Fig. 1, bottom row):
+//! optimized dual-quantization → fused bitshuffle + zero-block mark →
+//! prefix-sum + compaction. Decompression mirrors it. All stages execute
+//! on the [`fzgpu_sim::Gpu`] simulator; the stream bytes are bit-exact
+//! products of the kernels, the kernel times come from the device model.
+
+use fzgpu_sim::{DeviceSpec, Event, Gpu, GpuBuffer};
+
+use crate::format::{assemble, disassemble, FormatError, Header};
+use crate::gpu::bitshuffle::{bitshuffle_mark, ShuffleVariant};
+use crate::gpu::decode as gdec;
+use crate::gpu::encode as genc;
+use crate::gpu::quant::pred_quant_v2;
+use crate::lorenzo::Shape;
+use crate::pack::TILE_WORDS;
+use crate::quant::ErrorBound;
+use crate::zeroblock::BLOCK_WORDS;
+
+/// Tunables (ablation knobs for Fig. 10 / the extra ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct FzOptions {
+    /// Bitshuffle/mark kernel variant.
+    pub shuffle: ShuffleVariant,
+    /// Experimental full-pipeline fusion for 1D fields (future work §6
+    /// item 1): quantization + packing + bitshuffle + marking in a single
+    /// kernel. Stream bytes are unchanged; only the launch structure is.
+    pub full_fusion_1d: bool,
+}
+
+impl Default for FzOptions {
+    fn default() -> Self {
+        Self { shuffle: ShuffleVariant::Fused, full_fusion_1d: false }
+    }
+}
+
+/// A compressed field plus its parsed header.
+#[derive(Debug, Clone)]
+pub struct Compressed {
+    /// The serialized stream ([`crate::format`] layout).
+    pub bytes: Vec<u8>,
+    /// Parsed header (shape, bound, section sizes).
+    pub header: Header,
+}
+
+impl Compressed {
+    /// Compression ratio against the original f32 field.
+    pub fn ratio(&self) -> f64 {
+        (self.header.n_values * 4) as f64 / self.bytes.len() as f64
+    }
+}
+
+/// The FZ-GPU compressor bound to one simulated device.
+pub struct FzGpu {
+    gpu: Gpu,
+    opts: FzOptions,
+}
+
+impl FzGpu {
+    /// New compressor with default options on the given device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_options(spec, FzOptions::default())
+    }
+
+    /// New compressor with explicit options.
+    pub fn with_options(spec: DeviceSpec, opts: FzOptions) -> Self {
+        Self { gpu: Gpu::new(spec), opts }
+    }
+
+    /// Access the underlying device (timeline inspection, spec).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Compress `data` of `shape` under `eb`.
+    ///
+    /// Resets the device timeline; afterwards [`FzGpu::kernel_time`]
+    /// reports this pipeline's modeled kernel time (transfers excluded, as
+    /// in the paper's "kernel time" throughput metric).
+    pub fn compress(&mut self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
+        let (nz, ny, nx) = shape;
+        assert_eq!(data.len(), nz * ny * nx, "shape/data mismatch");
+        // Resolve a range-relative bound host-side (the paper's harness
+        // derives absolute bounds from the field range before compressing).
+        let eb_abs = match eb {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::RelToRange(_) => {
+                let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                eb.to_abs((hi - lo) as f64)
+            }
+        };
+        assert!(eb_abs > 0.0, "error bound must be positive");
+
+        let d_input = self.gpu.upload(data);
+        self.gpu.reset_timeline();
+
+        let (d_shuffled, d_byte_flags, d_bit_flags) =
+            if self.opts.full_fusion_1d && crate::lorenzo::rank_of(shape) == 1 {
+                // Experimental single-kernel front end (future work §6.1).
+                crate::gpu::fused::fused_1d(&mut self.gpu, &d_input, data.len(), eb_abs)
+            } else {
+                // Stage 1: optimized dual-quantization.
+                let d_codes = pred_quant_v2(&mut self.gpu, &d_input, shape, eb_abs);
+
+                // Reinterpret the u16 code array as u32 words, zero-padded
+                // to a whole number of bitshuffle tiles. On hardware this is
+                // a pointer cast (two u16 occupy one u32); no kernel runs
+                // and no time is charged — only the padding tail is fresh.
+                let words = crate::pack::pack_codes(&d_codes.to_vec());
+                let d_words = GpuBuffer::from_host(&words);
+
+                // Stage 2: fused bitshuffle + zero-block mark.
+                bitshuffle_mark(&mut self.gpu, &d_words, self.opts.shuffle)
+            };
+
+        // Stage 3: prefix sum + compaction.
+        let d_wide = genc::widen_flags(&mut self.gpu, &d_byte_flags);
+        let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
+        let d_payload = genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present);
+
+        let header = Header {
+            shape,
+            eb: eb_abs,
+            n_values: data.len(),
+            num_blocks: d_shuffled.len() / BLOCK_WORDS,
+            payload_words: d_payload.len(),
+        };
+        let bytes = assemble(&header, &d_bit_flags.to_vec(), &d_payload.to_vec());
+        Compressed { bytes, header }
+    }
+
+    /// Decompress a stream produced by [`FzGpu::compress`] (or the
+    /// bit-identical [`crate::cpu::FzOmp`]).
+    pub fn decompress(&mut self, compressed: &Compressed) -> Result<Vec<f32>, FormatError> {
+        self.decompress_bytes(&compressed.bytes)
+    }
+
+    /// Decompress from raw stream bytes.
+    pub fn decompress_bytes(&mut self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
+        let (header, bit_flags, payload) = disassemble(bytes)?;
+        let d_bits = self.gpu.upload(&bit_flags);
+        let d_payload = self.gpu.upload(&payload);
+        self.gpu.reset_timeline();
+
+        let d_flags = gdec::expand_flags(&mut self.gpu, &d_bits, header.num_blocks);
+        let d_wide = genc::widen_flags(&mut self.gpu, &d_flags);
+        let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
+        if present * BLOCK_WORDS != header.payload_words {
+            return Err(FormatError::Inconsistent("flag popcount vs payload length"));
+        }
+        let d_shuffled = gdec::scatter(&mut self.gpu, &d_payload, &d_flags, &d_offsets);
+        debug_assert_eq!(d_shuffled.len() % TILE_WORDS, 0);
+        let d_words = gdec::bit_unshuffle(&mut self.gpu, &d_shuffled);
+        let d_deltas = gdec::codes_to_deltas(&mut self.gpu, &d_words, header.n_values);
+        let d_out = gdec::inverse_lorenzo(&mut self.gpu, &d_deltas, header.shape, header.eb);
+        Ok(d_out.to_vec())
+    }
+
+    /// Modeled kernel time of the last compress/decompress call, seconds.
+    pub fn kernel_time(&self) -> f64 {
+        self.gpu.kernel_time()
+    }
+
+    /// Per-kernel `(name, seconds)` breakdown of the last call.
+    pub fn kernel_breakdown(&self) -> Vec<(String, f64)> {
+        self.gpu
+            .timeline()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Kernel(k) => Some((k.name.clone(), k.time)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Compression throughput in GB/s for `n_values` f32s at the last
+    /// call's kernel time.
+    pub fn throughput_gbps(&self, n_values: usize) -> f64 {
+        (n_values * 4) as f64 / self.kernel_time() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fzgpu_sim::device::{A100, A4000};
+
+    fn smooth_3d(nz: usize, ny: usize, nx: usize) -> Vec<f32> {
+        (0..nz * ny * nx)
+            .map(|i| {
+                let z = i / (ny * nx);
+                let y = i / nx % ny;
+                let x = i % nx;
+                (x as f32 * 0.05).sin() * 2.0 + (y as f32 * 0.08).cos() + z as f32 * 0.01
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound_3d() {
+        let shape = (6, 48, 80);
+        let data = smooth_3d(6, 48, 80);
+        let eb = 1e-3;
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, shape, ErrorBound::Abs(eb));
+        let back = fz.decompress(&c).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            assert!((a as f64 - b as f64).abs() <= eb * 1.00001, "idx {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let shape = (1, 1, 5000);
+        let data: Vec<f32> = (0..5000).map(|i| (i as f32 * 0.002).sin() * 10.0).collect();
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, shape, ErrorBound::RelToRange(1e-3));
+        let back = fz.decompress(&c).unwrap();
+        let bound = c.header.eb;
+        for (&a, &b) in data.iter().zip(&back) {
+            assert!((a as f64 - b as f64).abs() <= bound * 1.00001);
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let shape = (1, 128, 128);
+        let data = smooth_3d(1, 128, 128);
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, shape, ErrorBound::RelToRange(1e-2));
+        assert!(c.ratio() > 8.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn zero_field_hits_high_ratio() {
+        let shape = (1, 64, 1024);
+        let data = vec![0.0f32; 64 * 1024];
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, shape, ErrorBound::Abs(1e-4));
+        // All blocks zero: only header + flags remain.
+        assert!(c.ratio() > 100.0, "ratio {}", c.ratio());
+        let back = fz.decompress(&c).unwrap();
+        assert!(back.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn kernel_breakdown_names_pipeline_stages() {
+        let shape = (1, 64, 64);
+        let data = smooth_3d(1, 64, 64);
+        let mut fz = FzGpu::new(A100);
+        let _ = fz.compress(&data, shape, ErrorBound::Abs(1e-3));
+        let names: Vec<String> = fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
+        assert!(names.iter().any(|n| n.contains("pred_quant")));
+        assert!(names.iter().any(|n| n.contains("bitshuffle_mark")));
+        assert!(names.iter().any(|n| n.contains("scan")));
+        assert!(names.iter().any(|n| n.contains("compact")));
+        assert!(fz.kernel_time() > 0.0);
+        assert!(fz.throughput_gbps(data.len()) > 0.0);
+    }
+
+    #[test]
+    fn a100_outruns_a4000() {
+        let shape = (8, 128, 128);
+        let data = smooth_3d(8, 128, 128);
+        let mut a100 = FzGpu::new(A100);
+        let mut a4000 = FzGpu::new(A4000);
+        let _ = a100.compress(&data, shape, ErrorBound::Abs(1e-3));
+        let _ = a4000.compress(&data, shape, ErrorBound::Abs(1e-3));
+        assert!(a100.kernel_time() < a4000.kernel_time());
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected() {
+        let shape = (1, 32, 32);
+        let data = smooth_3d(1, 32, 32);
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, shape, ErrorBound::Abs(1e-3));
+        assert!(fz.decompress_bytes(&c.bytes[..10]).is_err());
+        let mut mangled = c.bytes.clone();
+        mangled[0] = b'X';
+        assert!(fz.decompress_bytes(&mangled).is_err());
+    }
+
+    #[test]
+    fn full_fusion_1d_produces_identical_stream() {
+        let n = 10_000;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.004).sin() * 7.0).collect();
+        let mut normal = FzGpu::new(A100);
+        let mut fused = FzGpu::with_options(
+            A100,
+            FzOptions { full_fusion_1d: true, ..FzOptions::default() },
+        );
+        let c1 = normal.compress(&data, (1, 1, n), ErrorBound::Abs(1e-3));
+        let c2 = fused.compress(&data, (1, 1, n), ErrorBound::Abs(1e-3));
+        assert_eq!(c1.bytes, c2.bytes);
+        // The fused front end must be at least as fast as the split one.
+        assert!(fused.kernel_time() <= normal.kernel_time());
+        // And decompress normally.
+        let back = fused.decompress(&c2).unwrap();
+        assert!(data.iter().zip(&back).all(|(&a, &b)| (a - b).abs() <= 1.1e-3));
+    }
+
+    #[test]
+    fn unfused_variant_roundtrips_identically() {
+        let shape = (1, 96, 96);
+        let data = smooth_3d(1, 96, 96);
+        let mut fused = FzGpu::new(A100);
+        let mut unfused =
+            FzGpu::with_options(
+            A100,
+            FzOptions { shuffle: ShuffleVariant::Unfused, ..FzOptions::default() },
+        );
+        let c1 = fused.compress(&data, shape, ErrorBound::Abs(1e-3));
+        let c2 = unfused.compress(&data, shape, ErrorBound::Abs(1e-3));
+        assert_eq!(c1.bytes, c2.bytes, "variants must produce identical streams");
+    }
+}

@@ -1,0 +1,159 @@
+//! Zero-block sparsification encoding (CPU reference for the paper's fast
+//! GPU lossless encoder, §3.4).
+//!
+//! The bitshuffled stream is partitioned into blocks of [`BLOCK_WORDS`]
+//! `u32` words. Per block one flag bit records whether the block is
+//! all-zero; non-zero blocks are copied verbatim to the compacted payload
+//! at offsets derived from an exclusive prefix sum over the flags. An
+//! all-zero 16-byte block costs exactly 1 bit — the source of the "ratio
+//! up to 128" headroom vs Huffman's 32.
+
+/// Words per flag block. 4 u32 = 16 bytes, matching the fused kernel's
+/// `ByteFlagArr` granularity (256 flags per 1024-word tile).
+pub const BLOCK_WORDS: usize = 4;
+
+/// Encoded zero-block stream (reference layout; the on-disk format lives in
+/// [`crate::format`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroBlockStream {
+    /// One bit per block, bit `b % 32` of word `b / 32`; 1 = block present.
+    pub bit_flags: Vec<u32>,
+    /// Concatenated non-zero blocks, `BLOCK_WORDS` words each.
+    pub payload: Vec<u32>,
+    /// Total number of blocks (defines the decoded length).
+    pub num_blocks: usize,
+}
+
+impl ZeroBlockStream {
+    /// Compressed size in bytes (flags + payload).
+    pub fn size_bytes(&self) -> usize {
+        self.bit_flags.len() * 4 + self.payload.len() * 4
+    }
+}
+
+/// Encode `words` (length must be a multiple of [`BLOCK_WORDS`]).
+pub fn encode(words: &[u32]) -> ZeroBlockStream {
+    assert_eq!(words.len() % BLOCK_WORDS, 0, "stream not block-aligned");
+    let num_blocks = words.len() / BLOCK_WORDS;
+    let mut bit_flags = vec![0u32; num_blocks.div_ceil(32)];
+    let mut payload = Vec::new();
+    for (b, block) in words.chunks_exact(BLOCK_WORDS).enumerate() {
+        if block.iter().any(|&w| w != 0) {
+            bit_flags[b / 32] |= 1 << (b % 32);
+            payload.extend_from_slice(block);
+        }
+    }
+    ZeroBlockStream { bit_flags, payload, num_blocks }
+}
+
+/// Decode back to the original word stream.
+///
+/// # Panics
+/// Panics when the payload length disagrees with the flag population count.
+pub fn decode(stream: &ZeroBlockStream) -> Vec<u32> {
+    let present: usize =
+        stream.bit_flags.iter().map(|w| w.count_ones() as usize).sum();
+    assert_eq!(
+        present * BLOCK_WORDS,
+        stream.payload.len(),
+        "flag popcount disagrees with payload length"
+    );
+    let mut out = vec![0u32; stream.num_blocks * BLOCK_WORDS];
+    let mut src = 0usize;
+    for b in 0..stream.num_blocks {
+        if stream.bit_flags[b / 32] >> (b % 32) & 1 == 1 {
+            out[b * BLOCK_WORDS..(b + 1) * BLOCK_WORDS]
+                .copy_from_slice(&stream.payload[src..src + BLOCK_WORDS]);
+            src += BLOCK_WORDS;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_zero_stream_is_one_bit_per_block() {
+        let words = vec![0u32; 128 * BLOCK_WORDS];
+        let s = encode(&words);
+        assert!(s.payload.is_empty());
+        assert_eq!(s.bit_flags.len(), 4);
+        assert_eq!(s.size_bytes(), 16);
+        assert_eq!(decode(&s), words);
+    }
+
+    #[test]
+    fn dense_stream_keeps_all_blocks() {
+        let words: Vec<u32> = (1..=64).collect();
+        let s = encode(&words);
+        assert_eq!(s.payload, words);
+        assert_eq!(decode(&s), words);
+    }
+
+    #[test]
+    fn mixed_stream_compacts_correctly() {
+        let mut words = vec![0u32; 16 * BLOCK_WORDS];
+        words[4 * BLOCK_WORDS + 2] = 99; // block 4
+        words[11 * BLOCK_WORDS] = 7; // block 11
+        let s = encode(&words);
+        assert_eq!(s.payload.len(), 2 * BLOCK_WORDS);
+        assert_eq!(s.bit_flags[0], (1 << 4) | (1 << 11));
+        assert_eq!(decode(&s), words);
+    }
+
+    #[test]
+    fn max_ratio_is_128x_on_zero_data() {
+        // 4096 data bytes per 1024-word tile of zeros -> 32 flag bytes.
+        let words = vec![0u32; 1024];
+        let s = encode(&words);
+        let ratio = (words.len() * 4) as f64 / s.size_bytes() as f64;
+        assert_eq!(ratio, 128.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not block-aligned")]
+    fn unaligned_rejected() {
+        let _ = encode(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn corrupt_payload_detected() {
+        let words: Vec<u32> = (1..=8).collect();
+        let mut s = encode(&words);
+        s.payload.truncate(4);
+        let _ = decode(&s);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(blocks in proptest::collection::vec(
+            prop_oneof![
+                3 => Just([0u32; BLOCK_WORDS]),
+                1 => any::<[u32; BLOCK_WORDS]>(),
+            ],
+            0..200,
+        )) {
+            let words: Vec<u32> = blocks.iter().flatten().copied().collect();
+            let s = encode(&words);
+            prop_assert_eq!(decode(&s), words);
+        }
+
+        #[test]
+        fn prop_size_is_flags_plus_nonzero_blocks(blocks in proptest::collection::vec(
+            prop_oneof![Just([0u32; BLOCK_WORDS]), Just([1u32; BLOCK_WORDS])],
+            1..200,
+        )) {
+            let words: Vec<u32> = blocks.iter().flatten().copied().collect();
+            let nonzero = blocks.iter().filter(|b| b[0] != 0).count();
+            let s = encode(&words);
+            prop_assert_eq!(
+                s.size_bytes(),
+                blocks.len().div_ceil(32) * 4 + nonzero * BLOCK_WORDS * 4
+            );
+        }
+    }
+}

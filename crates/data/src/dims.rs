@@ -1,0 +1,92 @@
+//! Field dimensionality descriptors.
+
+/// Dimensions of a scalar field, fastest-varying axis last (C order:
+/// `D3(nz, ny, nx)` indexes as `data[z*ny*nx + y*nx + x]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dims {
+    /// 1D field of `n` elements (particle arrays).
+    D1(usize),
+    /// 2D field `(ny, nx)`.
+    D2(usize, usize),
+    /// 3D field `(nz, ny, nx)`.
+    D3(usize, usize, usize),
+}
+
+impl Dims {
+    /// Total element count.
+    pub fn count(&self) -> usize {
+        match *self {
+            Dims::D1(n) => n,
+            Dims::D2(ny, nx) => ny * nx,
+            Dims::D3(nz, ny, nx) => nz * ny * nx,
+        }
+    }
+
+    /// Dimensionality (1, 2 or 3).
+    pub fn rank(&self) -> usize {
+        match self {
+            Dims::D1(_) => 1,
+            Dims::D2(..) => 2,
+            Dims::D3(..) => 3,
+        }
+    }
+
+    /// `(nz, ny, nx)` with leading 1s for lower ranks.
+    pub fn as_3d(&self) -> (usize, usize, usize) {
+        match *self {
+            Dims::D1(n) => (1, 1, n),
+            Dims::D2(ny, nx) => (1, ny, nx),
+            Dims::D3(nz, ny, nx) => (nz, ny, nx),
+        }
+    }
+
+    /// Linear index of `(z, y, x)`.
+    pub fn index(&self, z: usize, y: usize, x: usize) -> usize {
+        let (_, ny, nx) = self.as_3d();
+        (z * ny + y) * nx + x
+    }
+
+    /// Human-readable `"Z x Y x X"` string.
+    pub fn to_string_paper(&self) -> String {
+        match *self {
+            Dims::D1(n) => format!("{n}"),
+            Dims::D2(ny, nx) => format!("{ny}x{nx}"),
+            Dims::D3(nz, ny, nx) => format!("{nz}x{ny}x{nx}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(Dims::D1(10).count(), 10);
+        assert_eq!(Dims::D2(3, 4).count(), 12);
+        assert_eq!(Dims::D3(2, 3, 4).count(), 24);
+    }
+
+    #[test]
+    fn ranks_and_3d_lift() {
+        assert_eq!(Dims::D1(7).rank(), 1);
+        assert_eq!(Dims::D1(7).as_3d(), (1, 1, 7));
+        assert_eq!(Dims::D2(5, 6).as_3d(), (1, 5, 6));
+        assert_eq!(Dims::D3(2, 5, 6).rank(), 3);
+    }
+
+    #[test]
+    fn index_is_c_order() {
+        let d = Dims::D3(2, 3, 4);
+        assert_eq!(d.index(0, 0, 0), 0);
+        assert_eq!(d.index(0, 0, 3), 3);
+        assert_eq!(d.index(0, 1, 0), 4);
+        assert_eq!(d.index(1, 0, 0), 12);
+        assert_eq!(d.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dims::D3(100, 500, 500).to_string_paper(), "100x500x500");
+    }
+}

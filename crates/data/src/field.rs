@@ -1,0 +1,125 @@
+//! Scalar field container.
+
+use crate::dims::Dims;
+
+/// A named single-precision scalar field with known dimensions.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name, e.g. `"CLDICE"` or `"xx"`.
+    pub name: String,
+    /// Name of the dataset the field belongs to.
+    pub dataset: &'static str,
+    /// Dimensions (C order, x fastest).
+    pub dims: Dims,
+    /// The values, `dims.count()` of them.
+    pub data: Vec<f32>,
+}
+
+impl Field {
+    /// Construct, checking the length invariant.
+    pub fn new(name: impl Into<String>, dataset: &'static str, dims: Dims, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), dims.count(), "field data length mismatch");
+        Self { name: name.into(), dataset, dims, data }
+    }
+
+    /// Field size in bytes (f32).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Value range `(min, max)`.
+    ///
+    /// # Panics
+    /// Panics on an empty field.
+    pub fn range(&self) -> (f32, f32) {
+        assert!(!self.data.is_empty());
+        let lo = self.data.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        (lo, hi)
+    }
+
+    /// Absolute error bound corresponding to a range-based relative bound
+    /// (the paper's five `1e-2 .. 1e-4` points are relative to the value
+    /// range of the field).
+    pub fn abs_bound(&self, rel_eb: f64) -> f64 {
+        let (lo, hi) = self.range();
+        let span = (hi - lo) as f64;
+        if span == 0.0 {
+            // Constant field: any positive bound preserves it exactly.
+            rel_eb
+        } else {
+            rel_eb * span
+        }
+    }
+
+    /// Extract a 2D z-slice as `(ny, nx, values)` — used for SSIM and the
+    /// Fig. 12 visual-quality comparison.
+    pub fn slice_z(&self, z: usize) -> (usize, usize, Vec<f32>) {
+        let (nz, ny, nx) = self.dims.as_3d();
+        assert!(z < nz, "slice {z} out of {nz}");
+        let start = z * ny * nx;
+        (ny, nx, self.data[start..start + ny * nx].to_vec())
+    }
+}
+
+/// Natural-log transform with a floor, as used for HACC per the paper
+/// (point-wise relative bounds realized by compressing log-transformed data
+/// under an absolute bound, Liang et al.).
+pub fn log_transform(data: &[f32]) -> Vec<f32> {
+    data.iter().map(|&v| (v.abs().max(1e-10)).ln()).collect()
+}
+
+/// Inverse of [`log_transform`] up to the sign/floor loss.
+pub fn exp_transform(data: &[f32]) -> Vec<f32> {
+    data.iter().map(|&v| v.exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_abs_bound() {
+        let f = Field::new("t", "TEST", Dims::D1(4), vec![-1.0, 0.0, 3.0, 2.0]);
+        assert_eq!(f.range(), (-1.0, 3.0));
+        assert!((f.abs_bound(1e-2) - 0.04).abs() < 1e-12);
+        assert_eq!(f.size_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_checked() {
+        let _ = Field::new("t", "TEST", Dims::D2(2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn constant_field_bound_is_positive() {
+        let f = Field::new("c", "TEST", Dims::D1(8), vec![5.0; 8]);
+        assert!(f.abs_bound(1e-3) > 0.0);
+    }
+
+    #[test]
+    fn slice_extracts_plane() {
+        let dims = Dims::D3(2, 2, 3);
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let f = Field::new("s", "TEST", dims, data);
+        let (ny, nx, plane) = f.slice_z(1);
+        assert_eq!((ny, nx), (2, 3));
+        assert_eq!(plane, vec![6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn log_exp_inverse_for_positive() {
+        let data = vec![0.5f32, 1.0, 100.0, 3.25];
+        let back = exp_transform(&log_transform(&data));
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() / a < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_transform_floors_zero() {
+        let out = log_transform(&[0.0]);
+        assert!(out[0].is_finite());
+    }
+}

@@ -1,0 +1,18 @@
+//! # fzgpu-data — synthetic SDRBench dataset stand-ins
+//!
+//! Deterministic generators reproducing the compression-relevant structure
+//! of the six datasets in the paper's Table 1 (HACC, CESM, Hurricane, Nyx,
+//! QMCPACK, RTM). See DESIGN.md §1 for the substitution rationale: SDRBench
+//! distributes proprietary/large simulation outputs we cannot ship, so each
+//! dataset is replaced by a synthetic field in the same qualitative regime
+//! (smoothness, sparsity, clustering, oscillation).
+
+pub mod catalog;
+pub mod dims;
+pub mod io;
+pub mod field;
+pub mod synth;
+
+pub use catalog::{dataset, DatasetInfo, Scale, CATALOG};
+pub use dims::Dims;
+pub use field::{exp_transform, log_transform, Field};

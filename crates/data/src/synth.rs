@@ -1,0 +1,301 @@
+//! Synthetic field generators.
+//!
+//! Each generator reproduces the compression-relevant structure of one
+//! SDRBench dataset class (see DESIGN.md §1 for the substitution argument):
+//! what matters to an SZ-family compressor is the *post-Lorenzo residual
+//! distribution* — smoothness spectrum, zero/constant regions, oscillation,
+//! clustering — not the physical values themselves.
+//!
+//! All generators are deterministic in `(seed, dims)` and parallelized over
+//! the slowest axis with rayon.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::dims::Dims;
+
+/// A superposition of `modes` random cosine modes with power-law amplitude
+/// decay — a generic smooth multiscale field (CESM / Hurricane class).
+///
+/// `alpha` is the spectral slope: larger = smoother. `noise` adds white
+/// noise at the given relative amplitude (models measurement/turbulence
+/// floor that limits compressibility at small error bounds).
+pub fn multiscale(dims: Dims, seed: u64, modes: usize, alpha: f64, noise: f64) -> Vec<f32> {
+    let (nz, ny, nx) = dims.as_3d();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random mode table: wave vector, phase, amplitude. Wavenumbers are
+    // log-uniform between 1 and ~max_dim/8 cycles per domain, so the field
+    // stays smooth *at the cell scale* — the regime real simulation outputs
+    // live in and the one SZ-family predictors exploit.
+    let max_dim = nx.max(ny).max(nz) as f64;
+    let k_max = (max_dim / 8.0).max(4.0);
+    let table: Vec<(f64, f64, f64, f64, f64)> = (0..modes)
+        .map(|m| {
+            let frac = (m as f64 + 0.5) / modes as f64;
+            let k = k_max.powf(frac); // geometric ladder from 1 to k_max
+            // Random direction on the (active-axis) sphere, scaled by k.
+            let dir = |active: bool, r: &mut StdRng| -> f64 {
+                if active { r.gen_range(-1.0..1.0) } else { 0.0 }
+            };
+            let (dx, dy, dz) =
+                (dir(nx > 1, &mut rng), dir(ny > 1, &mut rng), dir(nz > 1, &mut rng));
+            let norm = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-9);
+            let phase = rng.gen_range(0.0..core::f64::consts::TAU);
+            let amp = 1.0 / k.powf(alpha);
+            (k * dx / norm, k * dy / norm, k * dz / norm, phase, amp)
+        })
+        .collect();
+    let noise_seed = rng.gen::<u64>();
+
+    let mut out = vec![0f32; dims.count()];
+    out.par_chunks_mut(ny * nx).enumerate().for_each(|(z, plane)| {
+        let mut nrng = StdRng::seed_from_u64(noise_seed ^ (z as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let fz = z as f64 / nz.max(1) as f64;
+        for y in 0..ny {
+            let fy = y as f64 / ny.max(1) as f64;
+            for x in 0..nx {
+                let fx = x as f64 / nx.max(1) as f64;
+                let mut v = 0.0;
+                for &(kx, ky, kz, phase, amp) in &table {
+                    v += amp
+                        * (core::f64::consts::TAU * (kx * fx + ky * fy + kz * fz) + phase).cos();
+                }
+                if noise > 0.0 {
+                    v += noise * nrng.gen_range(-1.0..1.0);
+                }
+                plane[y * nx + x] = v as f32;
+            }
+        }
+    });
+    out
+}
+
+/// A smooth multiscale field floored at zero over part of the domain
+/// (CLDICE/QRAIN-class physics fields: clouds and precipitation are exactly
+/// zero wherever the process is absent). `coverage` is the nonzero
+/// fraction. The flat regions are what let SZ-family compressors reach
+/// very high ratios at large bounds on such fields.
+pub fn floored(dims: Dims, seed: u64, modes: usize, alpha: f64, noise: f64, coverage: f64) -> Vec<f32> {
+    let base = multiscale(dims, seed, modes, alpha, noise);
+    // Estimate the coverage quantile from a subsample.
+    let mut sample: Vec<f32> = base.iter().copied().step_by((base.len() / 65536).max(1)).collect();
+    sample.sort_by(f32::total_cmp);
+    let cut = sample[((1.0 - coverage) * (sample.len() - 1) as f64) as usize];
+    base.into_par_iter().map(|v| (v - cut).max(0.0)).collect()
+}
+
+/// Clustered particle coordinates (HACC class): a mixture of Gaussian
+/// clumps over a uniform background, **unsorted** — adjacent array entries
+/// are uncorrelated, which is what makes HACC the hardest dataset for
+/// Lorenzo prediction.
+pub fn particles(n: usize, seed: u64, clusters: usize, box_size: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f32, f32)> = (0..clusters)
+        .map(|_| (rng.gen_range(0.0..box_size), rng.gen_range(0.005..0.05) * box_size))
+        .collect();
+    let chunk = 64 * 1024;
+    let nchunks = n.div_ceil(chunk);
+    let base_seed = rng.gen::<u64>();
+    let mut out = vec![0f32; n];
+    out.par_chunks_mut(chunk).enumerate().for_each(|(c, slab)| {
+        let mut r = StdRng::seed_from_u64(base_seed ^ (c as u64).wrapping_mul(0xD1B54A32D192ED03));
+        let _ = nchunks;
+        for v in slab.iter_mut() {
+            *v = if r.gen_bool(0.7) {
+                let (center, sigma) = centers[r.gen_range(0..centers.len())];
+                // Box-Muller normal.
+                let u1: f64 = r.gen_range(1e-12..1.0);
+                let u2: f64 = r.gen_range(0.0..core::f64::consts::TAU);
+                let g = (-2.0 * u1.ln()).sqrt() * u2.cos();
+                (center + sigma * g as f32).clamp(0.0, box_size)
+            } else {
+                r.gen_range(0.0..box_size)
+            };
+        }
+    });
+    out
+}
+
+/// Lognormal density field (Nyx `baryon_density` class): `exp(s * G)` of a
+/// smooth Gaussian field — huge dynamic range, clumpy peaks.
+pub fn lognormal(dims: Dims, seed: u64, sigma: f64) -> Vec<f32> {
+    let mut g = multiscale(dims, seed, 48, 1.4, 0.002);
+    g.par_iter_mut().for_each(|v| *v = ((*v as f64 * sigma).exp()) as f32);
+    g
+}
+
+/// Oscillatory wavefunction field (QMCPACK `einspline` class): product of
+/// medium-frequency sinusoids under a smooth envelope. High local
+/// variation defeats blockwise-constant compressors (cuSZx) while Lorenzo
+/// still tracks it moderately.
+pub fn oscillatory(dims: Dims, seed: u64) -> Vec<f32> {
+    let (nz, ny, nx) = dims.as_3d();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let freqs: Vec<(f64, f64, f64, f64)> = (0..6)
+        .map(|_| {
+            (
+                rng.gen_range(8.0..40.0),
+                rng.gen_range(8.0..40.0),
+                rng.gen_range(8.0..40.0),
+                rng.gen_range(0.0..core::f64::consts::TAU),
+            )
+        })
+        .collect();
+    let mut out = vec![0f32; dims.count()];
+    out.par_chunks_mut(ny * nx).enumerate().for_each(|(z, plane)| {
+        let fz = z as f64 / nz.max(1) as f64;
+        for y in 0..ny {
+            let fy = y as f64 / ny.max(1) as f64;
+            for x in 0..nx {
+                let fx = x as f64 / nx.max(1) as f64;
+                let envelope = (core::f64::consts::PI * fx).sin()
+                    * (core::f64::consts::PI * fy).sin()
+                    * (core::f64::consts::PI * fz).sin().max(0.05);
+                let mut v = 0.0;
+                for &(kx, ky, kz, ph) in &freqs {
+                    v += ((kx * fx + ky * fy + kz * fz) * core::f64::consts::TAU + ph).sin();
+                }
+                plane[y * nx + x] = (envelope * v / freqs.len() as f64) as f32;
+            }
+        }
+    });
+    out
+}
+
+/// Propagating wavefield snapshot (RTM class): a damped spherical wave
+/// radiating from a source; everything ahead of the front is **exactly
+/// zero** — the property that gives FZ-GPU its >32x ratios on RTM.
+///
+/// `t` in [0, 1] positions the front (paper uses snapshot_1200 of a 2800-
+/// step run; `t ~ 0.45` matches).
+pub fn wavefield(dims: Dims, seed: u64, t: f64) -> Vec<f32> {
+    let (nz, ny, nx) = dims.as_3d();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (sz, sy, sx) =
+        (rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7));
+    let front = t * 1.2; // radius of the wavefront in normalized coords
+    let wavelen = 0.09;
+    let mut out = vec![0f32; dims.count()];
+    out.par_chunks_mut(ny * nx).enumerate().for_each(|(z, plane)| {
+        let fz = z as f64 / nz.max(1) as f64;
+        for y in 0..ny {
+            let fy = y as f64 / ny.max(1) as f64;
+            for x in 0..nx {
+                let fx = x as f64 / nx.max(1) as f64;
+                let r = ((fx - sx).powi(2) + (fy - sy).powi(2) + (fz - sz).powi(2)).sqrt();
+                plane[y * nx + x] = if r >= front {
+                    0.0 // ahead of the wavefront: untouched medium
+                } else {
+                    let phase = (front - r) / wavelen * core::f64::consts::TAU;
+                    let damp = (-(front - r) * 5.0).exp() / (1.0 + 40.0 * r * r);
+                    (damp * phase.sin()) as f32
+                };
+            }
+        }
+    });
+    out
+}
+
+/// Sparse precipitation-style field (Hurricane QSNOW/QRAIN class): zero
+/// background with a localized smooth plume. Drives the Fig. 12 quality
+/// comparison.
+pub fn sparse_plume(dims: Dims, seed: u64, coverage: f64) -> Vec<f32> {
+    let (nz, ny, nx) = dims.as_3d();
+    let base = multiscale(dims, seed, 32, 1.6, 0.0);
+    // Threshold the smooth field so only ~`coverage` of cells are nonzero,
+    // then square to get the long-tailed, nonnegative look of QSNOW.
+    let mut sorted: Vec<f32> = base.iter().copied().step_by(17.max(base.len() / 65536)).collect();
+    sorted.sort_by(f32::total_cmp);
+    let cut = sorted[((1.0 - coverage) * (sorted.len() - 1) as f64) as usize];
+    let mut out = vec![0f32; dims.count()];
+    out.par_iter_mut().zip(base.par_iter()).for_each(|(o, &b)| {
+        *o = if b > cut { (b - cut) * (b - cut) } else { 0.0 };
+    });
+    let _ = (nz, ny, nx);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_abs_diff(v: &[f32]) -> f64 {
+        v.windows(2).map(|w| (w[1] - w[0]).abs() as f64).sum::<f64>() / (v.len() - 1) as f64
+    }
+
+    fn spread(v: &[f32]) -> f64 {
+        let lo = v.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        (hi - lo) as f64
+    }
+
+    #[test]
+    fn multiscale_is_deterministic() {
+        let a = multiscale(Dims::D2(32, 32), 7, 16, 1.5, 0.01);
+        let b = multiscale(Dims::D2(32, 32), 7, 16, 1.5, 0.01);
+        assert_eq!(a, b);
+        let c = multiscale(Dims::D2(32, 32), 8, 16, 1.5, 0.01);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn multiscale_is_smooth_along_x() {
+        let v = multiscale(Dims::D2(16, 512), 1, 24, 1.5, 0.0);
+        // Neighbor differences must be small relative to the value range.
+        assert!(mean_abs_diff(&v[..512]) < 0.05 * spread(&v));
+    }
+
+    #[test]
+    fn particles_are_unsmooth() {
+        let v = particles(4096, 3, 8, 64.0);
+        // Adjacent particles are uncorrelated: neighbor diff comparable to range.
+        assert!(mean_abs_diff(&v) > 0.05 * spread(&v));
+        assert!(v.iter().all(|&x| (0.0..=64.0).contains(&x)));
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_dynamic_range() {
+        let v = lognormal(Dims::D3(16, 16, 16), 5, 2.0);
+        assert!(v.iter().all(|&x| x > 0.0));
+        let hi = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lo = v.iter().copied().fold(f32::INFINITY, f32::min);
+        assert!(hi / lo > 10.0, "dynamic range {}", hi / lo);
+    }
+
+    #[test]
+    fn wavefield_has_zero_region() {
+        let v = wavefield(Dims::D3(24, 24, 24), 11, 0.25);
+        let zeros = v.iter().filter(|&&x| x == 0.0).count();
+        assert!(zeros > v.len() / 2, "zeros {} of {}", zeros, v.len());
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn wavefield_front_advances_with_time() {
+        let early = wavefield(Dims::D3(24, 24, 24), 11, 0.2);
+        let late = wavefield(Dims::D3(24, 24, 24), 11, 0.6);
+        let nz_early = early.iter().filter(|&&x| x != 0.0).count();
+        let nz_late = late.iter().filter(|&&x| x != 0.0).count();
+        assert!(nz_late > nz_early);
+    }
+
+    #[test]
+    fn sparse_plume_matches_coverage() {
+        let v = sparse_plume(Dims::D3(16, 64, 64), 2, 0.1);
+        let nonzero = v.iter().filter(|&&x| x != 0.0).count() as f64 / v.len() as f64;
+        assert!(nonzero > 0.02 && nonzero < 0.3, "coverage {nonzero}");
+        assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn oscillatory_oscillates() {
+        let v = oscillatory(Dims::D3(16, 32, 32), 9);
+        // Sign changes along x should be frequent.
+        let flips = v[..32 * 32]
+            .windows(2)
+            .filter(|w| w[0].signum() != w[1].signum() && w[0] != 0.0)
+            .count();
+        assert!(flips > 20, "flips {flips}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Statistical agreement metrics beyond PSNR: mean absolute error,
+//! Pearson correlation, and the autocorrelation of the compression error —
+//! the standard SDRBench quality suite (artifacts such as banding show up
+//! as correlated error long before they dent PSNR).
+
+use rayon::prelude::*;
+
+/// Mean absolute error.
+pub fn mae(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    assert!(!original.is_empty());
+    original
+        .par_iter()
+        .zip(reconstructed.par_iter())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum::<f64>()
+        / original.len() as f64
+}
+
+/// Pearson correlation coefficient between original and reconstruction
+/// (SDRBench reports this as "pearson corr"; 1.0 = perfect linear fit).
+///
+/// Returns `None` when either side has zero variance.
+pub fn pearson(original: &[f32], reconstructed: &[f32]) -> Option<f64> {
+    assert_eq!(original.len(), reconstructed.len());
+    let n = original.len() as f64;
+    if n == 0.0 {
+        return None;
+    }
+    let mean = |v: &[f32]| v.par_iter().map(|&x| x as f64).sum::<f64>() / n;
+    let (ma, mb) = (mean(original), mean(reconstructed));
+    let (mut cov, mut va, mut vb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        let da = a as f64 - ma;
+        let db = b as f64 - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Lag-`k` autocorrelation of the pointwise compression error
+/// `e_i = a_i - b_i`. Error-bounded quantizers should leave near-white
+/// error (autocorrelation ~0); values near 1 indicate structured
+/// artifacts.
+pub fn error_autocorrelation(original: &[f32], reconstructed: &[f32], lag: usize) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    assert!(lag > 0 && lag < original.len());
+    let err: Vec<f64> =
+        original.iter().zip(reconstructed).map(|(&a, &b)| a as f64 - b as f64).collect();
+    let n = err.len() as f64;
+    let mean = err.iter().sum::<f64>() / n;
+    let var: f64 = err.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = err
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum::<f64>()
+        / (n - lag as f64);
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known_value() {
+        assert_eq!(mae(&[0.0, 0.0], &[1.0, -3.0]), 2.0);
+        assert_eq!(mae(&[5.0], &[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverted() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let b: Vec<f32> = a.iter().map(|&v| 3.0 * v + 7.0).collect();
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c: Vec<f32> = a.iter().map(|&v| -v).collect();
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_none_on_constant() {
+        let a = vec![1.0f32; 10];
+        let b: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        assert!(pearson(&a, &b).is_none());
+    }
+
+    #[test]
+    fn quantization_error_is_nearly_white() {
+        // Round-to-step error of a smooth signal decorrelates quickly.
+        let a: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let b: Vec<f32> = a.iter().map(|&v| (v / 0.01).round() * 0.01).collect();
+        let ac = error_autocorrelation(&a, &b, 1);
+        assert!(ac.abs() < 0.35, "autocorrelation {ac}");
+    }
+
+    #[test]
+    fn structured_error_is_detected() {
+        // A constant offset in one half = strongly correlated error.
+        let a = vec![0.0f32; 1024];
+        let b: Vec<f32> = (0..1024).map(|i| if i < 512 { 0.1 } else { 0.0 }).collect();
+        let ac = error_autocorrelation(&a, &b, 1);
+        assert!(ac > 0.9, "autocorrelation {ac}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Pointwise distortion metrics: MSE, PSNR, NRMSE, max error, bound checks.
+
+use rayon::prelude::*;
+
+/// Mean squared error between original and reconstruction.
+///
+/// # Panics
+/// Panics when the slices differ in length or are empty.
+pub fn mse(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    assert!(!original.is_empty());
+    let sum: f64 = original
+        .par_iter()
+        .zip(reconstructed.par_iter())
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum();
+    sum / original.len() as f64
+}
+
+/// Largest absolute pointwise error.
+pub fn max_abs_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    original
+        .par_iter()
+        .zip(reconstructed.par_iter())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .reduce(|| 0.0, f64::max)
+}
+
+/// Peak signal-to-noise ratio in dB, with the peak taken as the value range
+/// of the original (the convention of SDRBench / the paper).
+///
+/// Returns `f64::INFINITY` for an exact reconstruction.
+pub fn psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let e = mse(original, reconstructed);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    let lo = original.par_iter().copied().reduce(|| f32::INFINITY, f32::min) as f64;
+    let hi = original.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max) as f64;
+    let range = hi - lo;
+    20.0 * range.log10() - 10.0 * e.log10()
+}
+
+/// Range-normalized root-mean-square error.
+pub fn nrmse(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let e = mse(original, reconstructed).sqrt();
+    let lo = original.par_iter().copied().reduce(|| f32::INFINITY, f32::min) as f64;
+    let hi = original.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max) as f64;
+    let range = hi - lo;
+    if range == 0.0 {
+        if e == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        e / range
+    }
+}
+
+/// Check the error-bounded-lossy-compression contract: every point of the
+/// reconstruction within `bound` (plus float slack) of the original.
+/// Returns the first violating index if any.
+pub fn verify_error_bound(original: &[f32], reconstructed: &[f32], bound: f64) -> Result<(), usize> {
+    assert_eq!(original.len(), reconstructed.len());
+    let slack = bound * 1e-5 + 1e-30;
+    match original
+        .par_iter()
+        .zip(reconstructed.par_iter())
+        .position_any(|(&a, &b)| (a as f64 - b as f64).abs() > bound + slack)
+    {
+        Some(i) => Err(i),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert_eq!(nrmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = vec![0.0f32, 0.0];
+        let b = vec![1.0f32, -1.0];
+        assert_eq!(mse(&a, &b), 1.0);
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Range 10, uniform error 0.1 => PSNR = 20*log10(10/0.1) = 40 dB.
+        let a: Vec<f32> = (0..1000).map(|i| (i % 11) as f32).collect();
+        let b: Vec<f32> = a.iter().map(|&v| v + 0.1).collect();
+        let p = psnr(&a, &b);
+        assert!((p - 40.0).abs() < 0.01, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_improves_with_smaller_error() {
+        let a: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+        let b1: Vec<f32> = a.iter().map(|&v| v + 0.01).collect();
+        let b2: Vec<f32> = a.iter().map(|&v| v + 0.001).collect();
+        assert!(psnr(&a, &b2) > psnr(&a, &b1) + 19.0);
+    }
+
+    #[test]
+    fn bound_verification_catches_violation() {
+        let a = vec![0.0f32; 100];
+        let mut b = a.clone();
+        b[42] = 0.2;
+        assert!(verify_error_bound(&a, &b, 0.25).is_ok());
+        assert_eq!(verify_error_bound(&a, &b, 0.1), Err(42));
+    }
+
+    #[test]
+    fn bound_verification_allows_exact_bound() {
+        let a = vec![0.0f32; 4];
+        let b = vec![0.1f32; 4];
+        assert!(verify_error_bound(&a, &b, 0.1).is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! Value-distribution comparison (the second row of the paper's Fig. 12
+//! plots decompressed-vs-original histograms per compressor).
+
+/// Histogram of `data` over `bins` equal-width buckets spanning `[lo, hi]`.
+/// Values outside the range clamp to the edge buckets.
+pub fn histogram_f32(data: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<u64> {
+    assert!(bins > 0);
+    assert!(hi > lo, "degenerate histogram range");
+    let mut h = vec![0u64; bins];
+    let scale = bins as f64 / (hi - lo) as f64;
+    for &v in data {
+        let b = (((v - lo) as f64 * scale) as isize).clamp(0, bins as isize - 1) as usize;
+        h[b] += 1;
+    }
+    h
+}
+
+/// Total-variation distance between two histograms of equal totals
+/// (0 = identical distribution, 1 = disjoint). Used to quantify how well a
+/// compressor preserves the data distribution in Fig. 12.
+pub fn tv_distance(h1: &[u64], h2: &[u64]) -> f64 {
+    assert_eq!(h1.len(), h2.len());
+    let n1: u64 = h1.iter().sum();
+    let n2: u64 = h2.iter().sum();
+    assert!(n1 > 0 && n2 > 0);
+    0.5 * h1
+        .iter()
+        .zip(h2)
+        .map(|(&a, &b)| (a as f64 / n1 as f64 - b as f64 / n2 as f64).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_places_values() {
+        let data = vec![0.0f32, 0.49, 0.5, 1.0];
+        let h = histogram_f32(&data, 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 2]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let data = vec![-5.0f32, 5.0];
+        let h = histogram_f32(&data, 0.0, 1.0, 4);
+        assert_eq!(h, vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn tv_distance_of_identical_is_zero() {
+        let h = vec![5u64, 3, 2];
+        assert_eq!(tv_distance(&h, &h), 0.0);
+    }
+
+    #[test]
+    fn tv_distance_of_disjoint_is_one() {
+        assert_eq!(tv_distance(&[10, 0], &[0, 10]), 1.0);
+    }
+
+    #[test]
+    fn tv_distance_handles_different_totals() {
+        // Same distribution, different sample count.
+        let d = tv_distance(&[10, 10], &[100, 100]);
+        assert!(d.abs() < 1e-12);
+    }
+}

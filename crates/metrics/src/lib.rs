@@ -1,0 +1,20 @@
+//! # fzgpu-metrics — compression evaluation metrics
+//!
+//! Everything §4.2 of the paper measures: compression ratio / bitrate,
+//! distortion (PSNR, NRMSE, SSIM), error-bound verification, data
+//! distribution comparison (Fig. 12 histograms), and the overall
+//! CPU–GPU data-transfer throughput formula of §4.6.
+
+pub mod correlation;
+pub mod distortion;
+pub mod distribution;
+pub mod ratio;
+pub mod ssim;
+pub mod throughput;
+
+pub use correlation::{error_autocorrelation, mae, pearson};
+pub use distortion::{max_abs_error, mse, nrmse, psnr, verify_error_bound};
+pub use distribution::{histogram_f32, tv_distance};
+pub use ratio::{bitrate, compression_ratio, RatePoint};
+pub use ssim::ssim_2d;
+pub use throughput::{gbps, overall_throughput};

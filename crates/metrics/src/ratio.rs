@@ -1,0 +1,56 @@
+//! Compression ratio, bitrate, and rate-distortion points.
+
+/// Compression ratio = original bytes / compressed bytes.
+///
+/// # Panics
+/// Panics when `compressed_bytes == 0`.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0, "empty compressed stream");
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Bitrate in bits per (f32) value = 32 / CR, the x-axis of Fig. 7.
+pub fn bitrate(ratio: f64) -> f64 {
+    32.0 / ratio
+}
+
+/// One point of a rate-distortion curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Bits per value.
+    pub bitrate: f64,
+    /// PSNR in dB.
+    pub psnr: f64,
+}
+
+impl RatePoint {
+    /// Construct from sizes + distortion.
+    pub fn new(original_bytes: usize, compressed_bytes: usize, psnr: f64) -> Self {
+        Self { bitrate: bitrate(compression_ratio(original_bytes, compressed_bytes)), psnr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bitrate() {
+        let cr = compression_ratio(4000, 125);
+        assert_eq!(cr, 32.0);
+        assert_eq!(bitrate(cr), 1.0);
+    }
+
+    #[test]
+    fn rate_point() {
+        let p = RatePoint::new(1000, 250, 80.0);
+        assert!((p.bitrate - 8.0).abs() < 1e-12);
+        assert_eq!(p.psnr, 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty compressed")]
+    fn zero_compressed_rejected() {
+        let _ = compression_ratio(100, 0);
+    }
+}

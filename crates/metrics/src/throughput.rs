@@ -1,0 +1,59 @@
+//! Throughput accounting, including the paper's §4.6 overall data-transfer
+//! formula.
+
+/// Convert `(bytes, seconds)` to GB/s (decimal GB, the paper's unit).
+pub fn gbps(bytes: usize, seconds: f64) -> f64 {
+    assert!(seconds > 0.0);
+    bytes as f64 / seconds / 1e9
+}
+
+/// Overall CPU–GPU data-transfer throughput (§4.6):
+///
+/// `T_overall = ((BW * CR)^-1 + T_compr^-1)^-1`
+///
+/// where `bw_gbps` is the interconnect bandwidth, `ratio` the compression
+/// ratio, and `compr_gbps` the compression throughput, all in GB/s.
+pub fn overall_throughput(bw_gbps: f64, ratio: f64, compr_gbps: f64) -> f64 {
+    assert!(bw_gbps > 0.0 && ratio > 0.0 && compr_gbps > 0.0);
+    1.0 / (1.0 / (bw_gbps * ratio) + 1.0 / compr_gbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversion() {
+        assert_eq!(gbps(2_000_000_000, 1.0), 2.0);
+        assert_eq!(gbps(1_000_000_000, 0.5), 2.0);
+    }
+
+    #[test]
+    fn overall_is_harmonic_combination() {
+        // BW*CR = 100, compr = 100 => overall = 50.
+        let t = overall_throughput(10.0, 10.0, 100.0);
+        assert!((t - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_bounded_by_both_legs() {
+        let t = overall_throughput(11.4, 20.0, 90.0);
+        assert!(t < 90.0);
+        assert!(t < 11.4 * 20.0);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn higher_ratio_raises_overall_when_transfer_bound() {
+        let low = overall_throughput(11.4, 2.0, 200.0);
+        let high = overall_throughput(11.4, 30.0, 200.0);
+        assert!(high > 2.0 * low);
+    }
+
+    #[test]
+    fn no_compression_baseline() {
+        // CR=1 and infinite-ish compressor speed => overall ~= link BW.
+        let t = overall_throughput(11.4, 1.0, 1e12);
+        assert!((t - 11.4).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,133 @@
+//! Multi-GPU node model.
+//!
+//! The paper's testbed puts four A100s behind one 32-lane PCIe 4.0 switch:
+//! a single GPU sees its full 16-lane 32 GB/s, but with all four
+//! transferring at once the switch saturates at "aggregately about
+//! 45 GB/s", i.e. a measured 11.4 GB/s per GPU (§4.6). [`Cluster`] captures
+//! exactly that contention curve and gives the harness a makespan view of
+//! embarrassingly-parallel chunked compression (§4.1).
+
+use crate::device::DeviceSpec;
+use crate::grid::Gpu;
+
+/// Aggregate switch bandwidth of the paper's node, bytes/second
+/// (4 x 11.4 GB/s measured).
+pub const SWITCH_AGGREGATE: f64 = 45.6e9;
+
+/// A node with `n` identical GPUs behind one PCIe switch.
+pub struct Cluster {
+    gpus: Vec<Gpu>,
+    /// Aggregate switch bandwidth, bytes/second.
+    pub switch_bandwidth: f64,
+}
+
+impl Cluster {
+    /// A node of `n` GPUs of the given spec with the paper's switch.
+    pub fn new(spec: DeviceSpec, n: usize) -> Self {
+        assert!(n > 0);
+        Self { gpus: (0..n).map(|_| Gpu::new(spec)).collect(), switch_bandwidth: SWITCH_AGGREGATE }
+    }
+
+    /// Number of GPUs.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// True when the cluster has no GPUs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Mutable access to GPU `i`.
+    pub fn gpu(&mut self, i: usize) -> &mut Gpu {
+        &mut self.gpus[i]
+    }
+
+    /// Per-GPU host-link bandwidth when `active` GPUs transfer
+    /// concurrently: each gets its 16-lane share until the switch
+    /// saturates. `active = 1` -> 32 GB/s, `active = 4` -> 11.4 GB/s
+    /// (the paper's measurements).
+    pub fn transfer_bandwidth(&self, active: usize) -> f64 {
+        assert!(active >= 1 && active <= self.gpus.len());
+        let peak = self.gpus[0].spec().pcie_peak;
+        peak.min(self.switch_bandwidth / active as f64)
+    }
+
+    /// Makespan of the kernels launched so far: concurrent GPUs finish at
+    /// the time of the slowest one.
+    pub fn kernel_makespan(&self) -> f64 {
+        self.gpus.iter().map(Gpu::kernel_time).fold(0.0, f64::max)
+    }
+
+    /// Aggregate compression throughput for `total_bytes` split across the
+    /// GPUs (bytes/second): limited by the slowest GPU.
+    pub fn aggregate_throughput(&self, total_bytes: usize) -> f64 {
+        total_bytes as f64 / self.kernel_makespan()
+    }
+
+    /// Time to ship `per_gpu_bytes` from every GPU to the host
+    /// concurrently, at the contended per-GPU bandwidth.
+    pub fn concurrent_transfer_time(&self, per_gpu_bytes: usize) -> f64 {
+        per_gpu_bytes as f64 / self.transfer_bandwidth(self.gpus.len())
+    }
+
+    /// Reset all timelines.
+    pub fn reset(&mut self) {
+        for g in &mut self.gpus {
+            g.reset_timeline();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+    use crate::memory::GpuBuffer;
+
+    #[test]
+    fn contention_matches_paper_measurements() {
+        let c = Cluster::new(A100, 4);
+        assert_eq!(c.transfer_bandwidth(1), 32.0e9); // full 16-lane share
+        assert!((c.transfer_bandwidth(4) - 11.4e9).abs() < 1e6); // measured
+        assert!(c.transfer_bandwidth(2) < c.transfer_bandwidth(1));
+    }
+
+    #[test]
+    fn makespan_is_slowest_gpu() {
+        let mut c = Cluster::new(A100, 2);
+        let small = GpuBuffer::from_host(&vec![1u32; 1024]);
+        let big = GpuBuffer::from_host(&vec![1u32; 1 << 20]);
+        let run = |gpu: &mut Gpu, buf: &GpuBuffer<u32>, n: usize| {
+            let out: GpuBuffer<u32> = gpu.alloc(n);
+            gpu.launch("copy", (n as u32 / 256).max(1), 256u32, |blk| {
+                let base = blk.block_linear() * 256;
+                blk.warps(|w| {
+                    let v = w.load(buf, |l| (base + l.ltid < n).then_some(base + l.ltid));
+                    w.store(&out, |l| (base + l.ltid < n).then(|| (base + l.ltid, v[l.id])));
+                });
+            });
+        };
+        run(c.gpu(0), &small, 1024);
+        run(c.gpu(1), &big, 1 << 20);
+        let slow = c.gpu(1).kernel_time();
+        assert_eq!(c.kernel_makespan(), slow);
+        assert!(c.aggregate_throughput(4 * ((1 << 20) + 1024)) > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut c = Cluster::new(A100, 3);
+        c.gpu(2).launch("noop", 1u32, 32u32, |_| {});
+        assert!(c.kernel_makespan() > 0.0);
+        c.reset();
+        assert_eq!(c.kernel_makespan(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn transfer_bandwidth_bounds_checked() {
+        let c = Cluster::new(A100, 2);
+        let _ = c.transfer_bandwidth(3);
+    }
+}

@@ -1,0 +1,450 @@
+//! Kernel launch, grid scheduling, and the device timeline.
+//!
+//! [`Gpu`] owns a device spec and a timeline of events (kernel launches and
+//! PCIe transfers). [`Gpu::launch`] executes the kernel closure once per
+//! block — blocks run in parallel on the host via rayon, mirroring their
+//! independence on the device — merges per-block counters, and appends a
+//! timed [`KernelRecord`] computed by the roofline model.
+
+use rayon::prelude::*;
+
+use crate::block::{BlockCtx, Dim3};
+use crate::device::DeviceSpec;
+use crate::memory::GpuBuffer;
+use crate::perf::{estimate_time, KernelRecord, KernelStats, TransferRecord};
+use crate::pod::Pod;
+
+/// An entry on the device timeline.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A kernel launch.
+    Kernel(KernelRecord),
+    /// A host<->device copy.
+    Transfer(TransferRecord),
+}
+
+impl Event {
+    /// Modeled duration of the event in seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::Kernel(k) => k.time,
+            Event::Transfer(t) => t.time,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Kernel(k) => &k.name,
+            Event::Transfer(t) => t.direction,
+        }
+    }
+}
+
+/// A cross-block write collision found by the race detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRace {
+    /// Kernel in which the collision occurred.
+    pub kernel: String,
+    /// Colliding buffer's allocation id.
+    pub buffer_id: u64,
+    /// Element index written by more than one block.
+    pub index: usize,
+}
+
+/// A simulated GPU: device spec + event timeline.
+pub struct Gpu {
+    spec: DeviceSpec,
+    timeline: Vec<Event>,
+    detect_races: bool,
+    races: Vec<WriteRace>,
+}
+
+impl Gpu {
+    /// Create a device from a spec (see [`crate::device::A100`] /
+    /// [`crate::device::A4000`]).
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec, timeline: Vec::new(), detect_races: false, races: Vec::new() }
+    }
+
+    /// Enable the cross-block write-race detector: every subsequent launch
+    /// logs each block's global stores and flags elements written by more
+    /// than one block — the defined-behaviour boundary of the CUDA memory
+    /// contract this simulator adopts (see [`crate::memory`]). Slows
+    /// launches down; intended for kernel development and tests.
+    pub fn enable_race_detection(&mut self) {
+        self.detect_races = true;
+    }
+
+    /// Races found since construction (empty when detection is off or the
+    /// kernels are clean).
+    pub fn races(&self) -> &[WriteRace] {
+        &self.races
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Allocate a zeroed device buffer (`cudaMalloc` + `cudaMemset`).
+    pub fn alloc<T: Pod>(&self, len: usize) -> GpuBuffer<T> {
+        GpuBuffer::zeroed(len)
+    }
+
+    /// Copy host data to a fresh device buffer, charging H2D transfer time
+    /// at peak PCIe bandwidth.
+    pub fn upload<T: Pod>(&mut self, data: &[T]) -> GpuBuffer<T> {
+        let bytes = (data.len() * T::BYTES) as u64;
+        self.timeline.push(Event::Transfer(TransferRecord {
+            direction: "H2D",
+            bytes,
+            time: bytes as f64 / self.spec.pcie_peak,
+        }));
+        GpuBuffer::from_host(data)
+    }
+
+    /// Copy a device buffer back to the host, charging D2H transfer time.
+    pub fn download<T: Pod>(&mut self, buf: &GpuBuffer<T>) -> Vec<T> {
+        let bytes = buf.size_bytes() as u64;
+        self.timeline.push(Event::Transfer(TransferRecord {
+            direction: "D2H",
+            bytes,
+            time: bytes as f64 / self.spec.pcie_peak,
+        }));
+        buf.to_vec()
+    }
+
+    /// Launch a kernel over `grid_dim` blocks of `block_dim` threads.
+    ///
+    /// The closure runs once per block with a fresh [`BlockCtx`]; blocks
+    /// execute in parallel on the host. Per-block counters are merged and
+    /// the launch is appended to the timeline with its modeled time.
+    ///
+    /// # Panics
+    /// Panics when `block_dim` exceeds the device's thread-per-block limit.
+    pub fn launch<F>(&mut self, name: &str, grid_dim: impl Into<Dim3>, block_dim: impl Into<Dim3>, f: F)
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        let grid_dim = grid_dim.into();
+        let block_dim = block_dim.into();
+        assert!(
+            block_dim.count() <= self.spec.max_threads_per_block as usize,
+            "block of {} threads exceeds {} limit on {}",
+            block_dim.count(),
+            self.spec.max_threads_per_block,
+            self.spec.name
+        );
+        let spec = self.spec;
+        let nblocks = grid_dim.count();
+        let detect = self.detect_races;
+        let results: Vec<(KernelStats, Option<Vec<(u64, usize)>>)> = (0..nblocks)
+            .into_par_iter()
+            .map(|linear| {
+                let (x, y, z) = grid_dim.delinearize(linear);
+                let mut ctx = BlockCtx {
+                    block_idx: Dim3 { x, y, z },
+                    grid_dim,
+                    block_dim,
+                    spec: &spec,
+                    stats: KernelStats::default(),
+                    shared_bytes: 0,
+                    writes: detect.then(Vec::new),
+                };
+                f(&mut ctx);
+                (ctx.stats, ctx.writes)
+            })
+            .collect();
+        let mut stats = KernelStats::default();
+        for (s, _) in &results {
+            stats.merge(s);
+        }
+        if detect {
+            // An element is racy when written by two *different* blocks
+            // within one launch (intra-block rewrites are ordered by the
+            // sequential warp execution and are fine).
+            let mut seen: std::collections::HashMap<(u64, usize), usize> =
+                std::collections::HashMap::new();
+            for (block, (_, writes)) in results.iter().enumerate() {
+                for &key in writes.iter().flatten() {
+                    match seen.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(e) if *e.get() != block => {
+                            self.races.push(WriteRace {
+                                kernel: name.to_string(),
+                                buffer_id: key.0,
+                                index: key.1,
+                            });
+                        }
+                        std::collections::hash_map::Entry::Occupied(_) => {}
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(block);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Occupancy: a grid too small to fill the device cannot reach peak
+        // throughput. Empirically ~16 resident warps per SM saturate a
+        // streaming kernel; below that, scale the roofline term down.
+        let total_warps = nblocks as f64 * block_dim.count().div_ceil(32) as f64;
+        let saturating_warps = self.spec.sm_count as f64 * 16.0;
+        let occupancy = (total_warps / saturating_warps).min(1.0).max(1.0 / saturating_warps);
+        let full = estimate_time(&self.spec, &stats);
+        let time = self.spec.launch_overhead + (full - self.spec.launch_overhead) / occupancy;
+
+        self.timeline.push(Event::Kernel(KernelRecord { name: name.to_string(), time, stats }));
+    }
+
+    /// Record a pre-timed kernel on the timeline. Escape hatch for pipeline
+    /// stages whose cost is modeled analytically rather than executed
+    /// through the simulator (e.g. cuSZ's serial Huffman-codebook build,
+    /// MGARD's CPU-side DEFLATE). Callers must document the model used.
+    pub fn record_kernel(&mut self, name: &str, time: f64, stats: KernelStats) {
+        self.timeline.push(Event::Kernel(KernelRecord { name: name.to_string(), time, stats }));
+    }
+
+    /// Single-thread scalar instruction rate (one scheduler's issue rate) —
+    /// the speed at which a serial, unparallelizable stage runs on device.
+    pub fn scalar_rate(&self) -> f64 {
+        self.spec.warp_instr_rate / (self.spec.sm_count as f64 * 4.0)
+    }
+
+    /// The event timeline since construction or the last reset.
+    pub fn timeline(&self) -> &[Event] {
+        &self.timeline
+    }
+
+    /// Clear the timeline (e.g. between measured pipelines).
+    pub fn reset_timeline(&mut self) {
+        self.timeline.clear();
+    }
+
+    /// Total modeled kernel time (excludes transfers).
+    pub fn kernel_time(&self) -> f64 {
+        self.timeline
+            .iter()
+            .filter_map(|e| match e {
+                Event::Kernel(k) => Some(k.time),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total modeled time including transfers.
+    pub fn total_time(&self) -> f64 {
+        self.timeline.iter().map(Event::time).sum()
+    }
+
+    /// Render the timeline as an aligned profiling table: per-kernel time,
+    /// effective bandwidth, coalescing efficiency, bank-conflict overhead,
+    /// and lane utilization — an `nvprof`-style summary for examples and
+    /// debugging.
+    pub fn report(&self) -> String {
+        let mut out = String::from(
+            "kernel                          time us   GB/s  coalesce  conflicts  lanes
+",
+        );
+        out.push_str(&"-".repeat(78));
+        out.push('\n');
+        for e in &self.timeline {
+            match e {
+                Event::Kernel(k) => {
+                    let gbps = if k.time > 0.0 {
+                        k.stats.global_bytes_moved() as f64 / k.time / 1e9
+                    } else {
+                        0.0
+                    };
+                    out.push_str(&format!(
+                        "{:<30} {:>8.2} {:>6.1} {:>8.0}% {:>10} {:>5.0}%
+",
+                        k.name,
+                        k.time * 1e6,
+                        gbps,
+                        k.stats.coalescing_efficiency() * 100.0,
+                        k.stats.smem_conflict_cycles,
+                        k.stats.lane_utilization() * 100.0,
+                    ));
+                }
+                Event::Transfer(t) => {
+                    out.push_str(&format!(
+                        "{:<30} {:>8.2} {:>6.1}
+",
+                        t.direction,
+                        t.time * 1e6,
+                        t.bytes as f64 / t.time / 1e9,
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "TOTAL kernels: {:.2} us, with transfers: {:.2} us
+",
+            self.kernel_time() * 1e6,
+            self.total_time() * 1e6
+        ));
+        out
+    }
+
+    /// The most recent kernel record.
+    ///
+    /// # Panics
+    /// Panics if no kernel has been launched yet.
+    pub fn last_kernel(&self) -> &KernelRecord {
+        self.timeline
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::Kernel(k) => Some(k),
+                _ => None,
+            })
+            .expect("no kernel launched")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{A100, A4000};
+
+    #[test]
+    fn elementwise_kernel_runs_all_threads() {
+        let mut gpu = Gpu::new(A100);
+        let n = 4096usize;
+        let input = gpu.upload(&(0..n as u32).collect::<Vec<_>>());
+        let output: GpuBuffer<u32> = gpu.alloc(n);
+        gpu.launch("double", (n as u32 / 256, 1, 1), 256u32, |blk| {
+            let base = blk.block_linear() * blk.thread_count();
+            blk.warps(|w| {
+                let vals = w.load(&input, |l| Some(base + l.ltid));
+                w.store(&output, |l| Some((base + l.ltid, vals[l.id] * 2)));
+            });
+        });
+        let out = gpu.download(&output);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
+    }
+
+    #[test]
+    fn timeline_records_kernels_and_transfers() {
+        let mut gpu = Gpu::new(A100);
+        let buf = gpu.upload(&[1u32, 2, 3]);
+        gpu.launch("noop", 1u32, 32u32, |_| {});
+        let _ = gpu.download(&buf);
+        let kinds: Vec<&str> = gpu.timeline().iter().map(|e| e.name()).collect();
+        assert_eq!(kinds, vec!["H2D", "noop", "D2H"]);
+        assert!(gpu.total_time() > gpu.kernel_time());
+    }
+
+    #[test]
+    fn same_kernel_slower_on_a4000() {
+        // A memory-bound kernel must show the bandwidth ratio between GPUs.
+        let n = 1 << 20;
+        let data: Vec<u32> = (0..n as u32).collect();
+        let run = |spec| {
+            let mut gpu = Gpu::new(spec);
+            let input = GpuBuffer::from_host(&data);
+            let output: GpuBuffer<u32> = gpu.alloc(n);
+            gpu.launch("copy", (n as u32 / 256, 1, 1), 256u32, |blk| {
+                let base = blk.block_linear() * blk.thread_count();
+                blk.warps(|w| {
+                    let vals = w.load(&input, |l| Some(base + l.ltid));
+                    w.store(&output, |l| Some((base + l.ltid, vals[l.id])));
+                });
+            });
+            gpu.kernel_time()
+        };
+        let t_a100 = run(A100);
+        let t_a4000 = run(A4000);
+        assert!(t_a4000 > 2.0 * t_a100, "a4000 {t_a4000} vs a100 {t_a100}");
+    }
+
+    #[test]
+    fn tiny_grid_pays_occupancy_penalty() {
+        let mut gpu = Gpu::new(A100);
+        let input = GpuBuffer::from_host(&vec![1u32; 64]);
+        let out: GpuBuffer<u32> = gpu.alloc(64);
+        gpu.launch("tiny", 1u32, 64u32, |blk| {
+            blk.warps(|w| {
+                let v = w.load(&input, |l| Some(l.ltid));
+                w.store(&out, |l| Some((l.ltid, v[l.id])));
+            });
+        });
+        let rec = gpu.last_kernel();
+        // Two warps on a 108-SM device: the roofline term is scaled up by
+        // the occupancy penalty, so time far exceeds raw traffic/bandwidth.
+        let raw = rec.stats.global_bytes_moved() as f64 / A100.effective_bandwidth();
+        assert!(rec.time - A100.launch_overhead > 100.0 * raw);
+    }
+
+    #[test]
+    fn race_detector_flags_cross_block_collision() {
+        let mut gpu = Gpu::new(A100);
+        gpu.enable_race_detection();
+        let out: GpuBuffer<u32> = gpu.alloc(8);
+        // Two blocks both write element 0 — a genuine cross-block race.
+        gpu.launch("racy", 2u32, 32u32, |blk| {
+            let b = blk.block_linear() as u32;
+            blk.warps(|w| {
+                w.store(&out, |l| (l.id == 0).then_some((0, b)));
+            });
+        });
+        assert!(!gpu.races().is_empty());
+        assert_eq!(gpu.races()[0].kernel, "racy");
+        assert_eq!(gpu.races()[0].index, 0);
+    }
+
+    #[test]
+    fn race_detector_passes_disjoint_kernels() {
+        let mut gpu = Gpu::new(A100);
+        gpu.enable_race_detection();
+        let out: GpuBuffer<u32> = gpu.alloc(256);
+        gpu.launch("clean", 8u32, 32u32, |blk| {
+            let base = blk.block_linear() * 32;
+            blk.warps(|w| {
+                w.store(&out, |l| Some((base + l.id, 1)));
+            });
+        });
+        assert!(gpu.races().is_empty());
+    }
+
+    #[test]
+    fn report_renders_timeline() {
+        let mut gpu = Gpu::new(A100);
+        let buf = gpu.upload(&vec![1u32; 1024]);
+        let out: GpuBuffer<u32> = gpu.alloc(1024);
+        gpu.launch("copy1k", 4u32, 256u32, |blk| {
+            let base = blk.block_linear() * 256;
+            blk.warps(|w| {
+                let v = w.load(&buf, |l| Some(base + l.ltid));
+                w.store(&out, |l| Some((base + l.ltid, v[l.id])));
+            });
+        });
+        let rep = gpu.report();
+        assert!(rep.contains("copy1k"));
+        assert!(rep.contains("H2D"));
+        assert!(rep.contains("TOTAL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_block_rejected() {
+        let mut gpu = Gpu::new(A100);
+        gpu.launch("bad", 1u32, 2048u32, |_| {});
+    }
+
+    #[test]
+    fn multiblock_grid_covers_2d_indices() {
+        let mut gpu = Gpu::new(A100);
+        let out: GpuBuffer<u32> = gpu.alloc(6);
+        gpu.launch("mark", (3u32, 2u32), 32u32, |blk| {
+            let id = blk.block_linear();
+            blk.warps(|w| {
+                if w.warp_id == 0 {
+                    w.store(&out, |l| if l.id == 0 { Some((id, id as u32 + 1)) } else { None });
+                }
+            });
+        });
+        assert_eq!(gpu.download(&out), vec![1, 2, 3, 4, 5, 6]);
+    }
+}

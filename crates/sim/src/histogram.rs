@@ -1,0 +1,169 @@
+//! Device-wide histogram (the substrate for cuSZ's Huffman codebook
+//! construction).
+//!
+//! Per-block privatized shared-memory histograms are merged by a second
+//! kernel — the standard GPU histogram shape. The shared-memory
+//! increments go through the bank-conflict accounting, so skewed symbol
+//! distributions (everyone hitting the same bin) cost more, as on hardware.
+
+use crate::grid::Gpu;
+use crate::memory::GpuBuffer;
+
+const BLOCK_THREADS: usize = 256;
+const ITEMS_PER_THREAD: usize = 16;
+const TILE: usize = BLOCK_THREADS * ITEMS_PER_THREAD;
+
+/// Histogram of `input[..n]` clamped into `bins` buckets.
+///
+/// Values `>= bins` are clamped into the last bucket (compressors bound the
+/// symbol range before histogramming). Returns a device buffer of counts.
+pub fn histogram_u16(gpu: &mut Gpu, input: &GpuBuffer<u16>, n: usize, bins: usize) -> GpuBuffer<u32> {
+    assert!(bins > 0 && bins <= 65536, "bins must be in 1..=65536");
+    let ntiles = n.div_ceil(TILE).max(1);
+    let partials: GpuBuffer<u32> = gpu.alloc(ntiles * bins);
+
+    gpu.launch("hist.partials", ntiles as u32, BLOCK_THREADS as u32, |blk| {
+        let tile_base = blk.block_linear() * TILE;
+        let block_id = blk.block_linear();
+        let sh = blk.shared_array::<u32>(bins);
+        blk.warps(|w| {
+            for k in 0..ITEMS_PER_THREAD {
+                let g0 = tile_base + k * BLOCK_THREADS;
+                let v = w.load(input, |l| (g0 + l.ltid < n).then_some(g0 + l.ltid));
+                // Shared-memory atomic add per lane = one read + one write
+                // at the lane's bin. Lanes of a warp hitting the same bank
+                // serialize (the bank-conflict accounting covers the
+                // skewed-distribution penalty). Duplicate bins within the
+                // warp are folded before the write so the stored counts
+                // stay exact, matching what hardware atomics produce.
+                let old = w.sh_load(&sh, |l| {
+                    (g0 + l.ltid < n).then(|| (v[l.id] as usize).min(bins - 1))
+                });
+                let mut folded: Vec<(usize, u32)> = Vec::with_capacity(32);
+                for i in 0..w.active_lanes {
+                    if g0 + w.base_ltid + i < n {
+                        let bin = (v[i] as usize).min(bins - 1);
+                        match folded.iter_mut().find(|(b, _)| *b == bin) {
+                            Some((_, c)) => *c += 1,
+                            None => folded.push((bin, old[i] + 1)),
+                        }
+                    }
+                }
+                // `folded` now holds absolute new counts per distinct bin
+                // (old value + increments); `old` reads of duplicate lanes
+                // saw the same pre-update value, so add extra duplicates.
+                let mut it = folded.into_iter();
+                w.sh_store(&sh, |l| {
+                    let _ = l;
+                    it.next()
+                });
+            }
+        });
+        blk.sync();
+        // Write the tile-private histogram out, coalesced, chunks of 32
+        // bins round-robined over the block's warps.
+        let nwarps = blk.warp_count();
+        blk.warps(|w| {
+            let nchunks = bins.div_ceil(32);
+            for chunk in (w.warp_id..nchunks).step_by(nwarps) {
+                let chunk_base = chunk * 32;
+                let counts =
+                    w.sh_load(&sh, |l| (chunk_base + l.id < bins).then_some(chunk_base + l.id));
+                w.store(&partials, |l| {
+                    let b = chunk_base + l.id;
+                    (b < bins).then(|| (block_id * bins + b, counts[l.id]))
+                });
+            }
+        });
+    });
+
+    // Merge partials: one thread per bin sums over tiles.
+    let out: GpuBuffer<u32> = gpu.alloc(bins);
+    let blocks = bins.div_ceil(BLOCK_THREADS) as u32;
+    gpu.launch("hist.merge", blocks, BLOCK_THREADS as u32, |blk| {
+        let base = blk.block_linear() * blk.thread_count();
+        blk.warps(|w| {
+            let mut acc = [0u32; 32];
+            for t in 0..ntiles {
+                let v = w.load(&partials, |l| {
+                    let b = base + l.ltid;
+                    (b < bins).then_some(t * bins + b)
+                });
+                for i in 0..32 {
+                    acc[i] = acc[i].wrapping_add(v[i]);
+                }
+            }
+            w.store(&out, |l| {
+                let b = base + l.ltid;
+                (b < bins).then(|| (b, acc[l.id]))
+            });
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+
+    fn reference(data: &[u16], bins: usize) -> Vec<u32> {
+        let mut h = vec![0u32; bins];
+        for &v in data {
+            h[(v as usize).min(bins - 1)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn small_histogram_matches_reference() {
+        let mut gpu = Gpu::new(A100);
+        let data: Vec<u16> = vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3];
+        let buf = GpuBuffer::from_host(&data);
+        let hist = histogram_u16(&mut gpu, &buf, data.len(), 8);
+        assert_eq!(hist.to_vec(), reference(&data, 8));
+    }
+
+    #[test]
+    fn multi_tile_histogram() {
+        let mut gpu = Gpu::new(A100);
+        let n = TILE * 2 + 500;
+        let data: Vec<u16> = (0..n).map(|i| ((i * 31) % 100) as u16).collect();
+        let buf = GpuBuffer::from_host(&data);
+        let hist = histogram_u16(&mut gpu, &buf, n, 128);
+        assert_eq!(hist.to_vec(), reference(&data, 128));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut gpu = Gpu::new(A100);
+        let data: Vec<u16> = vec![1000, 2000, 3];
+        let buf = GpuBuffer::from_host(&data);
+        let hist = histogram_u16(&mut gpu, &buf, 3, 16);
+        let h = hist.to_vec();
+        assert_eq!(h[15], 2);
+        assert_eq!(h[3], 1);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_histogram_matches_reference(
+            data in proptest::collection::vec(0u16..300, 0..9000),
+            bins in 1usize..512,
+        ) {
+            let mut gpu = Gpu::new(A100);
+            let buf = GpuBuffer::from_host(&data);
+            let hist = histogram_u16(&mut gpu, &buf, data.len(), bins);
+            proptest::prop_assert_eq!(hist.to_vec(), reference(&data, bins));
+        }
+    }
+
+    #[test]
+    fn empty_input_all_zero() {
+        let mut gpu = Gpu::new(A100);
+        let buf: GpuBuffer<u16> = gpu.alloc(0);
+        let hist = histogram_u16(&mut gpu, &buf, 0, 4);
+        assert_eq!(hist.to_vec(), vec![0; 4]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Kernel statistics and the roofline timing model.
+//!
+//! Every warp-level operation executed through the simulator records into
+//! [`KernelStats`]. After a launch completes, [`estimate_time`] converts the
+//! aggregate counters into a kernel time on a given [`DeviceSpec`] using a
+//! first-order roofline: the kernel is as slow as its slowest resource
+//! (global-memory pipe, shared-memory pipe, or instruction issue), plus a
+//! fixed launch overhead.
+//!
+//! The data transforms themselves are executed bit-exactly; only *time* is
+//! modeled. This is the substitution documented in DESIGN.md §1: it keeps
+//! relative throughput shapes (memory-bound kernels scale with bandwidth,
+//! divergent/serialized kernels are penalized) without NVIDIA hardware.
+
+use crate::device::{DeviceSpec, SECTOR_BYTES};
+
+/// Aggregate hardware-event counters for one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// 32-byte global-memory sectors actually moved (after coalescing).
+    pub global_sectors: u64,
+    /// Bytes the lanes asked for (lower bound on traffic).
+    pub global_bytes_requested: u64,
+    /// Warp-level shared-memory access instructions.
+    pub smem_accesses: u64,
+    /// Extra serialized shared-memory cycles caused by bank conflicts
+    /// (0 for a conflict-free kernel).
+    pub smem_conflict_cycles: u64,
+    /// Warp instructions issued (each warp-wide op = 1).
+    pub warp_instructions: u64,
+    /// Lane-slots wasted to divergence (inactive lanes during an op).
+    pub inactive_lane_slots: u64,
+    /// `__syncthreads()` barriers executed (per block, summed).
+    pub barriers: u64,
+}
+
+impl KernelStats {
+    /// Merge another block's counters into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.global_sectors += other.global_sectors;
+        self.global_bytes_requested += other.global_bytes_requested;
+        self.smem_accesses += other.smem_accesses;
+        self.smem_conflict_cycles += other.smem_conflict_cycles;
+        self.warp_instructions += other.warp_instructions;
+        self.inactive_lane_slots += other.inactive_lane_slots;
+        self.barriers += other.barriers;
+    }
+
+    /// Bytes moved over the global-memory pipe (sector-granular).
+    #[inline]
+    pub fn global_bytes_moved(&self) -> u64 {
+        self.global_sectors * SECTOR_BYTES as u64
+    }
+
+    /// Coalescing efficiency in (0, 1]: requested bytes over moved bytes.
+    /// 1.0 means perfectly coalesced; 1/8 is the worst case for 4-byte
+    /// elements scattered one per sector.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.global_sectors == 0 {
+            return 1.0;
+        }
+        self.global_bytes_requested as f64 / self.global_bytes_moved() as f64
+    }
+
+    /// Fraction of lane-slots that did useful work.
+    pub fn lane_utilization(&self) -> f64 {
+        let total = self.warp_instructions * 32;
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.inactive_lane_slots as f64 / total as f64
+    }
+}
+
+/// Estimate the execution time in seconds of a kernel with the given
+/// counters on the given device.
+pub fn estimate_time(spec: &DeviceSpec, stats: &KernelStats) -> f64 {
+    // Global memory: sectors * 32B over effective bandwidth.
+    let mem_time = stats.global_bytes_moved() as f64 / spec.effective_bandwidth();
+    // Shared memory: each conflict-free warp access moves up to 128B in one
+    // cycle; conflicts serialize extra cycles. Convert to time via the
+    // aggregate shared-memory bandwidth.
+    let smem_cycles = stats.smem_accesses + stats.smem_conflict_cycles;
+    let smem_time = (smem_cycles * 128) as f64 / spec.smem_bandwidth;
+    // Instruction issue.
+    let issue_time = stats.warp_instructions as f64 / spec.warp_instr_rate;
+    spec.launch_overhead + mem_time.max(smem_time).max(issue_time)
+}
+
+/// Record of a finished kernel launch, kept on the [`crate::grid::Gpu`] timeline.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel name given at launch.
+    pub name: String,
+    /// Modeled execution time in seconds.
+    pub time: f64,
+    /// The merged counters.
+    pub stats: KernelStats,
+}
+
+/// Record of a host<->device transfer on the timeline.
+#[derive(Debug, Clone)]
+pub struct TransferRecord {
+    /// "H2D" or "D2H".
+    pub direction: &'static str,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Modeled time in seconds at peak PCIe bandwidth.
+    pub time: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = KernelStats { global_sectors: 10, warp_instructions: 5, ..Default::default() };
+        let b = KernelStats { global_sectors: 3, warp_instructions: 2, barriers: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.global_sectors, 13);
+        assert_eq!(a.warp_instructions, 7);
+        assert_eq!(a.barriers, 1);
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_traffic() {
+        let small = KernelStats { global_sectors: 1 << 20, ..Default::default() };
+        let big = KernelStats { global_sectors: 1 << 24, ..Default::default() };
+        let ts = estimate_time(&A100, &small);
+        let tb = estimate_time(&A100, &big);
+        assert!(tb > ts);
+        // Asymptotically 16x more traffic ~ 16x more time (launch overhead
+        // shrinks relatively).
+        let ratio = (tb - A100.launch_overhead) / (ts - A100.launch_overhead);
+        assert!((ratio - 16.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn launch_overhead_is_floor() {
+        let empty = KernelStats::default();
+        assert_eq!(estimate_time(&A100, &empty), A100.launch_overhead);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_smem_bound_kernels() {
+        let clean = KernelStats { smem_accesses: 1 << 24, ..Default::default() };
+        let conflicted = KernelStats {
+            smem_accesses: 1 << 24,
+            smem_conflict_cycles: 31 << 24, // 32-way conflicts
+            ..Default::default()
+        };
+        assert!(estimate_time(&A100, &conflicted) > 10.0 * estimate_time(&A100, &clean));
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let perfect = KernelStats {
+            global_sectors: 4,
+            global_bytes_requested: 128,
+            ..Default::default()
+        };
+        assert!((perfect.coalescing_efficiency() - 1.0).abs() < 1e-12);
+        let scattered = KernelStats {
+            global_sectors: 32,
+            global_bytes_requested: 128,
+            ..Default::default()
+        };
+        assert!(scattered.coalescing_efficiency() < 0.2);
+    }
+
+    #[test]
+    fn lane_utilization_full_when_no_divergence() {
+        let s = KernelStats { warp_instructions: 100, ..Default::default() };
+        assert_eq!(s.lane_utilization(), 1.0);
+        let d = KernelStats { warp_instructions: 100, inactive_lane_slots: 1600, ..Default::default() };
+        assert!((d.lane_utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Plain-old-data marker trait for element types that may live in simulated
+//! device memory.
+//!
+//! Device buffers are untyped byte ranges on real GPUs; we keep them typed
+//! for safety but restrict the element types to fixed-size scalars whose
+//! byte width drives the memory-traffic accounting.
+
+/// Marker for scalar types storable in [`crate::memory::GpuBuffer`].
+///
+/// # Safety contract (informal)
+/// Implementors must be `Copy` with no padding and no drop glue, so that the
+/// simulator may duplicate and reinterpret values freely. All implementations
+/// live in this module; the trait is sealed by convention (not exported for
+/// downstream impls).
+pub trait Pod: Copy + Default + Send + Sync + 'static {
+    /// Element width in bytes, used for transaction/sector accounting.
+    const BYTES: usize;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(impl Pod for $t {
+            const BYTES: usize = core::mem::size_of::<$t>();
+        })*
+    };
+}
+
+impl_pod!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_size_of() {
+        assert_eq!(<u8 as Pod>::BYTES, 1);
+        assert_eq!(<u16 as Pod>::BYTES, 2);
+        assert_eq!(<u32 as Pod>::BYTES, 4);
+        assert_eq!(<f32 as Pod>::BYTES, 4);
+        assert_eq!(<u64 as Pod>::BYTES, 8);
+        assert_eq!(<f64 as Pod>::BYTES, 8);
+    }
+}

@@ -1,0 +1,192 @@
+//! Device-wide reductions (CUB `DeviceReduce` substitutes).
+
+use crate::grid::Gpu;
+use crate::memory::GpuBuffer;
+
+const BLOCK_THREADS: usize = 256;
+const ITEMS_PER_THREAD: usize = 4;
+const TILE: usize = BLOCK_THREADS * ITEMS_PER_THREAD;
+
+/// Sum of `input[..n]` as u64 (per-tile partial sums reduced recursively on
+/// the device; the final scalar is read back host-side).
+pub fn reduce_sum_u32(gpu: &mut Gpu, input: &GpuBuffer<u32>, n: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    // Partial sums per tile; recurse until one value. u32 partials suffice
+    // for this repository's workloads (block counts), checked in debug.
+    let mut current: Option<GpuBuffer<u32>> = None;
+    let mut len = n;
+    while len > 1 {
+        let ntiles = len.div_ceil(TILE);
+        let partials: GpuBuffer<u32> = gpu.alloc(ntiles);
+        {
+            let src: &GpuBuffer<u32> = current.as_ref().unwrap_or(input);
+            launch_sum_tiles(gpu, src, &partials, len);
+        }
+        current = Some(partials);
+        len = ntiles;
+    }
+    match current {
+        Some(buf) => buf.host_read(0) as u64,
+        None => input.host_read(0) as u64,
+    }
+}
+
+fn launch_sum_tiles(gpu: &mut Gpu, input: &GpuBuffer<u32>, partials: &GpuBuffer<u32>, n: usize) {
+    let ntiles = n.div_ceil(TILE) as u32;
+    gpu.launch("reduce.sum_tiles", ntiles, BLOCK_THREADS as u32, |blk| {
+        let tile_base = blk.block_linear() * TILE;
+        let block_id = blk.block_linear();
+        let nwarps = blk.warp_count();
+        let sh_warp = blk.shared_array::<u32>(nwarps);
+        blk.warps(|w| {
+            let mut tot = [0u32; 32];
+            for k in 0..ITEMS_PER_THREAD {
+                let v = w.load(input, |l| {
+                    let g = tile_base + k * BLOCK_THREADS + l.ltid;
+                    (g < n).then_some(g)
+                });
+                for i in 0..32 {
+                    tot[i] = tot[i].wrapping_add(v[i]);
+                }
+            }
+            let warp_sum = w.reduce_add(&tot);
+            let wid = w.warp_id;
+            w.sh_store(&sh_warp, |l| (l.id == 0).then_some((wid, warp_sum)));
+        });
+        blk.sync();
+        blk.warps(|w| {
+            if w.warp_id != 0 {
+                return;
+            }
+            let wt = w.sh_load(&sh_warp, |l| (l.id < nwarps).then_some(l.id));
+            let block_sum = w.reduce_add(&wt);
+            w.store(partials, |l| (l.id == 0).then_some((block_id, block_sum)));
+        });
+    });
+}
+
+/// Device-wide (min, max) of an f32 buffer — needed by compressors that use
+/// range-relative error bounds and by cuSZx's block statistics.
+pub fn minmax_f32(gpu: &mut Gpu, input: &GpuBuffer<f32>, n: usize) -> (f32, f32) {
+    assert!(n > 0, "minmax of empty buffer");
+    let ntiles = n.div_ceil(TILE);
+    let mins: GpuBuffer<f32> = gpu.alloc(ntiles);
+    let maxs: GpuBuffer<f32> = gpu.alloc(ntiles);
+    gpu.launch("reduce.minmax_tiles", ntiles as u32, BLOCK_THREADS as u32, |blk| {
+        let tile_base = blk.block_linear() * TILE;
+        let block_id = blk.block_linear();
+        let nwarps = blk.warp_count();
+        let sh_min = blk.shared_array::<f32>(nwarps);
+        let sh_max = blk.shared_array::<f32>(nwarps);
+        blk.warps(|w| {
+            let mut lo = [f32::INFINITY; 32];
+            let mut hi = [f32::NEG_INFINITY; 32];
+            for k in 0..ITEMS_PER_THREAD {
+                let g0 = tile_base + k * BLOCK_THREADS;
+                // Track validity: out-of-range lanes must not pollute with 0.0.
+                let valid: Vec<bool> = (0..32).map(|i| g0 + w.base_ltid + i < n).collect();
+                let v = w.load(input, |l| (g0 + l.ltid < n).then_some(g0 + l.ltid));
+                for i in 0..32 {
+                    if valid[i] {
+                        lo[i] = lo[i].min(v[i]);
+                        hi[i] = hi[i].max(v[i]);
+                    }
+                }
+            }
+            // Lane-serial warp reduce (charged as 5 shuffle rounds).
+            let mut wlo = f32::INFINITY;
+            let mut whi = f32::NEG_INFINITY;
+            for i in 0..32 {
+                wlo = wlo.min(lo[i]);
+                whi = whi.max(hi[i]);
+            }
+            let _ = w.lanes(|_| 0u32); // charge the reduce round cost
+            let wid = w.warp_id;
+            w.sh_store(&sh_min, |l| (l.id == 0).then_some((wid, wlo)));
+            w.sh_store(&sh_max, |l| (l.id == 0).then_some((wid, whi)));
+        });
+        blk.sync();
+        blk.warps(|w| {
+            if w.warp_id != 0 {
+                return;
+            }
+            let ls = w.sh_load(&sh_min, |l| (l.id < nwarps).then_some(l.id));
+            let hs = w.sh_load(&sh_max, |l| (l.id < nwarps).then_some(l.id));
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for i in 0..nwarps {
+                lo = lo.min(ls[i]);
+                hi = hi.max(hs[i]);
+            }
+            w.store(&mins, |l| (l.id == 0).then_some((block_id, lo)));
+            w.store(&maxs, |l| (l.id == 0).then_some((block_id, hi)));
+        });
+    });
+    // Final (small) reduction host-side, as real pipelines do for a handful
+    // of partials.
+    let lo = mins.to_vec().into_iter().fold(f32::INFINITY, f32::min);
+    let hi = maxs.to_vec().into_iter().fold(f32::NEG_INFINITY, f32::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+
+    #[test]
+    fn sum_small() {
+        let mut gpu = Gpu::new(A100);
+        let data: Vec<u32> = (1..=100).collect();
+        let buf = GpuBuffer::from_host(&data);
+        assert_eq!(reduce_sum_u32(&mut gpu, &buf, 100), 5050);
+    }
+
+    #[test]
+    fn sum_multi_tile() {
+        let mut gpu = Gpu::new(A100);
+        let n = TILE * 5 + 17;
+        let data = vec![3u32; n];
+        let buf = GpuBuffer::from_host(&data);
+        assert_eq!(reduce_sum_u32(&mut gpu, &buf, n), 3 * n as u64);
+    }
+
+    #[test]
+    fn sum_single() {
+        let mut gpu = Gpu::new(A100);
+        let buf = GpuBuffer::from_host(&[7u32]);
+        assert_eq!(reduce_sum_u32(&mut gpu, &buf, 1), 7);
+    }
+
+    #[test]
+    fn sum_empty() {
+        let mut gpu = Gpu::new(A100);
+        let buf: GpuBuffer<u32> = gpu.alloc(0);
+        assert_eq!(reduce_sum_u32(&mut gpu, &buf, 0), 0);
+    }
+
+    #[test]
+    fn minmax_finds_extremes() {
+        let mut gpu = Gpu::new(A100);
+        let n = TILE + 99;
+        let mut data: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        data[500] = -42.5;
+        data[n - 1] = 17.25;
+        let buf = GpuBuffer::from_host(&data);
+        let (lo, hi) = minmax_f32(&mut gpu, &buf, n);
+        assert_eq!(lo, -42.5);
+        assert_eq!(hi, 17.25);
+    }
+
+    #[test]
+    fn minmax_negative_only() {
+        // Guards against 0.0 pollution from inactive lanes.
+        let mut gpu = Gpu::new(A100);
+        let data = vec![-5.0f32; 37];
+        let buf = GpuBuffer::from_host(&data);
+        let (lo, hi) = minmax_f32(&mut gpu, &buf, 37);
+        assert_eq!((lo, hi), (-5.0, -5.0));
+    }
+}

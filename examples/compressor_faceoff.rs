@@ -1,0 +1,73 @@
+//! Head-to-head: run every compressor in the repository on one RTM-like
+//! wavefield snapshot and print the trade-off table the paper's evaluation
+//! is built around (ratio vs throughput vs quality).
+//!
+//! ```sh
+//! cargo run --release --example compressor_faceoff
+//! ```
+
+use fz_gpu::baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
+use fz_gpu::core::quant::ErrorBound;
+use fz_gpu::core::FzOmp;
+use fz_gpu::data::{dataset, Scale};
+use fz_gpu::metrics::psnr;
+use fz_gpu::sim::device::A100;
+
+fn main() {
+    let field = dataset("RTM").unwrap().generate(Scale::Reduced);
+    let shape = field.dims.as_3d();
+    let n = field.data.len();
+    let rel_eb = 1e-3;
+    let setting = Setting::Eb(ErrorBound::RelToRange(rel_eb));
+    println!(
+        "RTM {} snapshot, rel eb {rel_eb:.0e}, simulated A100\n",
+        field.dims.to_string_paper()
+    );
+    println!("{:<12} {:>8} {:>10} {:>10} {:>12}", "compressor", "ratio", "PSNR dB", "GB/s", "mode");
+
+    // FZ-GPU via its own API (not the Baseline adapter) to show it too.
+    let mut fz = fz_gpu::core::FzGpu::new(A100);
+    let c = fz.compress(&field.data, shape, ErrorBound::RelToRange(rel_eb));
+    let restored = fz.decompress(&c).unwrap();
+    println!(
+        "{:<12} {:>7.1}x {:>10.1} {:>10.1} {:>12}",
+        "FZ-GPU",
+        c.ratio(),
+        psnr(&field.data, &restored),
+        fz.throughput_gbps(n),
+        "error-bound"
+    );
+
+    let report = |name: &str, run: Option<fz_gpu::baselines::Run>, mode: &str| match run {
+        Some(run) => println!(
+            "{:<12} {:>7.1}x {:>10.1} {:>10.1} {:>12}",
+            name,
+            run.ratio(n),
+            psnr(&field.data, &run.reconstructed),
+            run.throughput_gbps(n),
+            mode
+        ),
+        None => println!("{:<12} {:>8} {:>10} {:>10} {:>12}", name, "-", "-", "-", "unsupported"),
+    };
+
+    report("cuSZ", CuSz::new(A100).run(&field.data, shape, setting), "error-bound");
+    report("cuSZx", CuSzx::new(A100).run(&field.data, shape, setting), "error-bound");
+    report("MGARD-GPU", Mgard::new(A100).run(&field.data, shape, setting), "error-bound");
+    report("cuZFP r=4", CuZfp::new(A100).run(&field.data, shape, Setting::Rate(4.0)), "fixed-rate");
+
+    // And the CPU pipeline, wall-clock measured.
+    let fz_omp = FzOmp;
+    let t0 = std::time::Instant::now();
+    let c = fz_omp.compress(&field.data, shape, ErrorBound::RelToRange(rel_eb));
+    let dt = t0.elapsed().as_secs_f64();
+    let restored = fz_omp.decompress(&c).unwrap();
+    println!(
+        "{:<12} {:>7.1}x {:>10.1} {:>10.1} {:>12}",
+        "FZ-OMP",
+        c.ratio(),
+        psnr(&field.data, &restored),
+        (n * 4) as f64 / dt / 1e9,
+        "error-bound"
+    );
+    println!("\n(cuZFP has no error-bounded mode; its row is a fixed 4 bits/value.)");
+}

@@ -1,0 +1,156 @@
+//! `fzgpu` — command-line compressor over raw f32 fields, mirroring the
+//! real FZ-GPU binary's interface (`fz-gpu <file> <dims> <eb>`), extended
+//! with decompress / info / bench subcommands.
+//!
+//! ```text
+//! fzgpu compress   <input.f32> <output.fz> --dims 100x500x500 --eb 1e-3 [--abs] [--device a100]
+//! fzgpu decompress <input.fz>  <output.f32> [--device a100]
+//! fzgpu info       <input.fz>
+//! fzgpu bench      <input.f32> --dims 100x500x500 [--eb 1e-3] [--device a100]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fz_gpu::core::{ErrorBound, FzGpu, Header};
+use fz_gpu::data::io::{parse_dims, read_f32_file, write_f32_file};
+use fz_gpu::metrics::{max_abs_error, psnr};
+use fz_gpu::sim::device;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fzgpu compress   <input.f32> <output.fz>  --dims ZxYxX --eb 1e-3 [--abs] [--device a100|a4000]
+  fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000]
+  fzgpu info       <input.fz>
+  fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn device_of(args: &[String]) -> Result<fz_gpu::sim::DeviceSpec, String> {
+    let name = flag_value(args, "--device").unwrap_or("a100");
+    device::by_name(name).ok_or_else(|| format!("unknown device '{name}'"))
+}
+
+fn eb_of(args: &[String]) -> Result<ErrorBound, String> {
+    let eb: f64 = flag_value(args, "--eb")
+        .unwrap_or("1e-3")
+        .parse()
+        .map_err(|_| "bad --eb value".to_string())?;
+    if !(eb > 0.0) {
+        return Err("--eb must be positive".into());
+    }
+    Ok(if args.iter().any(|a| a == "--abs") {
+        ErrorBound::Abs(eb)
+    } else {
+        ErrorBound::RelToRange(eb)
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).ok_or("missing subcommand")?;
+    match cmd {
+        "compress" => compress(&args[1..]),
+        "decompress" => decompress(&args[1..]),
+        "info" => info(&args[1..]),
+        "bench" => bench(&args[1..]),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_field(args: &[String], path: &str) -> Result<fz_gpu::data::Field, String> {
+    let dims_str = flag_value(args, "--dims").ok_or("missing --dims ZxYxX")?;
+    let dims = parse_dims(dims_str).ok_or_else(|| format!("bad --dims '{dims_str}'"))?;
+    read_f32_file(Path::new(path), dims).map_err(|e| e.to_string())
+}
+
+fn compress(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let output = args.get(1).ok_or("missing output path")?;
+    let field = load_field(args, input)?;
+    let eb = eb_of(args)?;
+    let mut fz = FzGpu::new(device_of(args)?);
+    let c = fz.compress(&field.data, field.dims.as_3d(), eb);
+    std::fs::write(output, &c.bytes).map_err(|e| e.to_string())?;
+    println!(
+        "{} -> {}: {:.2} MB -> {:.2} MB (ratio {:.1}x), eb {:.3e}, {:.2} ms modeled on {}",
+        input,
+        output,
+        field.size_bytes() as f64 / 1e6,
+        c.bytes.len() as f64 / 1e6,
+        c.ratio(),
+        c.header.eb,
+        fz.kernel_time() * 1e3,
+        fz.gpu().spec().name,
+    );
+    Ok(())
+}
+
+fn decompress(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let output = args.get(1).ok_or("missing output path")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let mut fz = FzGpu::new(device_of(args)?);
+    let values = fz.decompress_bytes(&bytes).map_err(|e| e.to_string())?;
+    write_f32_file(Path::new(output), &values).map_err(|e| e.to_string())?;
+    println!(
+        "{} -> {}: {} values, {:.2} ms modeled on {}",
+        input,
+        output,
+        values.len(),
+        fz.kernel_time() * 1e3,
+        fz.gpu().spec().name,
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let header = Header::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let (nz, ny, nx) = header.shape;
+    println!("FZ-GPU stream: {input}");
+    println!("  shape:        {nz} x {ny} x {nx} ({} values)", header.n_values);
+    println!("  error bound:  {:.6e} (absolute)", header.eb);
+    println!("  zero blocks:  {} of {} present", header.payload_words / 4, header.num_blocks);
+    println!("  stream size:  {} bytes", header.stream_bytes());
+    println!(
+        "  ratio:        {:.2}x",
+        (header.n_values * 4) as f64 / header.stream_bytes() as f64
+    );
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let field = load_field(args, input)?;
+    let eb = eb_of(args)?;
+    let mut fz = FzGpu::new(device_of(args)?);
+    let shape = field.dims.as_3d();
+    let c = fz.compress(&field.data, shape, eb);
+    let t_c = fz.kernel_time();
+    let restored = fz.decompress(&c).map_err(|e| e.to_string())?;
+    let t_d = fz.kernel_time();
+    let bytes = field.size_bytes() as f64;
+    println!("field:           {} ({:.2} MB)", field.dims.to_string_paper(), bytes / 1e6);
+    println!("error bound:     {:.3e} (absolute)", c.header.eb);
+    println!("ratio:           {:.2}x", c.ratio());
+    println!("compress:        {:.3} ms  ({:.1} GB/s modeled)", t_c * 1e3, bytes / t_c / 1e9);
+    println!("decompress:      {:.3} ms  ({:.1} GB/s modeled)", t_d * 1e3, bytes / t_d / 1e9);
+    println!("max error:       {:.3e}", max_abs_error(&field.data, &restored));
+    println!("PSNR:            {:.2} dB", psnr(&field.data, &restored));
+    Ok(())
+}

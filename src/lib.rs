@@ -1,0 +1,12 @@
+//! # fz-gpu — facade crate
+//!
+//! Re-exports the FZ-GPU reproduction workspace under one roof. See the
+//! README for a tour and `examples/quickstart.rs` for the five-line path
+//! from a float field to a compressed stream.
+
+pub use fzgpu_baselines as baselines;
+pub use fzgpu_codecs as codecs;
+pub use fzgpu_core as core;
+pub use fzgpu_data as data;
+pub use fzgpu_metrics as metrics;
+pub use fzgpu_sim as sim;

@@ -1,0 +1,114 @@
+//! Cross-compressor behavioural contracts from the paper's evaluation
+//! narrative, checked end to end on one field.
+
+use fz_gpu::baselines::{Baseline, CuSz, CuSzRle, CuSzx, CuZfp, Mgard, Setting};
+use fz_gpu::core::quant::ErrorBound;
+use fz_gpu::data::{synth, Dims};
+use fz_gpu::metrics::psnr;
+use fz_gpu::sim::device::A100;
+
+const SHAPE: (usize, usize, usize) = (12, 40, 40);
+
+fn field() -> Vec<f32> {
+    synth::multiscale(Dims::D3(SHAPE.0, SHAPE.1, SHAPE.2), 21, 32, 1.6, 0.004)
+}
+
+fn eb(rel: f64) -> Setting {
+    Setting::Eb(ErrorBound::RelToRange(rel))
+}
+
+#[test]
+fn cusz_and_fzgpu_share_distortion_at_same_bound() {
+    // §4.3: "Since the lossy part of FZ-GPU is the same as cuSZ, their
+    // PSNR is the same when we use the same error bound." (v1 handles
+    // outliers exactly; on in-range data the quantization is identical.)
+    let data = field();
+    let mut fz = fz_gpu::core::FzGpu::new(A100);
+    let c = fz.compress(&data, SHAPE, ErrorBound::RelToRange(1e-3));
+    let fz_rec = fz.decompress(&c).unwrap();
+    let mut cusz = CuSz::new(A100);
+    let run = cusz.run(&data, SHAPE, eb(1e-3)).unwrap();
+    let p_fz = psnr(&data, &fz_rec);
+    let p_cusz = psnr(&data, &run.reconstructed);
+    assert!(
+        (p_fz - p_cusz).abs() < 0.75,
+        "psnr diverged: FZ {p_fz} vs cuSZ {p_cusz}"
+    );
+}
+
+#[test]
+fn mgard_over_preserves_relative_to_cusz() {
+    // §4.3: "under the same relative error bound, MGARD-GPU has higher
+    // PSNR on all datasets because MGARD-GPU over-preserves".
+    let data = field();
+    let mut cusz = CuSz::new(A100);
+    let mut mgard = Mgard::new(A100);
+    let c = cusz.run(&data, SHAPE, eb(1e-3)).unwrap();
+    let m = mgard.run(&data, SHAPE, eb(1e-3)).unwrap();
+    assert!(psnr(&data, &m.reconstructed) > psnr(&data, &c.reconstructed));
+}
+
+#[test]
+fn cuszx_psnr_at_least_matches_bound_but_lower_ratio_than_fz() {
+    let data = field();
+    let n = data.len();
+    let mut fz = fz_gpu::core::FzGpu::new(A100);
+    let c = fz.compress(&data, SHAPE, ErrorBound::RelToRange(1e-3));
+    let mut szx = CuSzx::new(A100);
+    let x = szx.run(&data, SHAPE, eb(1e-3)).unwrap();
+    assert!(
+        c.ratio() > x.ratio(n),
+        "FZ {} should out-compress cuSZx {} (paper: 2.4x average)",
+        c.ratio(),
+        x.ratio(n)
+    );
+}
+
+#[test]
+fn cuzfp_rate_controls_size_not_error() {
+    // The paper's core criticism: no error bound — distortion floats.
+    let smooth = field();
+    let rough: Vec<f32> = smooth
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v + ((i as u32).wrapping_mul(2654435761) >> 16) as f32 * 1e-4)
+        .collect();
+    let mut zfp = CuZfp::new(A100);
+    let a = zfp.run(&smooth, SHAPE, Setting::Rate(4.0)).unwrap();
+    let b = zfp.run(&rough, SHAPE, Setting::Rate(4.0)).unwrap();
+    // Same size either way...
+    assert_eq!(a.compressed_bytes, b.compressed_bytes);
+    // ...but different quality.
+    assert!(psnr(&smooth, &a.reconstructed) > psnr(&rough, &b.reconstructed) + 3.0);
+}
+
+#[test]
+fn rle_variant_tracks_huffman_quality_exactly() {
+    // Same front end => same reconstruction, different encoders.
+    let data = field();
+    let mut cusz = CuSz::new(A100);
+    let mut rle = CuSzRle::new(A100);
+    let h = cusz.run(&data, SHAPE, eb(1e-2)).unwrap();
+    let r = rle.run(&data, SHAPE, eb(1e-2)).unwrap();
+    assert_eq!(h.reconstructed, r.reconstructed);
+}
+
+#[test]
+fn every_compressor_improves_quality_with_tighter_bounds() {
+    let data = field();
+    for baseline in [
+        &mut CuSz::new(A100) as &mut dyn Baseline,
+        &mut CuSzx::new(A100),
+        &mut Mgard::new(A100),
+        &mut CuSzRle::new(A100),
+    ] {
+        let loose = baseline.run(&data, SHAPE, eb(1e-2)).unwrap();
+        let tight = baseline.run(&data, SHAPE, eb(1e-4)).unwrap();
+        assert!(
+            psnr(&data, &tight.reconstructed) > psnr(&data, &loose.reconstructed),
+            "{} quality did not improve with tighter bound",
+            loose.name
+        );
+        assert!(tight.compressed_bytes > loose.compressed_bytes);
+    }
+}

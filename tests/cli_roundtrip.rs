@@ -1,0 +1,61 @@
+//! End-to-end CLI-layer test: file in, compressed stream on disk, file
+//! out — through the same functions the `fzgpu` binary drives.
+
+use fz_gpu::core::{ErrorBound, FzGpu, Header};
+use fz_gpu::data::io::{parse_dims, read_f32_file, write_f32_file};
+use fz_gpu::sim::device::A100;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fzgpu_cli_test_{name}_{}", std::process::id()));
+    p
+}
+
+#[test]
+fn file_compress_decompress_roundtrip() {
+    let raw = tmp("raw.f32");
+    let packed = tmp("stream.fz");
+    let restored_path = tmp("restored.f32");
+
+    let dims = parse_dims("8x32x32").unwrap();
+    let data: Vec<f32> = (0..dims.count())
+        .map(|i| (i as f32 * 0.01).sin() * 2.0 + (i as f32 * 0.0003).cos())
+        .collect();
+    write_f32_file(&raw, &data).unwrap();
+
+    // Compress path.
+    let field = read_f32_file(&raw, dims).unwrap();
+    let mut fz = FzGpu::new(A100);
+    let c = fz.compress(&field.data, dims.as_3d(), ErrorBound::RelToRange(1e-3));
+    std::fs::write(&packed, &c.bytes).unwrap();
+
+    // Info path: header parses straight off the file.
+    let bytes = std::fs::read(&packed).unwrap();
+    let header = Header::from_bytes(&bytes).unwrap();
+    assert_eq!(header.n_values, dims.count());
+
+    // Decompress path.
+    let values = fz.decompress_bytes(&bytes).unwrap();
+    write_f32_file(&restored_path, &values).unwrap();
+    let restored = read_f32_file(&restored_path, dims).unwrap();
+    for (&a, &b) in data.iter().zip(&restored.data) {
+        assert!((a as f64 - b as f64).abs() <= header.eb * 1.00001);
+    }
+
+    for p in [raw, packed, restored_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn stream_file_is_self_describing() {
+    let dims = parse_dims("4096").unwrap();
+    let data: Vec<f32> = (0..4096).map(|i| (i % 37) as f32).collect();
+    let mut fz = FzGpu::new(A100);
+    let c = fz.compress(&data, dims.as_3d(), ErrorBound::Abs(0.25));
+    // A different FzGpu instance (fresh device) decodes purely from bytes.
+    let mut other = FzGpu::new(fz_gpu::sim::device::A4000);
+    let back = other.decompress_bytes(&c.bytes).unwrap();
+    assert_eq!(back.len(), 4096);
+}

@@ -1,0 +1,100 @@
+//! End-to-end round trips of FZ-GPU over miniature versions of all six
+//! dataset generators, checking the paper's qualitative compression
+//! ordering (zero-heavy RTM compresses best, particle HACC worst).
+
+use fz_gpu::core::{ErrorBound, FzGpu};
+use fz_gpu::data::{log_transform, synth, Dims};
+use fz_gpu::metrics::{psnr, verify_error_bound};
+use fz_gpu::sim::device::A100;
+
+struct Mini {
+    name: &'static str,
+    shape: (usize, usize, usize),
+    data: Vec<f32>,
+}
+
+fn minis() -> Vec<Mini> {
+    let d3 = Dims::D3(16, 48, 48);
+    let shape3 = (16, 48, 48);
+    vec![
+        Mini {
+            name: "HACC",
+            shape: (1, 1, 32768),
+            data: log_transform(&synth::particles(32768, 1, 8, 64.0)),
+        },
+        Mini {
+            name: "CESM",
+            shape: (1, 128, 256),
+            data: synth::multiscale(Dims::D2(128, 256), 2, 48, 1.7, 0.004),
+        },
+        Mini { name: "Hurricane", shape: shape3, data: synth::multiscale(d3, 3, 40, 1.5, 0.008) },
+        Mini { name: "Nyx", shape: shape3, data: synth::lognormal(d3, 4, 1.8) },
+        Mini { name: "QMCPACK", shape: shape3, data: synth::oscillatory(d3, 5) },
+        Mini { name: "RTM", shape: shape3, data: synth::wavefield(d3, 6, 0.43) },
+    ]
+}
+
+#[test]
+fn all_datasets_roundtrip_within_bound() {
+    for mini in minis() {
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&mini.data, mini.shape, ErrorBound::RelToRange(1e-3));
+        let back = fz.decompress(&c).unwrap();
+        let scale = mini.data.iter().fold(0.0f32, |m, v| m.max(v.abs())) as f64;
+        verify_error_bound(&mini.data, &back, c.header.eb + scale * 1e-6)
+            .unwrap_or_else(|i| panic!("{} violated bound at {i}", mini.name));
+        assert!(psnr(&mini.data, &back) > 40.0, "{} psnr too low", mini.name);
+    }
+}
+
+#[test]
+fn compression_ordering_matches_paper_qualitative_claims() {
+    let mut ratios = std::collections::HashMap::new();
+    for mini in minis() {
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&mini.data, mini.shape, ErrorBound::RelToRange(1e-2));
+        ratios.insert(mini.name, c.ratio());
+    }
+    // RTM (zero-heavy, smooth) must compress better than HACC (unsorted
+    // particles) and QMCPACK (oscillatory) — the paper's §4.3 ordering.
+    assert!(
+        ratios["RTM"] > ratios["HACC"],
+        "RTM {} <= HACC {}",
+        ratios["RTM"],
+        ratios["HACC"]
+    );
+    assert!(
+        ratios["RTM"] > ratios["QMCPACK"],
+        "RTM {} <= QMCPACK {}",
+        ratios["RTM"],
+        ratios["QMCPACK"]
+    );
+    // Smooth climate data beats particle data.
+    assert!(ratios["CESM"] > ratios["HACC"]);
+}
+
+#[test]
+fn ratio_grows_with_error_bound() {
+    let mini = &minis()[2]; // Hurricane-like
+    let mut fz = FzGpu::new(A100);
+    let mut prev = 0.0;
+    for rel in [1e-4, 1e-3, 1e-2] {
+        let c = fz.compress(&mini.data, mini.shape, ErrorBound::RelToRange(rel));
+        assert!(c.ratio() > prev, "ratio not increasing at {rel}");
+        prev = c.ratio();
+    }
+}
+
+#[test]
+fn psnr_falls_with_error_bound() {
+    let mini = &minis()[3]; // Nyx-like
+    let mut fz = FzGpu::new(A100);
+    let mut prev = f64::INFINITY;
+    for rel in [1e-4, 1e-3, 1e-2] {
+        let c = fz.compress(&mini.data, mini.shape, ErrorBound::RelToRange(rel));
+        let back = fz.decompress(&c).unwrap();
+        let p = psnr(&mini.data, &back);
+        assert!(p < prev, "psnr not decreasing at {rel}: {p} vs {prev}");
+        prev = p;
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based invariants of the evaluation metrics — the instruments
+//! every figure depends on must themselves be trustworthy.
+
+use fz_gpu::metrics::{
+    compression_ratio, error_autocorrelation, histogram_f32, mae, max_abs_error, mse, pearson,
+    psnr, ssim_2d, tv_distance,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn psnr_decreases_as_noise_grows(
+        base in proptest::collection::vec(-100f32..100.0, 256..512),
+        noise in 0.001f32..0.1,
+    ) {
+        prop_assume!({
+            let lo = base.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = base.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            hi - lo > 1.0
+        });
+        let small: Vec<f32> = base.iter().enumerate()
+            .map(|(i, &v)| v + noise * if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let large: Vec<f32> = base.iter().enumerate()
+            .map(|(i, &v)| v + 10.0 * noise * if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        prop_assert!(psnr(&base, &small) > psnr(&base, &large));
+    }
+
+    #[test]
+    fn mse_mae_maxerr_ordering(
+        a in proptest::collection::vec(-50f32..50.0, 64..256),
+        b in proptest::collection::vec(-50f32..50.0, 64..256),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        // MAE <= RMSE <= max error, always.
+        let rmse = mse(a, b).sqrt();
+        prop_assert!(mae(a, b) <= rmse + 1e-9);
+        prop_assert!(rmse <= max_abs_error(a, b) + 1e-9);
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_reflexive(
+        vals in proptest::collection::vec(-10f32..10.0, 256..=256),
+    ) {
+        let s = ssim_2d(&vals, &vals, 16, 16);
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        let shifted: Vec<f32> = vals.iter().map(|&v| v + 0.5).collect();
+        let s2 = ssim_2d(&vals, &shifted, 16, 16);
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&s2));
+    }
+
+    #[test]
+    fn tv_distance_is_a_metric_on_histograms(
+        a in proptest::collection::vec(-5f32..5.0, 100..400),
+        b in proptest::collection::vec(-5f32..5.0, 100..400),
+    ) {
+        let ha = histogram_f32(&a, -5.0, 5.0, 16);
+        let hb = histogram_f32(&b, -5.0, 5.0, 16);
+        let d = tv_distance(&ha, &hb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        prop_assert!(tv_distance(&ha, &ha) < 1e-12);
+        // Symmetry.
+        prop_assert!((d - tv_distance(&hb, &ha)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_shift_and_scale_invariant(
+        vals in proptest::collection::vec(-100f32..100.0, 32..256),
+        scale in 0.1f32..10.0,
+        shift in -50f32..50.0,
+    ) {
+        prop_assume!(vals.iter().any(|&v| (v - vals[0]).abs() > 1e-3));
+        let transformed: Vec<f32> = vals.iter().map(|&v| scale * v + shift).collect();
+        let r = pearson(&vals, &transformed).unwrap();
+        prop_assert!((r - 1.0).abs() < 1e-3, "r = {r}");
+    }
+
+    #[test]
+    fn ratio_of_identity_is_one(n in 1usize..10_000) {
+        prop_assert!((compression_ratio(n, n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_bounded(
+        a in proptest::collection::vec(-10f32..10.0, 64..256),
+        lag in 1usize..16,
+    ) {
+        let b: Vec<f32> = a.iter().enumerate()
+            .map(|(i, &v)| v + ((i * 2654435761) % 97) as f32 * 1e-4).collect();
+        let ac = error_autocorrelation(&a, &b, lag);
+        prop_assert!((-1.5..=1.5).contains(&ac), "ac = {ac}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Determinism and symmetry invariants of the simulated pipeline.
+//!
+//! The simulator executes blocks in parallel with rayon; merged counters
+//! must not depend on scheduling (all merges are commutative sums), so
+//! repeated runs must produce identical timelines — and identical bytes.
+
+use fz_gpu::core::{ErrorBound, FzGpu};
+use fz_gpu::sim::device::A100;
+
+fn field() -> Vec<f32> {
+    (0..16 * 48 * 48)
+        .map(|i| {
+            let z = i / (48 * 48);
+            let y = i / 48 % 48;
+            let x = i % 48;
+            (x as f32 * 0.09).sin() * 2.0 + (y as f32 * 0.05).cos() + (z as f32 * 0.2).sin()
+        })
+        .collect()
+}
+
+const SHAPE: (usize, usize, usize) = (16, 48, 48);
+
+#[test]
+fn repeated_compression_is_bit_and_time_deterministic() {
+    let data = field();
+    let run = || {
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+        (c.bytes, fz.kernel_time(), fz.kernel_breakdown())
+    };
+    let (b1, t1, k1) = run();
+    let (b2, t2, k2) = run();
+    assert_eq!(b1, b2);
+    assert_eq!(t1, t2, "modeled time must be deterministic");
+    assert_eq!(k1.len(), k2.len());
+    for ((n1, tt1), (n2, tt2)) in k1.iter().zip(&k2) {
+        assert_eq!(n1, n2);
+        assert_eq!(tt1, tt2, "kernel {n1} time varies across runs");
+    }
+}
+
+#[test]
+fn decompression_throughput_is_same_order_as_compression() {
+    // §4.4: "the decompression pipeline is highly symmetrical ...
+    // exhibiting throughput nearly identical to that of compression".
+    let data = field();
+    let mut fz = FzGpu::new(A100);
+    let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+    let t_compress = fz.kernel_time();
+    let _ = fz.decompress(&c).unwrap();
+    let t_decompress = fz.kernel_time();
+    let ratio = t_decompress / t_compress;
+    assert!(
+        (0.3..3.5).contains(&ratio),
+        "decompress/compress time ratio {ratio} outside the symmetric band"
+    );
+}
+
+#[test]
+fn timeline_resets_between_operations() {
+    let data = field();
+    let mut fz = FzGpu::new(A100);
+    let _ = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-2));
+    let names_compress: Vec<String> =
+        fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
+    assert!(names_compress.iter().any(|n| n.contains("pred_quant")));
+
+    let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-2));
+    let _ = fz.decompress(&c).unwrap();
+    let names_decompress: Vec<String> =
+        fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
+    assert!(
+        names_decompress.iter().all(|n| !n.contains("pred_quant")),
+        "decompress timeline leaked compression kernels"
+    );
+    assert!(names_decompress.iter().any(|n| n.contains("unshuffle")));
+}
+
+#[test]
+fn device_choice_changes_time_not_bytes() {
+    use fz_gpu::sim::device::A4000;
+    let data = field();
+    let mut a100 = FzGpu::new(A100);
+    let mut a4000 = FzGpu::new(A4000);
+    let c1 = a100.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+    let c2 = a4000.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+    assert_eq!(c1.bytes, c2.bytes);
+    assert!(a100.kernel_time() < a4000.kernel_time());
+}
