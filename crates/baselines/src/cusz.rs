@@ -132,6 +132,17 @@ impl CuSz {
         self.gpu.timeline()
     }
 
+    /// The underlying device (timeline inspection).
+    pub fn gpu(&self) -> &fzgpu_sim::Gpu {
+        &self.gpu
+    }
+
+    /// Snapshot the last compress's timeline as a profile (per-kernel
+    /// attribution, Chrome-trace export).
+    pub fn profile(&self) -> fzgpu_sim::Profile {
+        fzgpu_sim::Profile::capture(&self.gpu)
+    }
+
     /// The codebook-build share of the last compress (for cuSZ-ncb).
     pub fn codebook_time(&self) -> f64 {
         self.gpu

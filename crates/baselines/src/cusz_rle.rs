@@ -104,6 +104,17 @@ impl CuSzRle {
     pub fn kernel_time(&self) -> f64 {
         self.gpu.kernel_time()
     }
+
+    /// The underlying device (timeline inspection).
+    pub fn gpu(&self) -> &fzgpu_sim::Gpu {
+        &self.gpu
+    }
+
+    /// Snapshot the last compress's timeline as a profile (per-kernel
+    /// attribution, Chrome-trace export).
+    pub fn profile(&self) -> fzgpu_sim::Profile {
+        fzgpu_sim::Profile::capture(&self.gpu)
+    }
 }
 
 impl Baseline for CuSzRle {

@@ -150,14 +150,12 @@ impl CuSzx {
                 w.charge_alu(2 * BLOCK as u64 / 32 + 2 * bits as u64);
                 let mut words: Vec<u32> = Vec::new();
                 for (k, &v) in vals.iter().enumerate().take((n - g0).min(BLOCK)) {
-                    let q = (((v - base) as f64 / ebx2).round() as i64)
-                        .clamp(0, (1i64 << bits) - 1) as u32;
+                    let q = (((v - base) as f64 / ebx2).round() as i64).clamp(0, (1i64 << bits) - 1)
+                        as u32;
                     bitpack::put(&mut words, k, bits, q);
                 }
                 words.resize(block_words(bits), 0);
-                w.store(&d_payload, |l| {
-                    (l.id < words.len()).then(|| (off + l.id, words[l.id]))
-                });
+                w.store(&d_payload, |l| (l.id < words.len()).then(|| (off + l.id, words[l.id])));
                 // Wide blocks (> 32 words) need a second store wave.
                 if words.len() > 32 {
                     w.store(&d_payload, |l| {
@@ -207,6 +205,17 @@ impl CuSzx {
     /// Modeled kernel time of the last compress, seconds.
     pub fn kernel_time(&self) -> f64 {
         self.gpu.kernel_time()
+    }
+
+    /// The underlying device (timeline inspection).
+    pub fn gpu(&self) -> &fzgpu_sim::Gpu {
+        &self.gpu
+    }
+
+    /// Snapshot the last compress's timeline as a profile (per-kernel
+    /// attribution, Chrome-trace export).
+    pub fn profile(&self) -> fzgpu_sim::Profile {
+        fzgpu_sim::Profile::capture(&self.gpu)
     }
 }
 

@@ -154,9 +154,8 @@ fn encode_block(vals: &[f32], rank: usize, budget_bits: usize) -> (i32, Vec<u32>
     let mut q: Vec<i32> = vals
         .iter()
         .map(|&v| {
-            (v as f64 * scale.exp2())
-                .round()
-                .clamp(i32::MIN as f64 / 16.0, i32::MAX as f64 / 16.0) as i32
+            (v as f64 * scale.exp2()).round().clamp(i32::MIN as f64 / 16.0, i32::MAX as f64 / 16.0)
+                as i32
         })
         .collect();
     fwd_transform(&mut q, rank);
@@ -274,11 +273,7 @@ impl CuZfp {
         let bs = 4usize.pow(rank as u32);
         let budget_bits = ((rate * bs as f64).ceil() as usize).max(1);
         let wpb = budget_bits.div_ceil(32);
-        let (gz, gy, gx) = if rank == 1 {
-            (1, 1, nx.div_ceil(4))
-        } else {
-            block_grid(shape)
-        };
+        let (gz, gy, gx) = if rank == 1 { (1, 1, nx.div_ceil(4)) } else { block_grid(shape) };
         let nblocks = gz * gy * gx;
 
         let d_input = self.gpu.upload(data);
@@ -298,6 +293,7 @@ impl CuZfp {
                 // so the warp's loads stay lockstep (real cuZFP does the
                 // same strided gathers).
                 let mut lane_vals: Vec<[f32; 64]> = vec![[0.0; 64]; 32];
+                #[allow(clippy::needless_range_loop)] // lockstep kernel idiom
                 for k in 0..bs {
                     let v = w.load(&d_input, |l| {
                         let b = base_blockid + l.ltid;
@@ -340,6 +336,7 @@ impl CuZfp {
                     let b = base_blockid + l.ltid;
                     (b < nblocks).then(|| (b, lane_emax[l.id]))
                 });
+                #[allow(clippy::needless_range_loop)] // lockstep kernel idiom
                 for k in 0..wpb {
                     w.store(&d_payload, |l| {
                         let b = base_blockid + l.ltid;
@@ -381,11 +378,8 @@ impl CuZfp {
         let rank = rank_of(stream.shape);
         let bs = 4usize.pow(rank as u32);
         let budget_bits = ((stream.rate * bs as f64).ceil() as usize).max(1);
-        let (_gz, gy, gx) = if rank == 1 {
-            (1, 1, nx.div_ceil(4))
-        } else {
-            block_grid(stream.shape)
-        };
+        let (_gz, gy, gx) =
+            if rank == 1 { (1, 1, nx.div_ceil(4)) } else { block_grid(stream.shape) };
         let mut out = vec![0.0f32; nz * ny * nx];
         for b in 0..stream.emax.len() {
             let words =
@@ -406,6 +400,17 @@ impl CuZfp {
     /// Modeled kernel time of the last compress, seconds.
     pub fn kernel_time(&self) -> f64 {
         self.gpu.kernel_time()
+    }
+
+    /// The underlying device (timeline inspection).
+    pub fn gpu(&self) -> &fzgpu_sim::Gpu {
+        &self.gpu
+    }
+
+    /// Snapshot the last compress's timeline as a profile (per-kernel
+    /// attribution, Chrome-trace export).
+    pub fn profile(&self) -> fzgpu_sim::Profile {
+        fzgpu_sim::Profile::capture(&self.gpu)
     }
 }
 

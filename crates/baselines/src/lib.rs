@@ -3,7 +3,7 @@
 //!
 //! - [`cusz`] — cuSZ: dual-quantization (radius + outliers) + GPU histogram
 //!   + Huffman codebook + coarse chunked encoding. `cuSZ-ncb` falls out by
-//!   subtracting [`cusz::CuSz::codebook_time`].
+//!     subtracting [`cusz::CuSz::codebook_time`].
 //! - [`cusz_rle`] — the CLUSTER'21 cuSZ+RLE variant (run-length encoding in
 //!   place of Huffman, lifting the 32x cap at high bounds).
 //! - [`cuzfp`] — cuZFP: fixed-rate block transform coding (block floating

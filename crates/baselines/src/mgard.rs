@@ -100,7 +100,13 @@ fn recompose(data: &mut [f32], shape: Shape, levels: usize) {
 /// Predictions read only all-even points, which this pass never writes, so
 /// forward and inverse passes see identical predictor inputs (up to the
 /// quantization applied between them).
-fn level_pass(data: &mut [f32], shape: Shape, grid: (usize, usize, usize), stride: usize, restore: bool) {
+fn level_pass(
+    data: &mut [f32],
+    shape: Shape,
+    grid: (usize, usize, usize),
+    stride: usize,
+    restore: bool,
+) {
     let (_, ny, nx) = shape;
     let (gz, gy, gx) = grid;
     let idx = |z: usize, y: usize, x: usize| ((z * stride) * ny + y * stride) * nx + x * stride;
@@ -180,9 +186,7 @@ impl Mgard {
         let step = 2.0 * eb_abs / (levels as f64 + 1.0);
         let q: Vec<i32> = coeffs
             .iter()
-            .map(|&c| {
-                ((c as f64 / step).round()).clamp(i32::MIN as f64, i32::MAX as f64) as i32
-            })
+            .map(|&c| ((c as f64 / step).round()).clamp(i32::MIN as f64, i32::MAX as f64) as i32)
             .collect();
         let bytes: Vec<u8> = q.iter().flat_map(|v| v.to_le_bytes()).collect();
         let compressed = deflate::compress(&bytes);

@@ -55,7 +55,9 @@ fn bench_deflate(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("compress", |b| b.iter(|| black_box(deflate::compress(&data))));
-    g.bench_function("decompress", |b| b.iter(|| black_box(deflate::decompress(&compressed).unwrap())));
+    g.bench_function("decompress", |b| {
+        b.iter(|| black_box(deflate::decompress(&compressed).unwrap()))
+    });
     g.finish();
 }
 

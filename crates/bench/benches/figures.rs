@@ -112,7 +112,8 @@ fn bench_fig12(c: &mut Criterion) {
             let run = fz.run(&data, SHAPE, eb()).unwrap();
             let (ny, nx) = (SHAPE.1, SHAPE.2);
             let mid = SHAPE.0 / 2 * ny * nx;
-            let s = ssim_2d(&data[mid..mid + ny * nx], &run.reconstructed[mid..mid + ny * nx], ny, nx);
+            let s =
+                ssim_2d(&data[mid..mid + ny * nx], &run.reconstructed[mid..mid + ny * nx], ny, nx);
             let h = histogram_f32(&run.reconstructed, -1.0, 1.0, 32);
             black_box((s, h))
         });

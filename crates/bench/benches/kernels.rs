@@ -16,7 +16,7 @@ use fzgpu_core::quant::ErrorBound;
 use fzgpu_core::FzGpu;
 use fzgpu_sim::device::A100;
 use fzgpu_sim::scan::exclusive_sum;
-use fzgpu_sim::{Gpu, GpuBuffer};
+use fzgpu_sim::{Gpu, GpuBuffer, StatsBudget};
 use std::hint::black_box;
 
 const SHAPE: (usize, usize, usize) = (16, 64, 64);
@@ -69,6 +69,17 @@ fn bench_bitshuffle(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Counter budget on the production variant: a timing bench can drift
+    // with the host, but the fused kernel regressing to bank conflicts or
+    // scattered traffic is an algorithmic bug — fail the bench run loudly.
+    let mut gpu = Gpu::new(A100);
+    gpu.reset_timeline();
+    let _ = bitshuffle_mark(&mut gpu, &words, ShuffleVariant::Fused);
+    StatsBudget::new("bitshuffle_mark_fused")
+        .max_conflict_cycles(0)
+        .min_coalescing_efficiency(0.9)
+        .assert(&gpu.last_kernel().stats);
 }
 
 fn bench_scan_and_compact(c: &mut Criterion) {

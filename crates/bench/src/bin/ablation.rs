@@ -19,10 +19,7 @@ use fzgpu_sim::{Gpu, GpuBuffer};
 /// Zero-block stream size at an arbitrary block granularity (words).
 fn zeroblock_bytes(words: &[u32], block_words: usize) -> usize {
     let nblocks = words.len().div_ceil(block_words);
-    let nonzero = words
-        .chunks(block_words)
-        .filter(|b| b.iter().any(|&w| w != 0))
-        .count();
+    let nonzero = words.chunks(block_words).filter(|b| b.iter().any(|&w| w != 0)).count();
     nblocks.div_ceil(32) * 4 + nonzero * block_words * 4
 }
 

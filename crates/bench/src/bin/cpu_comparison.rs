@@ -8,7 +8,9 @@
 //! with the host while the ordering FZ-GPU >> FZ-OMP > SZ-OMP holds.
 
 use fzgpu_baselines::{Baseline, Setting, SzOmp};
-use fzgpu_bench::{all_fields, fmt, mean, scale_from_args, shape_of, FzGpuRunner, FzOmpRunner, Table};
+use fzgpu_bench::{
+    all_fields, fmt, mean, scale_from_args, shape_of, FzGpuRunner, FzOmpRunner, Table,
+};
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_sim::device::A100;
 
@@ -16,10 +18,17 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fields = all_fields(scale_from_args(&args));
     let setting = Setting::Eb(ErrorBound::RelToRange(1e-3));
-    println!("CPU comparison (rel eb 1e-3): FZ-GPU (modeled A100) vs FZ-OMP vs SZ-OMP (measured)\n");
+    println!(
+        "CPU comparison (rel eb 1e-3): FZ-GPU (modeled A100) vs FZ-OMP vs SZ-OMP (measured)\n"
+    );
 
     let mut t = Table::new(&[
-        "dataset", "FZ-GPU GB/s", "FZ-OMP GB/s", "GPU/OMP", "SZ-OMP GB/s", "FZ-OMP/SZ-OMP",
+        "dataset",
+        "FZ-GPU GB/s",
+        "FZ-OMP GB/s",
+        "GPU/OMP",
+        "SZ-OMP GB/s",
+        "FZ-OMP/SZ-OMP",
     ]);
     let mut gpu_omp = Vec::new();
     let mut omp_sz = Vec::new();
@@ -52,16 +61,15 @@ fn main() {
             Some(r) => fmt(best / r.throughput_gbps(n)),
             None => "-".into(),
         };
-        t.row(vec![
-            field.dataset.into(),
-            fmt(g),
-            fmt(best),
-            fmt(g / best),
-            sz_cell,
-            ratio_cell,
-        ]);
+        t.row(vec![field.dataset.into(), fmt(g), fmt(best), fmt(g / best), sz_cell, ratio_cell]);
     }
     print!("{}", t.render());
-    println!("\navg FZ-GPU / FZ-OMP speedup: {:.1}x (paper: 31.8x-42.4x vs a 32-core Xeon)", mean(&gpu_omp));
-    println!("avg FZ-OMP / SZ-OMP speedup: {:.1}x (paper: 1.7x-2.5x on 3D datasets)", mean(&omp_sz));
+    println!(
+        "\navg FZ-GPU / FZ-OMP speedup: {:.1}x (paper: 31.8x-42.4x vs a 32-core Xeon)",
+        mean(&gpu_omp)
+    );
+    println!(
+        "avg FZ-OMP / SZ-OMP speedup: {:.1}x (paper: 1.7x-2.5x on 3D datasets)",
+        mean(&omp_sz)
+    );
 }

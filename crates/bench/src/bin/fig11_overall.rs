@@ -3,7 +3,9 @@
 //! congested PCIe bandwidth of 11.4 GB/s per GPU.
 
 use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
-use fzgpu_bench::{all_fields, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS};
+use fzgpu_bench::{
+    all_fields, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS,
+};
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_metrics::{overall_throughput, psnr};
 use fzgpu_sim::device::A100;
@@ -21,7 +23,8 @@ fn main() {
     for field in &fields {
         let shape = shape_of(field);
         let n = field.data.len();
-        let mut t = Table::new(&["rel eb", "cuSZ", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU", "raw link"]);
+        let mut t =
+            Table::new(&["rel eb", "cuSZ", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU", "raw link"]);
         for &eb in &REL_EBS {
             let setting = Setting::Eb(ErrorBound::RelToRange(eb));
             let overall = |run: &fzgpu_baselines::Run| {

@@ -25,7 +25,7 @@ fn search_eb(
             continue;
         };
         let d = (run.ratio(data.len()).ln() - TARGET_CR.ln()).abs();
-        if best.as_ref().map_or(true, |(bd, _)| d < *bd) {
+        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
             best = Some((d, run));
         }
     }
@@ -38,7 +38,7 @@ fn search_rate(zfp: &mut CuZfp, data: &[f32], shape: Shape) -> Option<fzgpu_base
         let rate = rate10 as f64 / 10.0;
         let run = zfp.run(data, shape, Setting::Rate(rate))?;
         let d = (run.ratio(data.len()).ln() - TARGET_CR.ln()).abs();
-        if best.as_ref().map_or(true, |(bd, _)| d < *bd) {
+        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
             best = Some((d, run));
         }
     }

@@ -28,8 +28,11 @@ fn main() {
     let mut t = Table::new(&["FZ-GPU kernel", "time %", "throughput GB/s"]);
     // Group the scan sub-launches into one "prefix-sum & encode" stage, as
     // the paper's figure does.
-    let mut groups: Vec<(&str, f64)> =
-        vec![("pred-quant (dual-quantization)", 0.0), ("bitshuffle + mark (fused)", 0.0), ("prefix-sum & encode", 0.0)];
+    let mut groups: Vec<(&str, f64)> = vec![
+        ("pred-quant (dual-quantization)", 0.0),
+        ("bitshuffle + mark (fused)", 0.0),
+        ("prefix-sum & encode", 0.0),
+    ];
     for (name, time) in fz.kernel_breakdown() {
         let slot = if name.contains("pred_quant") {
             0
@@ -47,11 +50,7 @@ fn main() {
             fmt(bytes as f64 / time / 1e9),
         ]);
     }
-    t.row(vec![
-        "TOTAL".into(),
-        "100%".into(),
-        fmt(bytes as f64 / total / 1e9),
-    ]);
+    t.row(vec!["TOTAL".into(), "100%".into(), fmt(bytes as f64 / total / 1e9)]);
     print!("{}", t.render());
 
     // cuSZ pipeline.
@@ -93,10 +92,7 @@ fn main() {
     t2.row(vec!["TOTAL".into(), "100%".into(), fmt(bytes as f64 / total2 / 1e9)]);
     println!();
     print!("{}", t2.render());
-    println!(
-        "\nFZ-GPU end-to-end is {:.1}x faster than cuSZ on this field.",
-        total2 / total
-    );
+    println!("\nFZ-GPU end-to-end is {:.1}x faster than cuSZ on this field.", total2 / total);
 }
 
 fn gpu_timeline(cusz: &CuSz) -> &[Event] {

@@ -7,7 +7,10 @@
 //! the paper's aggregate claims (ratio improvement over cuZFP / cuSZx).
 
 use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
-use fzgpu_bench::{all_fields, arg_flag, fmt, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS};
+use fzgpu_bench::{
+    all_fields, arg_flag, fmt, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table,
+    REL_EBS,
+};
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_metrics::{bitrate, psnr};
 use fzgpu_sim::device::A100;

@@ -6,7 +6,10 @@
 //! the paper. The summary prints the headline speedups (§4.4).
 
 use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
-use fzgpu_bench::{all_fields, arg_value, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS};
+use fzgpu_bench::{
+    all_fields, arg_value, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner,
+    Table, REL_EBS,
+};
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_metrics::psnr;
 use fzgpu_sim::device;
@@ -32,9 +35,8 @@ fn main() {
     for field in &fields {
         let shape = shape_of(field);
         let n = field.data.len();
-        let mut t = Table::new(&[
-            "rel eb", "cuSZ", "cuSZ-ncb", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU",
-        ]);
+        let mut t =
+            Table::new(&["rel eb", "cuSZ", "cuSZ-ncb", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU"]);
         for &eb in &REL_EBS {
             let setting = Setting::Eb(ErrorBound::RelToRange(eb));
 
@@ -91,11 +93,16 @@ fn main() {
     }
 
     println!("== Summary: FZ-GPU speedups on {} (paper §4.4) ==", spec.name);
-    println!("vs cuSZ:      avg {:.1}x, max {:.1}x  (paper A100: avg 4.2x, max 11.2x)",
-        mean(&speedup_cusz), speedup_cusz.iter().copied().fold(0.0, f64::max));
+    println!(
+        "vs cuSZ:      avg {:.1}x, max {:.1}x  (paper A100: avg 4.2x, max 11.2x)",
+        mean(&speedup_cusz),
+        speedup_cusz.iter().copied().fold(0.0, f64::max)
+    );
     println!("vs cuSZ-ncb:  avg {:.1}x              (paper: ~2x)", mean(&speedup_ncb));
     println!("vs cuZFP:     avg {:.1}x              (paper A100: avg 2.3x)", mean(&speedup_zfp));
-    println!("vs cuSZx:     avg {:.2}x              (paper: 1/1.5x = 0.67x — cuSZx is faster)",
-        mean(&speedup_szx));
+    println!(
+        "vs cuSZx:     avg {:.2}x              (paper: 1/1.5x = 0.67x — cuSZx is faster)",
+        mean(&speedup_szx)
+    );
     println!("vs MGARD-GPU: avg {:.0}x              (paper: 45.7-87x)", mean(&speedup_mgard));
 }

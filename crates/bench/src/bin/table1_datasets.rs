@@ -6,7 +6,13 @@ use fzgpu_data::{Scale, CATALOG};
 
 fn main() {
     let mut t = Table::new(&[
-        "dataset", "domain", "paper dims", "paper size", "#fields", "examples", "repro dims",
+        "dataset",
+        "domain",
+        "paper dims",
+        "paper size",
+        "#fields",
+        "examples",
+        "repro dims",
     ]);
     for info in &CATALOG {
         let paper_mb = info.full_dims.count() as f64 * 4.0 / 1e6;

@@ -8,6 +8,7 @@
 
 use fzgpu_baselines::{Baseline, CuZfp, Run, Setting};
 use fzgpu_core::lorenzo::Shape;
+use fzgpu_core::quant::ErrorBound;
 use fzgpu_core::{FzGpu, FzOmp, FzOptions};
 use fzgpu_data::{Field, Scale, CATALOG};
 use fzgpu_metrics::psnr;
@@ -100,13 +101,12 @@ pub fn zfp_match_psnr(
     target_psnr: f64,
 ) -> Option<(f64, Run)> {
     let mut best: Option<(f64, f64, Run)> = None; // (|dpsnr|, rate, run)
-    let ladder: Vec<f64> =
-        (1..=16).map(|r| r as f64).chain([18.0, 20.0, 24.0, 28.0]).collect();
+    let ladder: Vec<f64> = (1..=16).map(|r| r as f64).chain([18.0, 20.0, 24.0, 28.0]).collect();
     for rate in ladder {
         let run = zfp.run(data, shape, Setting::Rate(rate))?;
         let p = psnr(data, &run.reconstructed);
         let d = (p - target_psnr).abs();
-        let better = best.as_ref().map_or(true, |(bd, _, _)| d < *bd);
+        let better = best.as_ref().is_none_or(|(bd, _, _)| d < *bd);
         if better {
             best = Some((d, rate, run));
         } else if p > target_psnr {
@@ -120,6 +120,41 @@ pub fn zfp_match_psnr(
 /// Generate every catalog dataset's representative field at `scale`.
 pub fn all_fields(scale: Scale) -> Vec<Field> {
     CATALOG.iter().map(|info| info.generate(scale)).collect()
+}
+
+/// Profiles of one field's full round trip, for the observability harness
+/// (`cargo run -p fzgpu-bench --bin profiles`).
+pub struct FieldProfile {
+    /// Compress-phase timeline.
+    pub compress: fzgpu_sim::Profile,
+    /// Decompress-phase timeline.
+    pub decompress: fzgpu_sim::Profile,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+}
+
+impl FieldProfile {
+    /// Both phases joined into one trace (decompress shifted after
+    /// compress), for a single Chrome-trace file.
+    pub fn joined(&self) -> fzgpu_sim::Profile {
+        let mut p = self.compress.clone();
+        p.append(&self.decompress);
+        p
+    }
+}
+
+/// Compress + decompress `field` on `spec` at range-relative bound
+/// `rel_eb`, capturing a profile of each phase.
+///
+/// # Panics
+/// Panics when the freshly compressed stream fails to decompress — that is
+/// a pipeline bug, not an input condition.
+pub fn profile_field(field: &Field, spec: DeviceSpec, rel_eb: f64) -> FieldProfile {
+    let mut fz = FzGpu::new(spec);
+    let c = fz.compress(&field.data, shape_of(field), ErrorBound::RelToRange(rel_eb));
+    let compress = fz.profile();
+    fz.decompress(&c).expect("roundtrip of a fresh stream");
+    FieldProfile { compress, decompress: fz.profile(), ratio: c.ratio() }
 }
 
 /// Shape of a field as the core `Shape` tuple.

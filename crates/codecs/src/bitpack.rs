@@ -65,8 +65,7 @@ mod tests {
     fn roundtrip_various_widths() {
         for bits in [1u8, 3, 5, 8, 13, 16, 31, 32] {
             let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
-            let vals: Vec<u32> =
-                (0..100u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
+            let vals: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
             let words = pack(&vals, bits);
             assert_eq!(words.len(), words_for(100, bits));
             assert_eq!(unpack(&words, 100, bits), vals);

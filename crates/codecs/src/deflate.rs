@@ -130,7 +130,8 @@ mod tests {
 
     #[test]
     fn random_data_roundtrips_even_if_incompressible() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         let c = compress(&data);
         assert_eq!(decompress(&c).unwrap(), data);
     }
@@ -139,7 +140,10 @@ mod tests {
     fn truncated_stream_errors() {
         let data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
         let c = compress(&data);
-        assert!(decompress(&c[..c.len() - 1]).is_err() || decompress(&c[..c.len() - 1]).unwrap() != data);
+        assert!(
+            decompress(&c[..c.len() - 1]).is_err()
+                || decompress(&c[..c.len() - 1]).unwrap() != data
+        );
         assert!(decompress(&c[..3]).is_err());
     }
 

@@ -144,11 +144,8 @@ impl Codebook {
         if total == 0 {
             return 0.0;
         }
-        let bits: u64 = hist
-            .iter()
-            .enumerate()
-            .map(|(s, &c)| c as u64 * self.lengths[s] as u64)
-            .sum();
+        let bits: u64 =
+            hist.iter().enumerate().map(|(s, &c)| c as u64 * self.lengths[s] as u64).sum();
         bits as f64 / total as f64
     }
 }
@@ -324,8 +321,17 @@ mod tests {
 
     #[test]
     fn skewed_symbols_roundtrip() {
-        let symbols: Vec<u16> =
-            (0..1000).map(|i| if i % 10 == 0 { 3 } else if i % 100 == 0 { 7 } else { 0 }).collect();
+        let symbols: Vec<u16> = (0..1000)
+            .map(|i| {
+                if i % 10 == 0 {
+                    3
+                } else if i % 100 == 0 {
+                    7
+                } else {
+                    0
+                }
+            })
+            .collect();
         let book = Codebook::from_histogram(&hist_of(&symbols, 16)).unwrap();
         let bytes = encode(&book, &symbols).unwrap();
         assert_eq!(decode(&book, &bytes, symbols.len()).unwrap(), symbols);
@@ -366,10 +372,7 @@ mod tests {
                 let (la, lb) = (book.lengths[a] as u32, book.lengths[b] as u32);
                 if la <= lb {
                     let prefix = book.codes[b] >> (lb - la);
-                    assert!(
-                        prefix != book.codes[a],
-                        "code {a} is a prefix of {b}"
-                    );
+                    assert!(prefix != book.codes[a], "code {a} is a prefix of {b}");
                 }
             }
         }

@@ -34,7 +34,7 @@ pub fn decode(runs: &[Run]) -> Vec<u16> {
     let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
     let mut out = Vec::with_capacity(total);
     for &(s, l) in runs {
-        out.extend(std::iter::repeat(s).take(l as usize));
+        out.extend(std::iter::repeat_n(s, l as usize));
     }
     out
 }

@@ -49,9 +49,7 @@ impl Archive {
         };
         let chunks = data
             .chunks(chunk_values)
-            .map(|chunk| {
-                fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes
-            })
+            .map(|chunk| fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes)
             .collect();
         Self { total_values: data.len(), chunks }
     }
@@ -117,7 +115,9 @@ impl Archive {
         }
         let mut lens = Vec::with_capacity(nchunks);
         for i in 0..nchunks {
-            lens.push(u64::from_le_bytes(bytes[24 + 8 * i..32 + 8 * i].try_into().unwrap()) as usize);
+            lens.push(
+                u64::from_le_bytes(bytes[24 + 8 * i..32 + 8 * i].try_into().unwrap()) as usize
+            );
         }
         let mut chunks = Vec::with_capacity(nchunks);
         let mut pos = dir_end;

@@ -111,9 +111,8 @@ mod tests {
 
     #[test]
     fn fast_transpose_matches_naive_reference() {
-        let words: Vec<u32> = (0..TILE_WORDS as u32)
-            .map(|i| i.wrapping_mul(0x9E3779B9) ^ (i << 7))
-            .collect();
+        let words: Vec<u32> =
+            (0..TILE_WORDS as u32).map(|i| i.wrapping_mul(0x9E3779B9) ^ (i << 7)).collect();
         let input: &[u32; TILE_WORDS] = words.as_slice().try_into().unwrap();
         let mut fast = [0u32; TILE_WORDS];
         let mut naive = [0u32; TILE_WORDS];

@@ -43,12 +43,9 @@ impl FzOmp {
 
         // Stage 2: bitshuffle, parallel over tiles.
         let mut shuffled = vec![0u32; words.len()];
-        words
-            .par_chunks_exact(TILE_WORDS)
-            .zip(shuffled.par_chunks_exact_mut(TILE_WORDS))
-            .for_each(|(tin, tout)| {
-                shuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap())
-            });
+        words.par_chunks_exact(TILE_WORDS).zip(shuffled.par_chunks_exact_mut(TILE_WORDS)).for_each(
+            |(tin, tout)| shuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap()),
+        );
 
         // Stage 3: zero-block flags (parallel), prefix offsets, compaction
         // (parallel scatter using the offsets).
@@ -72,19 +69,16 @@ impl FzOmp {
 
         let mut payload = vec![0u32; present * BLOCK_WORDS];
         // Parallel scatter: each present block owns a disjoint output range.
-        payload
-            .par_chunks_exact_mut(BLOCK_WORDS)
-            .enumerate()
-            .for_each(|(slot, out)| {
-                // Binary-search the block whose offset == slot and flag set.
-                // offsets is nondecreasing; find first b with offsets[b] ==
-                // slot and flags[b] == 1.
-                let mut lo = offsets.partition_point(|&o| (o as usize) < slot);
-                while flags[lo] == 0 {
-                    lo += 1;
-                }
-                out.copy_from_slice(&shuffled[lo * BLOCK_WORDS..(lo + 1) * BLOCK_WORDS]);
-            });
+        payload.par_chunks_exact_mut(BLOCK_WORDS).enumerate().for_each(|(slot, out)| {
+            // Binary-search the block whose offset == slot and flag set.
+            // offsets is nondecreasing; find first b with offsets[b] ==
+            // slot and flags[b] == 1.
+            let mut lo = offsets.partition_point(|&o| (o as usize) < slot);
+            while flags[lo] == 0 {
+                lo += 1;
+            }
+            out.copy_from_slice(&shuffled[lo * BLOCK_WORDS..(lo + 1) * BLOCK_WORDS]);
+        });
 
         let header = Header {
             shape,
@@ -121,24 +115,18 @@ impl FzOmp {
 
         // Scatter.
         let mut shuffled = vec![0u32; num_blocks * BLOCK_WORDS];
-        shuffled
-            .par_chunks_exact_mut(BLOCK_WORDS)
-            .enumerate()
-            .for_each(|(b, out)| {
-                if flags[b] != 0 {
-                    let src = offsets[b] as usize * BLOCK_WORDS;
-                    out.copy_from_slice(&payload[src..src + BLOCK_WORDS]);
-                }
-            });
+        shuffled.par_chunks_exact_mut(BLOCK_WORDS).enumerate().for_each(|(b, out)| {
+            if flags[b] != 0 {
+                let src = offsets[b] as usize * BLOCK_WORDS;
+                out.copy_from_slice(&payload[src..src + BLOCK_WORDS]);
+            }
+        });
 
         // Un-shuffle.
         let mut words = vec![0u32; shuffled.len()];
-        shuffled
-            .par_chunks_exact(TILE_WORDS)
-            .zip(words.par_chunks_exact_mut(TILE_WORDS))
-            .for_each(|(tin, tout)| {
-                unshuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap())
-            });
+        shuffled.par_chunks_exact(TILE_WORDS).zip(words.par_chunks_exact_mut(TILE_WORDS)).for_each(
+            |(tin, tout)| unshuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap()),
+        );
 
         // Unpack + inverse dual-quantization.
         let codes = crate::pack::unpack_codes(&words, header.n_values);
@@ -170,8 +158,9 @@ mod tests {
     #[test]
     fn cpu_roundtrip_2d_relative_bound() {
         let (ny, nx) = (100, 200);
-        let data: Vec<f32> =
-            (0..ny * nx).map(|i| ((i / nx) as f32 * 0.1).sin() * ((i % nx) as f32 * 0.05).cos()).collect();
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|i| ((i / nx) as f32 * 0.1).sin() * ((i % nx) as f32 * 0.05).cos())
+            .collect();
         let fz = FzOmp;
         let c = fz.compress(&data, (1, ny, nx), ErrorBound::RelToRange(1e-3));
         let back = fz.decompress(&c).unwrap();

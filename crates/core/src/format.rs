@@ -106,22 +106,18 @@ impl Header {
         if n != header.n_values {
             return Err(FormatError::Inconsistent("shape vs n_values"));
         }
-        if !(header.eb > 0.0) {
+        if header.eb.is_nan() || header.eb <= 0.0 {
             return Err(FormatError::Inconsistent("non-positive error bound"));
         }
         // num_blocks is fully determined by n_values (codes are packed two
         // per word and padded to whole bitshuffle tiles) — reject anything
         // else so corrupted headers cannot drive out-of-bounds decode.
-        let words = header
-            .n_values
-            .div_ceil(2)
-            .div_ceil(crate::pack::TILE_WORDS)
-            .max(1)
+        let words = header.n_values.div_ceil(2).div_ceil(crate::pack::TILE_WORDS).max(1)
             * crate::pack::TILE_WORDS;
         if header.num_blocks != words / crate::zeroblock::BLOCK_WORDS {
             return Err(FormatError::Inconsistent("num_blocks vs n_values"));
         }
-        if header.payload_words % crate::zeroblock::BLOCK_WORDS != 0 {
+        if !header.payload_words.is_multiple_of(crate::zeroblock::BLOCK_WORDS) {
             return Err(FormatError::Inconsistent("payload not block-aligned"));
         }
         if header.payload_words > words {
@@ -225,11 +221,7 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let h = sample_header();
-        let bytes = assemble(
-            &h,
-            &vec![0u32; h.bitflag_words()],
-            &vec![0u32; h.payload_words],
-        );
+        let bytes = assemble(&h, &vec![0u32; h.bitflag_words()], &vec![0u32; h.payload_words]);
         assert!(matches!(disassemble(&bytes[..bytes.len() - 1]), Err(FormatError::Truncated)));
     }
 }

@@ -51,9 +51,15 @@ pub fn bitshuffle_mark(
     let bit_flags: GpuBuffer<u32> = gpu.alloc(nflags.div_ceil(32));
 
     match variant {
-        ShuffleVariant::Fused => {
-            fused_kernel(gpu, "bitshuffle_mark_fused", words, &shuffled, &byte_flags, &bit_flags, 33)
-        }
+        ShuffleVariant::Fused => fused_kernel(
+            gpu,
+            "bitshuffle_mark_fused",
+            words,
+            &shuffled,
+            &byte_flags,
+            &bit_flags,
+            33,
+        ),
         ShuffleVariant::FusedUnpadded => fused_kernel(
             gpu,
             "bitshuffle_mark_fused_unpadded",
@@ -134,9 +140,7 @@ fn fused_kernel(
                 w.store(bit_flags, |l| {
                     (l.id == 0).then_some((tile * (FLAGS_PER_TILE / 32) + g, mask))
                 });
-                w.store(byte_flags, |l| {
-                    Some((tile * FLAGS_PER_TILE + g * 32 + l.id, f[l.id]))
-                });
+                w.store(byte_flags, |l| Some((tile * FLAGS_PER_TILE + g * 32 + l.id, f[l.id])));
             }
         });
         blk.warps(|w| {
@@ -215,7 +219,7 @@ mod tests {
             .map(|i| {
                 let i = i as u32;
                 // Mix of small codes (mostly-zero planes) and occasional big ones.
-                if i % 97 == 0 {
+                if i.is_multiple_of(97) {
                     i.wrapping_mul(2654435761)
                 } else {
                     (i % 7) | ((i % 5) << 16)

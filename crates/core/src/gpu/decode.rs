@@ -56,8 +56,7 @@ pub fn scatter(
             for k in 0..BLOCK_WORDS {
                 let v = w.load(payload, |l| {
                     let b = base + l.ltid;
-                    (b < nflags && flag[l.id] != 0)
-                        .then(|| off[l.id] as usize * BLOCK_WORDS + k)
+                    (b < nflags && flag[l.id] != 0).then(|| off[l.id] as usize * BLOCK_WORDS + k)
                 });
                 // Zero blocks rely on the freshly allocated (zeroed) buffer.
                 w.store(&shuffled, |l| {
@@ -148,7 +147,8 @@ pub fn integrate_x(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
                 let as_u: [u32; 32] = core::array::from_fn(|i| v[i] as u32);
                 let scanned = w.scan_add(&as_u);
                 w.store(q, |l| {
-                    (x + l.id < nx).then(|| (base + x + l.id, scanned[l.id].wrapping_add(carry) as i32))
+                    (x + l.id < nx)
+                        .then(|| (base + x + l.id, scanned[l.id].wrapping_add(carry) as i32))
                 });
                 let last = 32.min(nx - x) - 1;
                 carry = carry.wrapping_add(scanned[last]);
@@ -163,27 +163,22 @@ pub fn integrate_x(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
 pub fn integrate_y(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
     let (nz, ny, nx) = shape;
     let col_groups = nx.div_ceil(32);
-    gpu.launch(
-        "decode.integrate_y",
-        (col_groups as u32, nz as u32),
-        32u32,
-        |blk| {
-            let x0 = blk.block_idx.x as usize * 32;
-            let z = blk.block_idx.y as usize;
-            blk.warps(|w| {
-                let mut acc = [0i32; 32];
-                for y in 0..ny {
-                    let base = (z * ny + y) * nx + x0;
-                    let v = w.load(q, |l| (x0 + l.id < nx).then_some(base + l.id));
-                    for i in 0..32 {
-                        acc[i] = acc[i].wrapping_add(v[i]);
-                    }
-                    let snapshot = acc;
-                    w.store(q, |l| (x0 + l.id < nx).then(|| (base + l.id, snapshot[l.id])));
+    gpu.launch("decode.integrate_y", (col_groups as u32, nz as u32), 32u32, |blk| {
+        let x0 = blk.block_idx.x as usize * 32;
+        let z = blk.block_idx.y as usize;
+        blk.warps(|w| {
+            let mut acc = [0i32; 32];
+            for y in 0..ny {
+                let base = (z * ny + y) * nx + x0;
+                let v = w.load(q, |l| (x0 + l.id < nx).then_some(base + l.id));
+                for i in 0..32 {
+                    acc[i] = acc[i].wrapping_add(v[i]);
                 }
-            });
-        },
-    );
+                let snapshot = acc;
+                w.store(q, |l| (x0 + l.id < nx).then(|| (base + l.id, snapshot[l.id])));
+            }
+        });
+    });
 }
 
 /// Step 6c: integrate along z.
@@ -227,7 +222,12 @@ pub fn dequantize(gpu: &mut Gpu, q: &GpuBuffer<i32>, eb: f64) -> GpuBuffer<f32> 
 }
 
 /// Full inverse dual-quantization: deltas -> reconstructed field.
-pub fn inverse_lorenzo(gpu: &mut Gpu, deltas: &GpuBuffer<i32>, shape: Shape, eb: f64) -> GpuBuffer<f32> {
+pub fn inverse_lorenzo(
+    gpu: &mut Gpu,
+    deltas: &GpuBuffer<i32>,
+    shape: Shape,
+    eb: f64,
+) -> GpuBuffer<f32> {
     let rank = rank_of(shape);
     integrate_x(gpu, deltas, shape);
     if rank >= 2 {
@@ -288,8 +288,7 @@ mod tests {
     #[test]
     fn integrate_matches_cpu_3d() {
         let shape = (6, 40, 70);
-        let deltas: Vec<i32> =
-            (0..6 * 40 * 70).map(|i| ((i * 31) % 23) as i32 - 11).collect();
+        let deltas: Vec<i32> = (0..6 * 40 * 70).map(|i| ((i * 31) % 23) - 11).collect();
         let mut cpu = deltas.clone();
         lorenzo::integrate(&mut cpu, shape);
         let mut gpu = Gpu::new(A100);
@@ -304,7 +303,7 @@ mod tests {
     fn integrate_matches_cpu_1d_long_row() {
         // Row longer than one warp stride exercises the carry logic.
         let shape = (1, 1, 1000);
-        let deltas: Vec<i32> = (0..1000).map(|i| (i % 7) as i32 - 3).collect();
+        let deltas: Vec<i32> = (0..1000).map(|i| (i % 7) - 3).collect();
         let mut cpu = deltas.clone();
         lorenzo::integrate(&mut cpu, shape);
         let mut gpu = Gpu::new(A100);

@@ -183,8 +183,9 @@ mod tests {
 
     #[test]
     fn matches_unfused_on_rough_data() {
-        let data: Vec<f32> =
-            (0..TILE_CODES).map(|i| ((i as u32).wrapping_mul(2654435761) >> 16) as f32 * 0.1).collect();
+        let data: Vec<f32> = (0..TILE_CODES)
+            .map(|i| ((i as u32).wrapping_mul(2654435761) >> 16) as f32 * 0.1)
+            .collect();
         compare_against_unfused(&data, 1e-2);
     }
 

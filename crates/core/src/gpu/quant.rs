@@ -26,7 +26,12 @@ fn prequant_scalar(v: f32, ebx2_inv: f64) -> i32 {
 }
 
 /// Optimized dual-quantization: f32 field -> sign-magnitude u16 codes.
-pub fn pred_quant_v2(gpu: &mut Gpu, input: &GpuBuffer<f32>, shape: Shape, eb: f64) -> GpuBuffer<u16> {
+pub fn pred_quant_v2(
+    gpu: &mut Gpu,
+    input: &GpuBuffer<f32>,
+    shape: Shape,
+    eb: f64,
+) -> GpuBuffer<u16> {
     let (nz, ny, nx) = shape;
     let n = nz * ny * nx;
     assert_eq!(input.len(), n);
@@ -76,6 +81,7 @@ fn encode_delta(delta: i32, v1: bool) -> (u16, Option<i32>) {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal launcher mirroring the CUDA signature
 fn launch_1d(
     gpu: &mut Gpu,
     name: &str,
@@ -152,14 +158,15 @@ fn launch_tiled(
 
         // Load + prequantize one plane (plus halo) into shared.
         // `plane_z = None` loads nothing (leaves zeros = boundary).
-        let load_plane = |blk: &mut fzgpu_sim::BlockCtx<'_>, sh: &fzgpu_sim::Shared<i32>, zz: usize| {
+        let load_plane = |blk: &mut fzgpu_sim::BlockCtx<'_>,
+                          sh: &fzgpu_sim::Shared<i32>,
+                          zz: usize| {
             blk.warps(|w| {
                 let ly = w.warp_id; // row within tile
                 let gy = y0 + ly;
                 // Main 32x32 tile, coalesced row loads.
-                let v = w.load(input, |l| {
-                    (gy < ny && x0 + l.id < nx).then(|| lin(zz, gy, x0 + l.id))
-                });
+                let v =
+                    w.load(input, |l| (gy < ny && x0 + l.id < nx).then(|| lin(zz, gy, x0 + l.id)));
                 let q = w.lanes(|l| prequant_scalar(v[l.id], ebx2_inv));
                 w.sh_store(sh, |l| {
                     (gy < ny && x0 + l.id < nx).then(|| ((ly + 1) * S + l.id + 1, q[l.id]))
@@ -167,14 +174,16 @@ fn launch_tiled(
                 match ly {
                     0 if y0 > 0 => {
                         // Halo row y0-1.
-                        let hv = w.load(input, |l| (x0 + l.id < nx).then(|| lin(zz, y0 - 1, x0 + l.id)));
+                        let hv =
+                            w.load(input, |l| (x0 + l.id < nx).then(|| lin(zz, y0 - 1, x0 + l.id)));
                         let hq = w.lanes(|l| prequant_scalar(hv[l.id], ebx2_inv));
                         w.sh_store(sh, |l| (x0 + l.id < nx).then(|| (l.id + 1, hq[l.id])));
                     }
                     1 if x0 > 0 => {
                         // Halo column x0-1: lane id plays the row index
                         // (strided global access, charged as such).
-                        let hv = w.load(input, |l| (y0 + l.id < ny).then(|| lin(zz, y0 + l.id, x0 - 1)));
+                        let hv =
+                            w.load(input, |l| (y0 + l.id < ny).then(|| lin(zz, y0 + l.id, x0 - 1)));
                         let hq = w.lanes(|l| prequant_scalar(hv[l.id], ebx2_inv));
                         w.sh_store(sh, |l| (y0 + l.id < ny).then(|| ((l.id + 1) * S, hq[l.id])));
                     }
@@ -277,8 +286,9 @@ mod tests {
     #[test]
     fn v2_matches_cpu_reference_2d() {
         let (ny, nx) = (70, 97); // deliberately not multiples of 32
-        let data: Vec<f32> =
-            (0..ny * nx).map(|i| ((i / nx) as f32 * 0.2).sin() + ((i % nx) as f32 * 0.1).cos()).collect();
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|i| ((i / nx) as f32 * 0.2).sin() + ((i % nx) as f32 * 0.1).cos())
+            .collect();
         let shape = (1, ny, nx);
         let eb = 5e-4;
         let mut gpu = Gpu::new(A100);

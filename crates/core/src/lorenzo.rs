@@ -50,8 +50,7 @@ pub fn forward(data: &[f32], shape: Shape, eb: f64) -> Vec<u16> {
                             + at(z - 1, y - 1, x - 1)
                     }
                 };
-                plane[(y * nx as isize + x) as usize] =
-                    delta_to_code((at(z, y, x) - pred) as i32);
+                plane[(y * nx as isize + x) as usize] = delta_to_code((at(z, y, x) - pred) as i32);
             }
         }
     });
@@ -102,8 +101,7 @@ pub fn lorenzo_delta(q: &[i32], shape: Shape) -> Vec<i32> {
                             + at(z - 1, y - 1, x - 1)
                     }
                 };
-                plane[(y * nx as isize + x) as usize] =
-                    (at(z, y, x) - pred) as i32;
+                plane[(y * nx as isize + x) as usize] = (at(z, y, x) - pred) as i32;
             }
         }
     });
@@ -187,8 +185,9 @@ mod tests {
     #[test]
     fn roundtrip_2d_smooth() {
         let (ny, nx) = (37, 53);
-        let data: Vec<f32> =
-            (0..ny * nx).map(|i| ((i / nx) as f32 * 0.1).cos() + ((i % nx) as f32 * 0.07).sin()).collect();
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|i| ((i / nx) as f32 * 0.1).cos() + ((i % nx) as f32 * 0.07).sin())
+            .collect();
         roundtrip_shape((1, ny, nx), &data, 5e-4);
     }
 
@@ -226,7 +225,7 @@ mod tests {
     #[test]
     fn delta_integrate_are_inverse_3d() {
         let shape = (4, 5, 6);
-        let q: Vec<i32> = (0..120).map(|i| ((i * 37) % 100) as i32 - 50).collect();
+        let q: Vec<i32> = (0..120).map(|i| ((i * 37) % 100) - 50).collect();
         let mut d = lorenzo_delta(&q, shape);
         integrate(&mut d, shape);
         assert_eq!(d, q);

@@ -6,7 +6,7 @@
 //! on the [`fzgpu_sim::Gpu`] simulator; the stream bytes are bit-exact
 //! products of the kernels, the kernel times come from the device model.
 
-use fzgpu_sim::{DeviceSpec, Event, Gpu, GpuBuffer};
+use fzgpu_sim::{DeviceSpec, Event, Gpu, GpuBuffer, Profile};
 
 use crate::format::{assemble, disassemble, FormatError, Header};
 use crate::gpu::bitshuffle::{bitshuffle_mark, ShuffleVariant};
@@ -118,7 +118,8 @@ impl FzGpu {
         // Stage 3: prefix sum + compaction.
         let d_wide = genc::widen_flags(&mut self.gpu, &d_byte_flags);
         let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
-        let d_payload = genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present);
+        let d_payload =
+            genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present);
 
         let header = Header {
             shape,
@@ -173,6 +174,26 @@ impl FzGpu {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Snapshot the last call's timeline as a [`fzgpu_sim::Profile`]
+    /// (per-kernel counters, roofline attribution, Chrome-trace export).
+    pub fn profile(&self) -> Profile {
+        Profile::capture(&self.gpu)
+    }
+
+    /// Kernel time of the last call grouped by pipeline stage
+    /// (see [`crate::gpu::stage_of`]), in order of first launch.
+    pub fn stage_times(&self) -> Vec<(&'static str, f64)> {
+        let mut stages: Vec<(&'static str, f64)> = Vec::new();
+        for (name, time) in self.kernel_breakdown() {
+            let stage = crate::gpu::stage_of(&name);
+            match stages.iter_mut().find(|(s, _)| *s == stage) {
+                Some((_, t)) => *t += time,
+                None => stages.push((stage, time)),
+            }
+        }
+        stages
     }
 
     /// Compression throughput in GB/s for `n_values` f32s at the last
@@ -289,10 +310,8 @@ mod tests {
         let n = 10_000;
         let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.004).sin() * 7.0).collect();
         let mut normal = FzGpu::new(A100);
-        let mut fused = FzGpu::with_options(
-            A100,
-            FzOptions { full_fusion_1d: true, ..FzOptions::default() },
-        );
+        let mut fused =
+            FzGpu::with_options(A100, FzOptions { full_fusion_1d: true, ..FzOptions::default() });
         let c1 = normal.compress(&data, (1, 1, n), ErrorBound::Abs(1e-3));
         let c2 = fused.compress(&data, (1, 1, n), ErrorBound::Abs(1e-3));
         assert_eq!(c1.bytes, c2.bytes);
@@ -308,8 +327,7 @@ mod tests {
         let shape = (1, 96, 96);
         let data = smooth_3d(1, 96, 96);
         let mut fused = FzGpu::new(A100);
-        let mut unfused =
-            FzGpu::with_options(
+        let mut unfused = FzGpu::with_options(
             A100,
             FzOptions { shuffle: ShuffleVariant::Unfused, ..FzOptions::default() },
         );

@@ -51,8 +51,7 @@ pub fn encode(words: &[u32]) -> ZeroBlockStream {
 /// # Panics
 /// Panics when the payload length disagrees with the flag population count.
 pub fn decode(stream: &ZeroBlockStream) -> Vec<u32> {
-    let present: usize =
-        stream.bit_flags.iter().map(|w| w.count_ones() as usize).sum();
+    let present: usize = stream.bit_flags.iter().map(|w| w.count_ones() as usize).sum();
     assert_eq!(
         present * BLOCK_WORDS,
         stream.payload.len(),

@@ -107,7 +107,7 @@ impl DatasetInfo {
     /// (point-wise relative bound via log transform + absolute bound).
     pub fn generate(&self, scale: Scale) -> Field {
         let dims = self.dims(scale);
-        let seed = 0xF2_6002_3000 ^ self.name.len() as u64 * 7919;
+        let seed = 0xF2_6002_3000 ^ (self.name.len() as u64 * 7919);
         match self.name {
             "HACC" => {
                 let raw = synth::particles(dims.count(), seed, 24, 64.0);
@@ -116,14 +116,26 @@ impl DatasetInfo {
             "CESM" => {
                 // CLDICE-class: smooth where clouds exist, exactly zero
                 // elsewhere (the regime Table 1's example fields live in).
-                Field::new("CLDICE", self.name, dims, synth::floored(dims, seed, 48, 1.7, 0.004, 0.55))
+                Field::new(
+                    "CLDICE",
+                    self.name,
+                    dims,
+                    synth::floored(dims, seed, 48, 1.7, 0.004, 0.55),
+                )
             }
-            "Hurricane" => {
-                Field::new("CLDICE", self.name, dims, synth::floored(dims, seed, 40, 1.5, 0.006, 0.5))
+            "Hurricane" => Field::new(
+                "CLDICE",
+                self.name,
+                dims,
+                synth::floored(dims, seed, 40, 1.5, 0.006, 0.5),
+            ),
+            "Nyx" => {
+                Field::new("baryon_density", self.name, dims, synth::lognormal(dims, seed, 1.8))
             }
-            "Nyx" => Field::new("baryon_density", self.name, dims, synth::lognormal(dims, seed, 1.8)),
             "QMCPACK" => Field::new("einspline", self.name, dims, synth::oscillatory(dims, seed)),
-            "RTM" => Field::new("snapshot_1200", self.name, dims, synth::wavefield(dims, seed, 0.43)),
+            "RTM" => {
+                Field::new("snapshot_1200", self.name, dims, synth::wavefield(dims, seed, 0.43))
+            }
             other => unreachable!("unknown dataset {other}"),
         }
     }

@@ -43,12 +43,13 @@ pub fn read_f32_file(path: &Path, dims: Dims) -> Result<Field, IoError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     if bytes.len() != dims.count() * 4 {
-        return Err(IoError::BadLength { expected_values: dims.count(), actual_bytes: bytes.len() });
+        return Err(IoError::BadLength {
+            expected_values: dims.count(),
+            actual_bytes: bytes.len(),
+        });
     }
-    let data: Vec<f32> = bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let data: Vec<f32> =
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
     let name = path.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
     Ok(Field::new(name, "file", dims, data))
 }
@@ -56,7 +57,7 @@ pub fn read_f32_file(path: &Path, dims: Dims) -> Result<Field, IoError> {
 /// Read a raw f32 file as a flat 1D field (dims inferred from length).
 pub fn read_f32_file_flat(path: &Path) -> Result<Field, IoError> {
     let len = std::fs::metadata(path)?.len() as usize;
-    if len % 4 != 0 {
+    if !len.is_multiple_of(4) {
         return Err(IoError::BadLength { expected_values: len / 4, actual_bytes: len });
     }
     read_f32_file(path, Dims::D1(len / 4))
@@ -75,7 +76,8 @@ pub fn write_f32_file(path: &Path, data: &[f32]) -> Result<(), IoError> {
 /// Parse a dims string like `"512x512x512"`, `"1800x3600"`, or `"1048576"`
 /// (slowest axis first, matching SDRBench file names).
 pub fn parse_dims(s: &str) -> Option<Dims> {
-    let parts: Vec<usize> = s.split(['x', 'X']).map(|p| p.trim().parse().ok()).collect::<Option<_>>()?;
+    let parts: Vec<usize> =
+        s.split(['x', 'X']).map(|p| p.trim().parse().ok()).collect::<Option<_>>()?;
     match parts.as_slice() {
         [n] if *n > 0 => Some(Dims::D1(*n)),
         [ny, nx] if *ny > 0 && *nx > 0 => Some(Dims::D2(*ny, *nx)),
@@ -110,10 +112,7 @@ mod tests {
     fn wrong_length_rejected() {
         let path = tmp("badlen");
         write_f32_file(&path, &[1.0, 2.0, 3.0]).unwrap();
-        assert!(matches!(
-            read_f32_file(&path, Dims::D1(4)),
-            Err(IoError::BadLength { .. })
-        ));
+        assert!(matches!(read_f32_file(&path, Dims::D1(4)), Err(IoError::BadLength { .. })));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -9,8 +9,8 @@
 
 pub mod catalog;
 pub mod dims;
-pub mod io;
 pub mod field;
+pub mod io;
 pub mod synth;
 
 pub use catalog::{dataset, DatasetInfo, Scale, CATALOG};

@@ -34,9 +34,13 @@ pub fn multiscale(dims: Dims, seed: u64, modes: usize, alpha: f64, noise: f64) -
         .map(|m| {
             let frac = (m as f64 + 0.5) / modes as f64;
             let k = k_max.powf(frac); // geometric ladder from 1 to k_max
-            // Random direction on the (active-axis) sphere, scaled by k.
+                                      // Random direction on the (active-axis) sphere, scaled by k.
             let dir = |active: bool, r: &mut StdRng| -> f64 {
-                if active { r.gen_range(-1.0..1.0) } else { 0.0 }
+                if active {
+                    r.gen_range(-1.0..1.0)
+                } else {
+                    0.0
+                }
             };
             let (dx, dy, dz) =
                 (dir(nx > 1, &mut rng), dir(ny > 1, &mut rng), dir(nz > 1, &mut rng));
@@ -50,7 +54,8 @@ pub fn multiscale(dims: Dims, seed: u64, modes: usize, alpha: f64, noise: f64) -
 
     let mut out = vec![0f32; dims.count()];
     out.par_chunks_mut(ny * nx).enumerate().for_each(|(z, plane)| {
-        let mut nrng = StdRng::seed_from_u64(noise_seed ^ (z as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut nrng =
+            StdRng::seed_from_u64(noise_seed ^ (z as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let fz = z as f64 / nz.max(1) as f64;
         for y in 0..ny {
             let fy = y as f64 / ny.max(1) as f64;
@@ -76,7 +81,14 @@ pub fn multiscale(dims: Dims, seed: u64, modes: usize, alpha: f64, noise: f64) -
 /// zero wherever the process is absent). `coverage` is the nonzero
 /// fraction. The flat regions are what let SZ-family compressors reach
 /// very high ratios at large bounds on such fields.
-pub fn floored(dims: Dims, seed: u64, modes: usize, alpha: f64, noise: f64, coverage: f64) -> Vec<f32> {
+pub fn floored(
+    dims: Dims,
+    seed: u64,
+    modes: usize,
+    alpha: f64,
+    noise: f64,
+    coverage: f64,
+) -> Vec<f32> {
     let base = multiscale(dims, seed, modes, alpha, noise);
     // Estimate the coverage quantile from a subsample.
     let mut sample: Vec<f32> = base.iter().copied().step_by((base.len() / 65536).max(1)).collect();
@@ -172,8 +184,7 @@ pub fn oscillatory(dims: Dims, seed: u64) -> Vec<f32> {
 pub fn wavefield(dims: Dims, seed: u64, t: f64) -> Vec<f32> {
     let (nz, ny, nx) = dims.as_3d();
     let mut rng = StdRng::seed_from_u64(seed);
-    let (sz, sy, sx) =
-        (rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7));
+    let (sz, sy, sx) = (rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7));
     let front = t * 1.2; // radius of the wavefront in normalized coords
     let wavelen = 0.09;
     let mut out = vec![0f32; dims.count()];

@@ -58,10 +58,7 @@ pub fn error_autocorrelation(original: &[f32], reconstructed: &[f32], lag: usize
     if var == 0.0 {
         return 0.0;
     }
-    let cov: f64 = err
-        .windows(lag + 1)
-        .map(|w| (w[0] - mean) * (w[lag] - mean))
-        .sum::<f64>()
+    let cov: f64 = err.windows(lag + 1).map(|w| (w[0] - mean) * (w[lag] - mean)).sum::<f64>()
         / (n - lag as f64);
     cov / var
 }

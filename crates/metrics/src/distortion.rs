@@ -65,7 +65,11 @@ pub fn nrmse(original: &[f32], reconstructed: &[f32]) -> f64 {
 /// Check the error-bounded-lossy-compression contract: every point of the
 /// reconstruction within `bound` (plus float slack) of the original.
 /// Returns the first violating index if any.
-pub fn verify_error_bound(original: &[f32], reconstructed: &[f32], bound: f64) -> Result<(), usize> {
+pub fn verify_error_bound(
+    original: &[f32],
+    reconstructed: &[f32],
+    bound: f64,
+) -> Result<(), usize> {
     assert_eq!(original.len(), reconstructed.len());
     let slack = bound * 1e-5 + 1e-30;
     match original

@@ -84,7 +84,8 @@ mod tests {
     #[test]
     fn small_noise_degrades_slightly() {
         let a = plane(64, 64, |y, x| ((x + y) as f32 * 0.2).sin());
-        let b: Vec<f32> = a.iter().enumerate().map(|(i, &v)| v + ((i % 7) as f32 - 3.0) * 0.002).collect();
+        let b: Vec<f32> =
+            a.iter().enumerate().map(|(i, &v)| v + ((i % 7) as f32 - 3.0) * 0.002).collect();
         let s = ssim_2d(&a, &b, 64, 64);
         assert!(s > 0.9 && s < 1.0, "ssim {s}");
     }
@@ -93,15 +94,19 @@ mod tests {
     fn heavy_distortion_scores_lower_than_light() {
         let a = plane(64, 64, |y, x| ((x * 3 + y) as f32 * 0.1).cos());
         let light: Vec<f32> = a.iter().map(|&v| v + 0.01).collect();
-        let heavy: Vec<f32> =
-            a.iter().enumerate().map(|(i, &v)| if i % 2 == 0 { v + 0.4 } else { v - 0.4 }).collect();
+        let heavy: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 2 == 0 { v + 0.4 } else { v - 0.4 })
+            .collect();
         assert!(ssim_2d(&a, &light, 64, 64) > ssim_2d(&a, &heavy, 64, 64));
     }
 
     #[test]
     fn uncorrelated_planes_score_low() {
         let a = plane(32, 32, |y, x| ((x as f32 * 0.7).sin() + (y as f32 * 0.3).cos()) * 5.0);
-        let b = plane(32, 32, |y, x| (((31 - x) as f32 * 1.3).cos() - (y as f32 * 0.9).sin()) * 5.0);
+        let b =
+            plane(32, 32, |y, x| (((31 - x) as f32 * 1.3).cos() - (y as f32 * 0.9).sin()) * 5.0);
         assert!(ssim_2d(&a, &b, 32, 32) < 0.5);
     }
 

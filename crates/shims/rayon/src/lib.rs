@@ -1,0 +1,209 @@
+//! Workspace-local stand-in for the `rayon` crate.
+//!
+//! The build environment is offline (no crates.io access) and runs on a
+//! single CPU, so this shim keeps rayon's *call-site API* — `par_iter`,
+//! `par_chunks_mut`, `into_par_iter`, the `fold`/`reduce`(identity, op)
+//! shapes — while executing sequentially. Sequential execution is a valid
+//! rayon schedule (one worker, one split), so every caller's semantics are
+//! preserved exactly; determinism improves for free.
+//!
+//! Only the surface actually used in this workspace is provided. If a new
+//! adapter is needed, add it to [`Par`] rather than reaching for std
+//! iterators at the call site, so a future swap to real rayon stays a
+//! one-line `Cargo.toml` change.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// exposes rayon-shaped adapters (notably the two-argument
+/// `reduce(identity, op)` and `fold(identity, op)`, which differ from
+/// [`Iterator`]'s one-argument forms).
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Map each item (rayon: `ParallelIterator::map`).
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<core::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<core::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    /// Enumerate items with their index.
+    pub fn enumerate(self) -> Par<core::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<core::iter::Filter<I, P>> {
+        Par(self.0.filter(p))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Collect into any [`FromIterator`] container (order preserved, as
+    /// rayon's indexed collect guarantees).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// rayon's `reduce`: fold with an identity-producing closure. With one
+    /// sequential split this is a plain fold seeded by `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon's `fold`: produces one accumulator per split — a single one
+    /// here — as a parallel iterator, ready for a following `reduce`.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<core::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(core::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// rayon's `position_any`: index of some item matching the predicate
+    /// (sequentially: the first).
+    pub fn position_any<P: FnMut(I::Item) -> bool>(mut self, p: P) -> Option<usize> {
+        self.0.position(p)
+    }
+}
+
+impl<'a, I, T: 'a + Copy> Par<I>
+where
+    I: Iterator<Item = &'a T>,
+{
+    /// Copy out of a by-reference iterator.
+    pub fn copied(self) -> Par<core::iter::Copied<I>> {
+        Par(self.0.copied())
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Par<I::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Slice views as parallel iterators (`rayon::slice::ParallelSlice` etc.).
+pub trait ParallelSliceExt<T> {
+    fn par_iter(&self) -> Par<core::slice::Iter<'_, T>>;
+    fn par_iter_mut(&mut self) -> Par<core::slice::IterMut<'_, T>>;
+    fn par_chunks(&self, size: usize) -> Par<core::slice::Chunks<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> Par<core::slice::ChunksMut<'_, T>>;
+    fn par_chunks_exact(&self, size: usize) -> Par<core::slice::ChunksExact<'_, T>>;
+    fn par_chunks_exact_mut(&mut self, size: usize) -> Par<core::slice::ChunksExactMut<'_, T>>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> Par<core::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+
+    fn par_iter_mut(&mut self) -> Par<core::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_chunks(&self, size: usize) -> Par<core::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> Par<core::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+
+    fn par_chunks_exact(&self, size: usize) -> Par<core::slice::ChunksExact<'_, T>> {
+        Par(self.chunks_exact(size))
+    }
+
+    fn par_chunks_exact_mut(&mut self, size: usize) -> Par<core::slice::ChunksExactMut<'_, T>> {
+        Par(self.chunks_exact_mut(size))
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, Par, ParallelSliceExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..100u32).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v[7], 14);
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn two_arg_reduce_matches_rayon_semantics() {
+        let data = [3.0f32, -1.0, 7.5];
+        let hi = data.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max);
+        assert_eq!(hi, 7.5);
+        let empty: [f32; 0] = [];
+        assert_eq!(empty.par_iter().copied().reduce(|| 0.0, f32::max), 0.0);
+    }
+
+    #[test]
+    fn fold_then_reduce_histogram_shape() {
+        let codes = [1usize, 2, 2, 3, 3, 3];
+        let hist = codes
+            .par_chunks(2)
+            .fold(
+                || vec![0u32; 4],
+                |mut h, chunk| {
+                    for &c in chunk {
+                        h[c] += 1;
+                    }
+                    h
+                },
+            )
+            .reduce(
+                || vec![0u32; 4],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(hist, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunks_mut_for_each_writes_through() {
+        let mut v = vec![0u32; 8];
+        v.par_chunks_mut(4).enumerate().for_each(|(i, c)| c.fill(i as u32 + 1));
+        assert_eq!(v, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn zip_and_position_any() {
+        let a = [1, 2, 3];
+        let b = [1, 2, 4];
+        let pos = a.par_iter().zip(b.par_iter()).position_any(|(&x, &y)| x != y);
+        assert_eq!(pos, Some(2));
+    }
+}

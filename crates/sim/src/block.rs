@@ -123,6 +123,7 @@ impl<'g> BlockCtx<'g> {
             self.spec.smem_per_block,
             self.spec.name
         );
+        self.stats.smem_bytes_peak = self.stats.smem_bytes_peak.max(self.shared_bytes as u64);
         Shared::new(len)
     }
 

@@ -1,0 +1,242 @@
+//! Counter budgets: declarative limits on [`KernelStats`] that tests and
+//! benches assert after a launch.
+//!
+//! A [`StatsBudget`] locks in a kernel's *hardware behaviour*, not its
+//! timing: zero bank conflicts for the padded bitshuffle tile, coalescing
+//! efficiency above a floor on the fused path, sector traffic within a
+//! factor of the streaming minimum. Timing drifts with the model's
+//! constants; the counters are exact, so budget regressions are real
+//! algorithmic regressions.
+
+use crate::perf::KernelStats;
+
+/// One violated budget constraint, with the observed and allowed values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetViolation {
+    /// The budget's name (usually the kernel under test).
+    pub budget: String,
+    /// Which constraint failed.
+    pub constraint: &'static str,
+    /// Observed value, formatted.
+    pub actual: String,
+    /// The configured limit, formatted.
+    pub limit: String,
+}
+
+impl core::fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: got {}, budget {}",
+            self.budget, self.constraint, self.actual, self.limit
+        )
+    }
+}
+
+/// A set of upper/lower bounds over kernel counters. Build with the
+/// chained setters, then [`check`](StatsBudget::check) or
+/// [`assert`](StatsBudget::assert) against a launch's merged stats.
+///
+/// ```
+/// use fzgpu_sim::{KernelStats, StatsBudget};
+///
+/// let budget = StatsBudget::new("bitshuffle_fused")
+///     .max_conflict_cycles(0)
+///     .min_coalescing_efficiency(0.9);
+/// let stats = KernelStats { global_sectors: 4, global_bytes_requested: 128, ..Default::default() };
+/// budget.assert(&stats);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StatsBudget {
+    name: String,
+    max_conflict_cycles: Option<u64>,
+    min_coalescing_efficiency: Option<f64>,
+    max_traffic_amplification: Option<f64>,
+    max_global_sectors: Option<u64>,
+    min_lane_utilization: Option<f64>,
+    max_barriers: Option<u64>,
+}
+
+impl StatsBudget {
+    /// Start an empty budget named after the kernel or pipeline under test.
+    pub fn new(name: impl Into<String>) -> Self {
+        StatsBudget { name: name.into(), ..Default::default() }
+    }
+
+    /// Allow at most this many serialized bank-conflict cycles
+    /// (0 = the kernel must be conflict-free).
+    pub fn max_conflict_cycles(mut self, cycles: u64) -> Self {
+        self.max_conflict_cycles = Some(cycles);
+        self
+    }
+
+    /// Require at least this coalescing efficiency (requested/moved bytes).
+    pub fn min_coalescing_efficiency(mut self, efficiency: f64) -> Self {
+        self.min_coalescing_efficiency = Some(efficiency);
+        self
+    }
+
+    /// Allow at most this traffic amplification (moved/requested bytes).
+    pub fn max_traffic_amplification(mut self, factor: f64) -> Self {
+        self.max_traffic_amplification = Some(factor);
+        self
+    }
+
+    /// Allow at most this many 32-byte global sectors. Pair with
+    /// [`crate::memory::GpuBuffer::min_sectors`] to bound a kernel to a
+    /// multiple of its streaming minimum.
+    pub fn max_global_sectors(mut self, sectors: u64) -> Self {
+        self.max_global_sectors = Some(sectors);
+        self
+    }
+
+    /// Require at least this fraction of lane-slots doing useful work.
+    pub fn min_lane_utilization(mut self, utilization: f64) -> Self {
+        self.min_lane_utilization = Some(utilization);
+        self
+    }
+
+    /// Allow at most this many `__syncthreads()` barriers (summed over
+    /// blocks).
+    pub fn max_barriers(mut self, barriers: u64) -> Self {
+        self.max_barriers = Some(barriers);
+        self
+    }
+
+    /// Evaluate every configured constraint; `Err` lists each violation.
+    pub fn check(&self, stats: &KernelStats) -> Result<(), Vec<BudgetViolation>> {
+        let mut violations = Vec::new();
+        let mut fail = |constraint: &'static str, actual: String, limit: String| {
+            violations.push(BudgetViolation {
+                budget: self.name.clone(),
+                constraint,
+                actual,
+                limit,
+            });
+        };
+        if let Some(max) = self.max_conflict_cycles {
+            if stats.smem_conflict_cycles > max {
+                fail(
+                    "smem conflict cycles",
+                    stats.smem_conflict_cycles.to_string(),
+                    format!("<= {max}"),
+                );
+            }
+        }
+        if let Some(min) = self.min_coalescing_efficiency {
+            let eff = stats.coalescing_efficiency();
+            if eff < min {
+                fail("coalescing efficiency", format!("{eff:.3}"), format!(">= {min:.3}"));
+            }
+        }
+        if let Some(max) = self.max_traffic_amplification {
+            let amp = stats.traffic_amplification();
+            if amp > max {
+                fail("traffic amplification", format!("{amp:.3}"), format!("<= {max:.3}"));
+            }
+        }
+        if let Some(max) = self.max_global_sectors {
+            if stats.global_sectors > max {
+                fail("global sectors", stats.global_sectors.to_string(), format!("<= {max}"));
+            }
+        }
+        if let Some(min) = self.min_lane_utilization {
+            let util = stats.lane_utilization();
+            if util < min {
+                fail("lane utilization", format!("{util:.3}"), format!(">= {min:.3}"));
+            }
+        }
+        if let Some(max) = self.max_barriers {
+            if stats.barriers > max {
+                fail("barriers", stats.barriers.to_string(), format!("<= {max}"));
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// [`check`](StatsBudget::check), panicking with every violation listed.
+    ///
+    /// # Panics
+    /// Panics when any constraint is violated.
+    pub fn assert(&self, stats: &KernelStats) {
+        if let Err(violations) = self.check(stats) {
+            let lines: Vec<String> = violations.iter().map(ToString::to_string).collect();
+            panic!("counter budget violated:\n  {}", lines.join("\n  "));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_stats() -> KernelStats {
+        KernelStats {
+            global_sectors: 128,
+            global_bytes_requested: 128 * 32,
+            smem_accesses: 64,
+            warp_instructions: 256,
+            barriers: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_budget_always_passes() {
+        assert!(StatsBudget::new("any").check(&clean_stats()).is_ok());
+    }
+
+    #[test]
+    fn clean_kernel_passes_tight_budget() {
+        StatsBudget::new("clean")
+            .max_conflict_cycles(0)
+            .min_coalescing_efficiency(0.99)
+            .max_traffic_amplification(1.01)
+            .max_global_sectors(128)
+            .min_lane_utilization(0.99)
+            .max_barriers(2)
+            .assert(&clean_stats());
+    }
+
+    #[test]
+    fn each_violation_is_reported() {
+        let bad = KernelStats {
+            global_sectors: 256,
+            global_bytes_requested: 256, // 3.1% coalescing, 32x amplification
+            smem_conflict_cycles: 31,
+            warp_instructions: 100,
+            inactive_lane_slots: 3000,
+            barriers: 9,
+            ..Default::default()
+        };
+        let err = StatsBudget::new("bad")
+            .max_conflict_cycles(0)
+            .min_coalescing_efficiency(0.9)
+            .max_traffic_amplification(2.0)
+            .max_global_sectors(100)
+            .min_lane_utilization(0.5)
+            .max_barriers(2)
+            .check(&bad)
+            .unwrap_err();
+        assert_eq!(err.len(), 6);
+        let msg = err[0].to_string();
+        assert!(msg.contains("bad") && msg.contains("conflict"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "counter budget violated")]
+    fn assert_panics_with_violations() {
+        let conflicted = KernelStats { smem_conflict_cycles: 5, ..Default::default() };
+        StatsBudget::new("p").max_conflict_cycles(0).assert(&conflicted);
+    }
+
+    #[test]
+    fn zero_request_traffic_is_unamplified() {
+        let s = KernelStats::default();
+        assert!(StatsBudget::new("idle").max_traffic_amplification(1.0).check(&s).is_ok());
+    }
+}

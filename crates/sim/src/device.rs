@@ -110,6 +110,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // cross-checks the preset tables
     fn a100_outclasses_a4000() {
         assert!(A100.mem_bandwidth > A4000.mem_bandwidth);
         assert!(A100.sm_count > A4000.sm_count);

@@ -11,7 +11,7 @@ use rayon::prelude::*;
 use crate::block::{BlockCtx, Dim3};
 use crate::device::DeviceSpec;
 use crate::memory::GpuBuffer;
-use crate::perf::{estimate_time, KernelRecord, KernelStats, TransferRecord};
+use crate::perf::{KernelRecord, KernelStats, TimeBreakdown, TransferRecord};
 use crate::pod::Pod;
 
 /// An entry on the device timeline.
@@ -123,8 +123,13 @@ impl Gpu {
     ///
     /// # Panics
     /// Panics when `block_dim` exceeds the device's thread-per-block limit.
-    pub fn launch<F>(&mut self, name: &str, grid_dim: impl Into<Dim3>, block_dim: impl Into<Dim3>, f: F)
-    where
+    pub fn launch<F>(
+        &mut self,
+        name: &str,
+        grid_dim: impl Into<Dim3>,
+        block_dim: impl Into<Dim3>,
+        f: F,
+    ) where
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
         let grid_dim = grid_dim.into();
@@ -139,7 +144,10 @@ impl Gpu {
         let spec = self.spec;
         let nblocks = grid_dim.count();
         let detect = self.detect_races;
-        let results: Vec<(KernelStats, Option<Vec<(u64, usize)>>)> = (0..nblocks)
+        // Per block: merged counters + (when race detection is on) the
+        // (buffer id, element index) log of its global stores.
+        type BlockResult = (KernelStats, Option<Vec<(u64, usize)>>);
+        let results: Vec<BlockResult> = (0..nblocks)
             .into_par_iter()
             .map(|linear| {
                 let (x, y, z) = grid_dim.delinearize(linear);
@@ -191,10 +199,14 @@ impl Gpu {
         let total_warps = nblocks as f64 * block_dim.count().div_ceil(32) as f64;
         let saturating_warps = self.spec.sm_count as f64 * 16.0;
         let occupancy = (total_warps / saturating_warps).min(1.0).max(1.0 / saturating_warps);
-        let full = estimate_time(&self.spec, &stats);
-        let time = self.spec.launch_overhead + (full - self.spec.launch_overhead) / occupancy;
+        let breakdown = TimeBreakdown::attribute(&self.spec, &stats, occupancy);
 
-        self.timeline.push(Event::Kernel(KernelRecord { name: name.to_string(), time, stats }));
+        self.timeline.push(Event::Kernel(KernelRecord {
+            name: name.to_string(),
+            time: breakdown.total,
+            stats,
+            breakdown,
+        }));
     }
 
     /// Record a pre-timed kernel on the timeline. Escape hatch for pipeline
@@ -202,7 +214,12 @@ impl Gpu {
     /// through the simulator (e.g. cuSZ's serial Huffman-codebook build,
     /// MGARD's CPU-side DEFLATE). Callers must document the model used.
     pub fn record_kernel(&mut self, name: &str, time: f64, stats: KernelStats) {
-        self.timeline.push(Event::Kernel(KernelRecord { name: name.to_string(), time, stats }));
+        self.timeline.push(Event::Kernel(KernelRecord {
+            name: name.to_string(),
+            time,
+            stats,
+            breakdown: TimeBreakdown::analytic(time),
+        }));
     }
 
     /// Single-thread scalar instruction rate (one scheduler's issue rate) —

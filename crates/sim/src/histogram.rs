@@ -17,7 +17,12 @@ const TILE: usize = BLOCK_THREADS * ITEMS_PER_THREAD;
 ///
 /// Values `>= bins` are clamped into the last bucket (compressors bound the
 /// symbol range before histogramming). Returns a device buffer of counts.
-pub fn histogram_u16(gpu: &mut Gpu, input: &GpuBuffer<u16>, n: usize, bins: usize) -> GpuBuffer<u32> {
+pub fn histogram_u16(
+    gpu: &mut Gpu,
+    input: &GpuBuffer<u16>,
+    n: usize,
+    bins: usize,
+) -> GpuBuffer<u32> {
     assert!(bins > 0 && bins <= 65536, "bins must be in 1..=65536");
     let ntiles = n.div_ceil(TILE).max(1);
     let partials: GpuBuffer<u32> = gpu.alloc(ntiles * bins);
@@ -36,9 +41,8 @@ pub fn histogram_u16(gpu: &mut Gpu, input: &GpuBuffer<u16>, n: usize, bins: usiz
                 // skewed-distribution penalty). Duplicate bins within the
                 // warp are folded before the write so the stored counts
                 // stay exact, matching what hardware atomics produce.
-                let old = w.sh_load(&sh, |l| {
-                    (g0 + l.ltid < n).then(|| (v[l.id] as usize).min(bins - 1))
-                });
+                let old =
+                    w.sh_load(&sh, |l| (g0 + l.ltid < n).then(|| (v[l.id] as usize).min(bins - 1)));
                 let mut folded: Vec<(usize, u32)> = Vec::with_capacity(32);
                 for i in 0..w.active_lanes {
                     if g0 + w.base_ltid + i < n {

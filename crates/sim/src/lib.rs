@@ -40,6 +40,7 @@
 //! ```
 
 pub mod block;
+pub mod budget;
 pub mod cluster;
 pub mod device;
 pub mod grid;
@@ -47,17 +48,20 @@ pub mod histogram;
 pub mod memory;
 pub mod perf;
 pub mod pod;
+pub mod profile;
 pub mod reduce;
 pub mod scan;
 pub mod shared;
 pub mod warp;
 
 pub use block::{BlockCtx, Dim3};
+pub use budget::{BudgetViolation, StatsBudget};
 pub use cluster::Cluster;
 pub use device::{DeviceSpec, SECTOR_BYTES, SMEM_BANKS, WARP_SIZE};
 pub use grid::{Event, Gpu};
 pub use memory::GpuBuffer;
-pub use perf::{estimate_time, KernelRecord, KernelStats, TransferRecord};
+pub use perf::{estimate_time, BoundBy, KernelRecord, KernelStats, TimeBreakdown, TransferRecord};
 pub use pod::Pod;
-pub use shared::Shared;
+pub use profile::{Profile, ProfileEvent};
+pub use shared::{conflict_cycles, Shared};
 pub use warp::{Lane, WarpCtx};

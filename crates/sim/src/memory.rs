@@ -73,6 +73,14 @@ impl<T: Pod> GpuBuffer<T> {
         self.len() * T::BYTES
     }
 
+    /// Fewest 32-byte sectors any kernel can move to stream this whole
+    /// buffer once — the denominator for traffic-amplification budgets
+    /// (see [`crate::budget::StatsBudget`]).
+    #[inline]
+    pub fn min_sectors(&self) -> u64 {
+        (self.size_bytes() as u64).div_ceil(crate::device::SECTOR_BYTES as u64)
+    }
+
     /// Raw element read. Bounds-checked; used by the warp context and by
     /// host-side readback.
     #[inline]

@@ -32,10 +32,14 @@ pub struct KernelStats {
     pub inactive_lane_slots: u64,
     /// `__syncthreads()` barriers executed (per block, summed).
     pub barriers: u64,
+    /// Peak shared-memory bytes allocated by any single block.
+    pub smem_bytes_peak: u64,
 }
 
 impl KernelStats {
-    /// Merge another block's counters into this one.
+    /// Merge another block's counters into this one. Event counters add;
+    /// the peak allocation takes the max — both keep the merge commutative
+    /// and associative, so block order never changes the result.
     pub fn merge(&mut self, other: &KernelStats) {
         self.global_sectors += other.global_sectors;
         self.global_bytes_requested += other.global_bytes_requested;
@@ -44,6 +48,7 @@ impl KernelStats {
         self.warp_instructions += other.warp_instructions;
         self.inactive_lane_slots += other.inactive_lane_slots;
         self.barriers += other.barriers;
+        self.smem_bytes_peak = self.smem_bytes_peak.max(other.smem_bytes_peak);
     }
 
     /// Bytes moved over the global-memory pipe (sector-granular).
@@ -70,11 +75,21 @@ impl KernelStats {
         }
         1.0 - self.inactive_lane_slots as f64 / total as f64
     }
+
+    /// Traffic amplification in [1, 8]: bytes moved over bytes requested.
+    /// 1.0 means every moved sector was fully wanted; 8.0 is the worst case
+    /// for 4-byte elements scattered one per 32-byte sector.
+    pub fn traffic_amplification(&self) -> f64 {
+        if self.global_bytes_requested == 0 {
+            return 1.0;
+        }
+        self.global_bytes_moved() as f64 / self.global_bytes_requested as f64
+    }
 }
 
-/// Estimate the execution time in seconds of a kernel with the given
-/// counters on the given device.
-pub fn estimate_time(spec: &DeviceSpec, stats: &KernelStats) -> f64 {
+/// Raw per-resource pipe times in seconds, before occupancy scaling:
+/// `(mem_time, smem_time, issue_time)`.
+fn resource_times(spec: &DeviceSpec, stats: &KernelStats) -> (f64, f64, f64) {
     // Global memory: sectors * 32B over effective bandwidth.
     let mem_time = stats.global_bytes_moved() as f64 / spec.effective_bandwidth();
     // Shared memory: each conflict-free warp access moves up to 128B in one
@@ -84,7 +99,126 @@ pub fn estimate_time(spec: &DeviceSpec, stats: &KernelStats) -> f64 {
     let smem_time = (smem_cycles * 128) as f64 / spec.smem_bandwidth;
     // Instruction issue.
     let issue_time = stats.warp_instructions as f64 / spec.warp_instr_rate;
+    (mem_time, smem_time, issue_time)
+}
+
+/// Estimate the execution time in seconds of a kernel with the given
+/// counters on the given device.
+pub fn estimate_time(spec: &DeviceSpec, stats: &KernelStats) -> f64 {
+    let (mem_time, smem_time, issue_time) = resource_times(spec, stats);
     spec.launch_overhead + mem_time.max(smem_time).max(issue_time)
+}
+
+/// The device resource a kernel's modeled time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundBy {
+    /// The global-memory pipe (sector traffic over effective bandwidth).
+    GlobalMemory,
+    /// The shared-memory pipe (accesses + bank-conflict serialization).
+    SharedMemory,
+    /// Warp-instruction issue.
+    Issue,
+    /// Fixed launch overhead dominates every pipe (tiny kernel).
+    LaunchOverhead,
+    /// Pre-timed analytic record ([`crate::grid::Gpu::record_kernel`]);
+    /// the counters do not determine the time.
+    Analytic,
+}
+
+impl BoundBy {
+    /// Short label for reports and trace args.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoundBy::GlobalMemory => "global-memory",
+            BoundBy::SharedMemory => "shared-memory",
+            BoundBy::Issue => "issue",
+            BoundBy::LaunchOverhead => "launch-overhead",
+            BoundBy::Analytic => "analytic",
+        }
+    }
+}
+
+/// Per-resource decomposition of one kernel's modeled time, with roofline
+/// attribution: which resource bound the kernel and by what margin.
+///
+/// All pipe times are post-occupancy-scaling, so `total` always equals
+/// `launch_overhead + mem_time.max(smem_time).max(issue_time)` and the
+/// records on a timeline sum exactly to [`crate::grid::Gpu::kernel_time`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Occupancy-scaled global-memory pipe time, seconds.
+    pub mem_time: f64,
+    /// Occupancy-scaled shared-memory pipe time, seconds.
+    pub smem_time: f64,
+    /// Occupancy-scaled instruction-issue time, seconds.
+    pub issue_time: f64,
+    /// Fixed launch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Occupancy factor applied to the pipe times, in (0, 1].
+    pub occupancy: f64,
+    /// Modeled total, seconds (equals the record's `time`).
+    pub total: f64,
+    /// The binding resource.
+    pub bound_by: BoundBy,
+    /// How decisively the binding resource wins: its time over the
+    /// runner-up's, `>= 1`. Capped at 1000 so the value stays JSON-safe
+    /// when the runner-up is idle.
+    pub margin: f64,
+}
+
+/// Cap on [`TimeBreakdown::margin`] (a runner-up pipe may be fully idle).
+const MARGIN_CAP: f64 = 1000.0;
+
+impl TimeBreakdown {
+    /// Attribute a kernel's modeled time on `spec` with the given occupancy
+    /// factor (see [`crate::grid::Gpu::launch`] for how occupancy is derived).
+    pub fn attribute(spec: &DeviceSpec, stats: &KernelStats, occupancy: f64) -> TimeBreakdown {
+        let (mem, smem, issue) = resource_times(spec, stats);
+        let (mem, smem, issue) = (mem / occupancy, smem / occupancy, issue / occupancy);
+        let candidates = [
+            (BoundBy::GlobalMemory, mem),
+            (BoundBy::SharedMemory, smem),
+            (BoundBy::Issue, issue),
+            (BoundBy::LaunchOverhead, spec.launch_overhead),
+        ];
+        // Winner = slowest resource; ties break toward the earlier entry,
+        // so a fully idle kernel reports LaunchOverhead only when every
+        // pipe time is strictly below it.
+        let (bound_by, top) =
+            candidates.iter().copied().reduce(|a, b| if b.1 > a.1 { b } else { a }).unwrap();
+        let runner_up = candidates
+            .iter()
+            .filter(|(who, _)| *who != bound_by)
+            .map(|&(_, t)| t)
+            .fold(0.0, f64::max);
+        let margin = if runner_up > 0.0 { (top / runner_up).min(MARGIN_CAP) } else { MARGIN_CAP };
+        TimeBreakdown {
+            mem_time: mem,
+            smem_time: smem,
+            issue_time: issue,
+            launch_overhead: spec.launch_overhead,
+            occupancy,
+            total: spec.launch_overhead + mem.max(smem).max(issue),
+            bound_by,
+            margin,
+        }
+    }
+
+    /// Breakdown for a pre-timed analytic record: the whole duration is
+    /// attributed to [`BoundBy::Analytic`] because no counter model
+    /// produced it.
+    pub fn analytic(time: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            mem_time: 0.0,
+            smem_time: 0.0,
+            issue_time: 0.0,
+            launch_overhead: 0.0,
+            occupancy: 1.0,
+            total: time,
+            bound_by: BoundBy::Analytic,
+            margin: 1.0,
+        }
+    }
 }
 
 /// Record of a finished kernel launch, kept on the [`crate::grid::Gpu`] timeline.
@@ -92,10 +226,12 @@ pub fn estimate_time(spec: &DeviceSpec, stats: &KernelStats) -> f64 {
 pub struct KernelRecord {
     /// Kernel name given at launch.
     pub name: String,
-    /// Modeled execution time in seconds.
+    /// Modeled execution time in seconds (always equals `breakdown.total`).
     pub time: f64,
     /// The merged counters.
     pub stats: KernelStats,
+    /// Roofline attribution of `time`.
+    pub breakdown: TimeBreakdown,
 }
 
 /// Record of a host<->device transfer on the timeline.
@@ -117,7 +253,12 @@ mod tests {
     #[test]
     fn merge_adds_counters() {
         let mut a = KernelStats { global_sectors: 10, warp_instructions: 5, ..Default::default() };
-        let b = KernelStats { global_sectors: 3, warp_instructions: 2, barriers: 1, ..Default::default() };
+        let b = KernelStats {
+            global_sectors: 3,
+            warp_instructions: 2,
+            barriers: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.global_sectors, 13);
         assert_eq!(a.warp_instructions, 7);
@@ -156,25 +297,95 @@ mod tests {
 
     #[test]
     fn coalescing_efficiency_bounds() {
-        let perfect = KernelStats {
-            global_sectors: 4,
-            global_bytes_requested: 128,
-            ..Default::default()
-        };
+        let perfect =
+            KernelStats { global_sectors: 4, global_bytes_requested: 128, ..Default::default() };
         assert!((perfect.coalescing_efficiency() - 1.0).abs() < 1e-12);
-        let scattered = KernelStats {
-            global_sectors: 32,
-            global_bytes_requested: 128,
+        let scattered =
+            KernelStats { global_sectors: 32, global_bytes_requested: 128, ..Default::default() };
+        assert!(scattered.coalescing_efficiency() < 0.2);
+    }
+
+    #[test]
+    fn attribution_picks_the_slowest_resource() {
+        let memory_bound = KernelStats { global_sectors: 1 << 24, ..Default::default() };
+        let b = TimeBreakdown::attribute(&A100, &memory_bound, 1.0);
+        assert_eq!(b.bound_by, BoundBy::GlobalMemory);
+        assert!(b.margin > 1.0);
+        assert!((b.total - estimate_time(&A100, &memory_bound)).abs() < 1e-18);
+
+        let smem_bound = KernelStats {
+            smem_accesses: 1 << 20,
+            smem_conflict_cycles: 31 << 20,
             ..Default::default()
         };
-        assert!(scattered.coalescing_efficiency() < 0.2);
+        assert_eq!(
+            TimeBreakdown::attribute(&A100, &smem_bound, 1.0).bound_by,
+            BoundBy::SharedMemory
+        );
+
+        let issue_bound = KernelStats { warp_instructions: 1 << 30, ..Default::default() };
+        assert_eq!(TimeBreakdown::attribute(&A100, &issue_bound, 1.0).bound_by, BoundBy::Issue);
+
+        let empty = TimeBreakdown::attribute(&A100, &KernelStats::default(), 1.0);
+        assert_eq!(empty.bound_by, BoundBy::LaunchOverhead);
+        assert_eq!(empty.total, A100.launch_overhead);
+    }
+
+    #[test]
+    fn occupancy_scales_pipe_times_not_overhead() {
+        let stats = KernelStats { global_sectors: 1 << 20, ..Default::default() };
+        let full = TimeBreakdown::attribute(&A100, &stats, 1.0);
+        let half = TimeBreakdown::attribute(&A100, &stats, 0.5);
+        assert!((half.mem_time - 2.0 * full.mem_time).abs() < 1e-18);
+        assert_eq!(half.launch_overhead, full.launch_overhead);
+        assert!(half.total > full.total);
+    }
+
+    #[test]
+    fn margin_is_capped_when_runner_up_is_idle() {
+        // Zero launch overhead and a single active pipe: runner-up is 0.
+        let mut spec = A100;
+        spec.launch_overhead = 0.0;
+        let stats = KernelStats { global_sectors: 1024, ..Default::default() };
+        let b = TimeBreakdown::attribute(&spec, &stats, 1.0);
+        assert!(b.margin.is_finite());
+        assert_eq!(b.margin, 1000.0);
+    }
+
+    #[test]
+    fn analytic_breakdown_carries_the_time() {
+        let b = TimeBreakdown::analytic(3.5e-6);
+        assert_eq!(b.bound_by, BoundBy::Analytic);
+        assert_eq!(b.total, 3.5e-6);
+        assert_eq!(b.mem_time + b.smem_time + b.issue_time, 0.0);
+    }
+
+    #[test]
+    fn smem_peak_merges_by_max() {
+        let mut a = KernelStats { smem_bytes_peak: 4096, ..Default::default() };
+        let b = KernelStats { smem_bytes_peak: 1024, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.smem_bytes_peak, 4096);
+        let mut c = KernelStats { smem_bytes_peak: 1024, ..Default::default() };
+        c.merge(&KernelStats { smem_bytes_peak: 4096, ..Default::default() });
+        assert_eq!(c.smem_bytes_peak, 4096);
+    }
+
+    #[test]
+    fn traffic_amplification_inverse_of_coalescing() {
+        let scattered =
+            KernelStats { global_sectors: 32, global_bytes_requested: 128, ..Default::default() };
+        let amp = scattered.traffic_amplification();
+        assert!((amp * scattered.coalescing_efficiency() - 1.0).abs() < 1e-12);
+        assert_eq!(KernelStats::default().traffic_amplification(), 1.0);
     }
 
     #[test]
     fn lane_utilization_full_when_no_divergence() {
         let s = KernelStats { warp_instructions: 100, ..Default::default() };
         assert_eq!(s.lane_utilization(), 1.0);
-        let d = KernelStats { warp_instructions: 100, inactive_lane_slots: 1600, ..Default::default() };
+        let d =
+            KernelStats { warp_instructions: 100, inactive_lane_slots: 1600, ..Default::default() };
         assert!((d.lane_utilization() - 0.5).abs() < 1e-12);
     }
 }

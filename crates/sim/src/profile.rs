@@ -1,0 +1,334 @@
+//! Timeline profiling: capture a device timeline as an immutable snapshot
+//! with absolute start times, render it as a human-readable report with
+//! roofline attribution, or export it as Chrome-trace JSON.
+//!
+//! The simulator executes one stream, so events are scheduled back-to-back:
+//! event `i` starts when event `i-1` ends. That makes start times a pure
+//! function of the timeline and profiles bit-identical across runs of a
+//! deterministic pipeline.
+//!
+//! The JSON exporter is hand-rolled (the workspace is dependency-free); it
+//! emits the Trace Event Format's `"X"` (complete) events, loadable in
+//! `chrome://tracing` and Perfetto. Kernels render on one track (tid 0),
+//! transfers on another (tid 1).
+
+use crate::grid::{Event, Gpu};
+use crate::perf::{KernelRecord, TransferRecord};
+
+/// One entry of a captured profile, stamped with an absolute start time in
+/// seconds since the start of the capture window.
+#[derive(Debug, Clone)]
+pub enum ProfileEvent {
+    /// A kernel launch with its counters and roofline attribution.
+    Kernel {
+        /// Start time, seconds.
+        start: f64,
+        /// The timeline record (name, time, stats, breakdown).
+        record: KernelRecord,
+    },
+    /// A host<->device copy.
+    Transfer {
+        /// Start time, seconds.
+        start: f64,
+        /// The timeline record (direction, bytes, time).
+        record: TransferRecord,
+    },
+}
+
+impl ProfileEvent {
+    /// Start time in seconds.
+    pub fn start(&self) -> f64 {
+        match self {
+            ProfileEvent::Kernel { start, .. } | ProfileEvent::Transfer { start, .. } => *start,
+        }
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        match self {
+            ProfileEvent::Kernel { record, .. } => record.time,
+            ProfileEvent::Transfer { record, .. } => record.time,
+        }
+    }
+
+    /// Display name (kernel name or transfer direction).
+    pub fn name(&self) -> &str {
+        match self {
+            ProfileEvent::Kernel { record, .. } => &record.name,
+            ProfileEvent::Transfer { record, .. } => record.direction,
+        }
+    }
+}
+
+/// An immutable snapshot of a device timeline with absolute start times.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Device the timeline ran on (spec name).
+    pub device: &'static str,
+    /// Events in stream order, back-to-back.
+    pub events: Vec<ProfileEvent>,
+}
+
+impl Profile {
+    /// Snapshot the GPU's timeline since construction or the last
+    /// [`Gpu::reset_timeline`].
+    pub fn capture(gpu: &Gpu) -> Profile {
+        let mut clock = 0.0;
+        let events = gpu
+            .timeline()
+            .iter()
+            .map(|e| {
+                let start = clock;
+                clock += e.time();
+                match e {
+                    Event::Kernel(k) => ProfileEvent::Kernel { start, record: k.clone() },
+                    Event::Transfer(t) => ProfileEvent::Transfer { start, record: t.clone() },
+                }
+            })
+            .collect();
+        Profile { device: gpu.spec().name, events }
+    }
+
+    /// Append another profile's events after this one's end — joins the
+    /// captures of two pipeline phases (e.g. a compress and a decompress,
+    /// separated by a [`Gpu::reset_timeline`]) into one trace.
+    pub fn append(&mut self, other: &Profile) {
+        let offset = self.total_time();
+        for e in &other.events {
+            let mut e = e.clone();
+            match &mut e {
+                ProfileEvent::Kernel { start, .. } | ProfileEvent::Transfer { start, .. } => {
+                    *start += offset;
+                }
+            }
+            self.events.push(e);
+        }
+    }
+
+    /// Sum of kernel durations (excludes transfers).
+    pub fn kernel_time(&self) -> f64 {
+        self.kernels().map(|k| k.time).sum()
+    }
+
+    /// End of the last event = total modeled time.
+    pub fn total_time(&self) -> f64 {
+        self.events.iter().map(ProfileEvent::duration).sum()
+    }
+
+    /// The kernel records, in launch order.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelRecord> {
+        self.events.iter().filter_map(|e| match e {
+            ProfileEvent::Kernel { record, .. } => Some(record),
+            ProfileEvent::Transfer { .. } => None,
+        })
+    }
+
+    /// Human-readable per-stage report: timing, roofline attribution
+    /// (binding resource and margin), and the counter-derived health
+    /// metrics for every kernel and transfer.
+    pub fn text_report(&self) -> String {
+        let mut out = format!(
+            "profile on {} — {} events, kernels {:.2} us, total {:.2} us\n",
+            self.device,
+            self.events.len(),
+            self.kernel_time() * 1e6,
+            self.total_time() * 1e6,
+        );
+        out.push_str(&format!(
+            "{:<32} {:>9} {:>9}  {:<15} {:>7} {:>9} {:>9} {:>6}\n",
+            "event", "start us", "dur us", "bound by", "margin", "coalesce", "conflicts", "lanes"
+        ));
+        out.push_str(&"-".repeat(104));
+        out.push('\n');
+        for e in &self.events {
+            match e {
+                ProfileEvent::Kernel { start, record } => {
+                    let b = &record.breakdown;
+                    out.push_str(&format!(
+                        "{:<32} {:>9.2} {:>9.2}  {:<15} {:>6.1}x {:>8.0}% {:>9} {:>5.0}%\n",
+                        record.name,
+                        start * 1e6,
+                        record.time * 1e6,
+                        b.bound_by.label(),
+                        b.margin,
+                        record.stats.coalescing_efficiency() * 100.0,
+                        record.stats.smem_conflict_cycles,
+                        record.stats.lane_utilization() * 100.0,
+                    ));
+                }
+                ProfileEvent::Transfer { start, record } => {
+                    out.push_str(&format!(
+                        "{:<32} {:>9.2} {:>9.2}  {:<15} {:>7} {:>8.1} GB/s\n",
+                        record.direction,
+                        start * 1e6,
+                        record.time * 1e6,
+                        "pcie",
+                        "",
+                        record.bytes as f64 / record.time / 1e9,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Export as Chrome Trace Event Format JSON (`chrome://tracing`,
+    /// Perfetto). Kernels land on tid 0, transfers on tid 1; timestamps
+    /// and durations are microseconds per the format.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.events.len() + 3);
+        events.push(meta_event(0, "kernels"));
+        events.push(meta_event(1, "transfers"));
+        for e in &self.events {
+            let (tid, cat, args) = match e {
+                ProfileEvent::Kernel { record, .. } => {
+                    let s = &record.stats;
+                    let b = &record.breakdown;
+                    let args = [
+                        ("bound_by".to_string(), json_str(b.bound_by.label())),
+                        ("margin".to_string(), json_f64(b.margin)),
+                        ("occupancy".to_string(), json_f64(b.occupancy)),
+                        ("global_sectors".to_string(), s.global_sectors.to_string()),
+                        ("coalescing_efficiency".to_string(), json_f64(s.coalescing_efficiency())),
+                        ("smem_conflict_cycles".to_string(), s.smem_conflict_cycles.to_string()),
+                        ("lane_utilization".to_string(), json_f64(s.lane_utilization())),
+                        ("warp_instructions".to_string(), s.warp_instructions.to_string()),
+                        ("barriers".to_string(), s.barriers.to_string()),
+                        ("smem_bytes_peak".to_string(), s.smem_bytes_peak.to_string()),
+                    ];
+                    (0u32, "kernel", args.to_vec())
+                }
+                ProfileEvent::Transfer { record, .. } => {
+                    let args = vec![("bytes".to_string(), record.bytes.to_string())];
+                    (1u32, "transfer", args)
+                }
+            };
+            events.push(format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+                json_str(e.name()),
+                json_str(cat),
+                json_f64(e.start() * 1e6),
+                json_f64(e.duration() * 1e6),
+                tid,
+                events_args(&args),
+            ));
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"device\":{}}},\"traceEvents\":[{}]}}",
+            json_str(self.device),
+            events.join(",")
+        )
+    }
+}
+
+fn meta_event(tid: u32, name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+        tid,
+        json_str(name)
+    )
+}
+
+fn events_args(args: &[(String, String)]) -> String {
+    args.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect::<Vec<_>>().join(",")
+}
+
+/// JSON string literal with the escapes the format requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal: finite `f64` only (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite value {v} reached the trace exporter");
+    let v = if v.is_finite() { v } else { 0.0 };
+    // `{:?}` prints enough digits to round-trip and always includes a
+    // decimal point or exponent, keeping the token a JSON number.
+    format!("{v:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+    use crate::memory::GpuBuffer;
+
+    fn profiled_gpu() -> Gpu {
+        let mut gpu = Gpu::new(A100);
+        let input = gpu.upload(&(0u32..4096).collect::<Vec<_>>());
+        let out: GpuBuffer<u32> = gpu.alloc(4096);
+        gpu.launch("copy", 16u32, 256u32, |blk| {
+            let base = blk.block_linear() * blk.thread_count();
+            blk.warps(|w| {
+                let v = w.load(&input, |l| Some(base + l.ltid));
+                w.store(&out, |l| Some((base + l.ltid, v[l.id])));
+            });
+        });
+        let _ = gpu.download(&out);
+        gpu
+    }
+
+    #[test]
+    fn capture_schedules_back_to_back() {
+        let gpu = profiled_gpu();
+        let p = Profile::capture(&gpu);
+        assert_eq!(p.events.len(), 3);
+        let mut clock = 0.0;
+        for e in &p.events {
+            assert!((e.start() - clock).abs() < 1e-15);
+            clock += e.duration();
+        }
+        assert!((p.total_time() - gpu.total_time()).abs() < 1e-15);
+        assert!((p.kernel_time() - gpu.kernel_time()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn text_report_shows_attribution() {
+        let p = Profile::capture(&profiled_gpu());
+        let rep = p.text_report();
+        assert!(rep.contains("copy"), "{rep}");
+        assert!(rep.contains("bound by"), "{rep}");
+        assert!(rep.contains("H2D") && rep.contains("D2H"), "{rep}");
+    }
+
+    #[test]
+    fn chrome_trace_has_all_events() {
+        let p = Profile::capture(&profiled_gpu());
+        let json = p.chrome_trace_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"copy\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"bound_by\""));
+        // 3 timeline events + 2 thread-name metadata events.
+        assert_eq!(json.matches("\"ph\":").count(), 5);
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn json_numbers_round_trip() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0.0");
+        // Integral values keep a decimal point so the token stays a float.
+        assert_eq!(json_f64(3.0), "3.0");
+    }
+}

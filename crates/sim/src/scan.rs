@@ -24,7 +24,12 @@ pub const TILE: usize = BLOCK_THREADS * ITEMS_PER_THREAD;
 /// Returns the grand total (`sum(input[..n])`). `output` must hold at least
 /// `n` elements. Launches `O(log_TILE n)` kernels on `gpu`, all recorded on
 /// the timeline under names starting with `scan.`.
-pub fn exclusive_sum(gpu: &mut Gpu, input: &GpuBuffer<u32>, output: &GpuBuffer<u32>, n: usize) -> u64 {
+pub fn exclusive_sum(
+    gpu: &mut Gpu,
+    input: &GpuBuffer<u32>,
+    output: &GpuBuffer<u32>,
+    n: usize,
+) -> u64 {
     assert!(input.len() >= n && output.len() >= n, "scan buffers too small for n={n}");
     if n == 0 {
         return 0;
@@ -46,7 +51,12 @@ pub fn exclusive_sum(gpu: &mut Gpu, input: &GpuBuffer<u32>, output: &GpuBuffer<u
 }
 
 /// Inclusive prefix sum, derived from the exclusive scan.
-pub fn inclusive_sum(gpu: &mut Gpu, input: &GpuBuffer<u32>, output: &GpuBuffer<u32>, n: usize) -> u64 {
+pub fn inclusive_sum(
+    gpu: &mut Gpu,
+    input: &GpuBuffer<u32>,
+    output: &GpuBuffer<u32>,
+    n: usize,
+) -> u64 {
     let total = exclusive_sum(gpu, input, output, n);
     // inclusive[i] = exclusive[i] + input[i]
     let blocks = n.div_ceil(BLOCK_THREADS) as u32;
@@ -156,7 +166,12 @@ fn scan_tiles(
 }
 
 /// Kernel 3: `output[i] += tile_offsets[i / TILE]` for every element.
-fn add_tile_offsets(gpu: &mut Gpu, output: &GpuBuffer<u32>, tile_offsets: &GpuBuffer<u32>, n: usize) {
+fn add_tile_offsets(
+    gpu: &mut Gpu,
+    output: &GpuBuffer<u32>,
+    tile_offsets: &GpuBuffer<u32>,
+    n: usize,
+) {
     let ntiles = n.div_ceil(TILE) as u32;
     gpu.launch("scan.add_offsets", Dim3 { x: ntiles, y: 1, z: 1 }, BLOCK_THREADS as u32, |blk| {
         let tile = blk.block_linear();

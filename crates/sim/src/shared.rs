@@ -64,7 +64,10 @@ impl<T: Pod> Shared<T> {
 /// Returns `(cycles, extra)` where `cycles >= 1` is the total serialized
 /// passes and `extra = cycles - 1` is the conflict overhead. Broadcast
 /// (multiple lanes reading the *same* word) is free, matching hardware.
-pub(crate) fn conflict_cycles<T: Pod>(indices: &[usize]) -> (u64, u64) {
+///
+/// Public so tests and budget checks can predict the conflict cost of an
+/// access pattern without running a kernel.
+pub fn conflict_cycles<T: Pod>(indices: &[usize]) -> (u64, u64) {
     if indices.is_empty() {
         return (1, 0);
     }

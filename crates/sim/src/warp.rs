@@ -281,7 +281,8 @@ mod tests {
     #[test]
     fn ballot_partial_warp_high_lanes_zero() {
         let mut stats = KernelStats::default();
-        let mut w = WarpCtx { warp_id: 0, base_ltid: 0, active_lanes: 8, stats: &mut stats, writes: None };
+        let mut w =
+            WarpCtx { warp_id: 0, base_ltid: 0, active_lanes: 8, stats: &mut stats, writes: None };
         let mask = w.ballot(|_| true);
         assert_eq!(mask, 0xFF);
     }
@@ -289,7 +290,13 @@ mod tests {
     #[test]
     fn lane_carries_block_ltid() {
         let mut stats = KernelStats::default();
-        let mut w = WarpCtx { warp_id: 2, base_ltid: 64, active_lanes: 32, stats: &mut stats, writes: None };
+        let mut w = WarpCtx {
+            warp_id: 2,
+            base_ltid: 64,
+            active_lanes: 32,
+            stats: &mut stats,
+            writes: None,
+        };
         let ltids = w.lanes(|l| l.ltid as u32);
         assert_eq!(ltids[0], 64);
         assert_eq!(ltids[31], 95);

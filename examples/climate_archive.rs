@@ -19,10 +19,22 @@ fn main() {
     // A few distinct atmosphere fields with different smoothness — like
     // the 70 fields of the real CESM-ATM output.
     let fields = vec![
-        ("RELHUM", Field::new("RELHUM", "CESM", dims, synth::multiscale(dims, 11, 48, 1.7, 0.004)), 1e-3),
+        (
+            "RELHUM",
+            Field::new("RELHUM", "CESM", dims, synth::multiscale(dims, 11, 48, 1.7, 0.004)),
+            1e-3,
+        ),
         ("CLDICE", Field::new("CLDICE", "CESM", dims, synth::sparse_plume(dims, 12, 0.2)), 1e-3),
-        ("T850", Field::new("T850", "CESM", dims, synth::multiscale(dims, 13, 64, 2.0, 0.001)), 1e-4),
-        ("UV_WIND", Field::new("UV_WIND", "CESM", dims, synth::multiscale(dims, 14, 32, 1.3, 0.01)), 5e-4),
+        (
+            "T850",
+            Field::new("T850", "CESM", dims, synth::multiscale(dims, 13, 64, 2.0, 0.001)),
+            1e-4,
+        ),
+        (
+            "UV_WIND",
+            Field::new("UV_WIND", "CESM", dims, synth::multiscale(dims, 14, 32, 1.3, 0.01)),
+            5e-4,
+        ),
     ];
 
     let mut fz = FzGpu::new(A100);
@@ -30,8 +42,14 @@ fn main() {
     let mut raw_total = 0usize;
     let mut compressed_total = 0usize;
 
-    println!("CESM archive: {} per field, rel bounds per science requirement\n", dims.to_string_paper());
-    println!("{:<8} {:>8} {:>9} {:>8} {:>9} {:>10} {:>12}", "field", "rel eb", "ratio", "PSNR", "GB/s", "overall", "bound ok");
+    println!(
+        "CESM archive: {} per field, rel bounds per science requirement\n",
+        dims.to_string_paper()
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>8} {:>9} {:>10} {:>12}",
+        "field", "rel eb", "ratio", "PSNR", "GB/s", "overall", "bound ok"
+    );
     for (name, field, rel_eb) in &fields {
         let shape = field.dims.as_3d();
         let c = fz.compress(&field.data, shape, ErrorBound::RelToRange(*rel_eb));
@@ -41,7 +59,13 @@ fn main() {
         let overall = overall_throughput(pcie_congested, c.ratio(), gbps);
         println!(
             "{:<8} {:>8.0e} {:>8.1}x {:>7.1}dB {:>9.1} {:>9.1}GB/s {:>9}",
-            name, rel_eb, c.ratio(), psnr(&field.data, &restored), gbps, overall, ok
+            name,
+            rel_eb,
+            c.ratio(),
+            psnr(&field.data, &restored),
+            gbps,
+            overall,
+            ok
         );
         raw_total += field.size_bytes();
         compressed_total += c.bytes.len();

@@ -74,7 +74,11 @@ fn main() {
     let raw_total = epochs * snapshot_bytes;
     let cached = cache.cached_bytes();
     let device_capacity = 16.0e9; // A4000
-    println!("\ncache holds {epochs} snapshots in {:.1} MB (raw would be {:.1} MB)", cached as f64 / 1e6, raw_total as f64 / 1e6);
+    println!(
+        "\ncache holds {epochs} snapshots in {:.1} MB (raw would be {:.1} MB)",
+        cached as f64 / 1e6,
+        raw_total as f64 / 1e6
+    );
     println!(
         "a 16 GB device fits ~{:.0} compressed snapshots vs ~{:.0} raw",
         device_capacity / (cached as f64 / epochs as f64),

@@ -24,7 +24,11 @@ use fz_gpu::sim::Cluster;
 fn main() {
     let field = dataset("HACC").unwrap().generate(Scale::Reduced);
     let n = field.data.len();
-    println!("HACC-like particle array: {} values ({:.1} MB), rel eb 1e-3\n", n, n as f64 * 4.0 / 1e6);
+    println!(
+        "HACC-like particle array: {} values ({:.1} MB), rel eb 1e-3\n",
+        n,
+        n as f64 * 4.0 / 1e6
+    );
 
     for ngpus in [1usize, 2, 4] {
         // Coarse-grained partition: one independent chunk per GPU.

@@ -34,7 +34,10 @@ const USAGE: &str = "usage:
   fzgpu compress   <input.f32> <output.fz>  --dims ZxYxX --eb 1e-3 [--abs] [--device a100|a4000]
   fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000]
   fzgpu info       <input.fz>
-  fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]";
+  fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]
+  fzgpu profile    (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
+                   [--device a100|a4000] [--trace out.json] [--report out.txt]
+                   (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -50,7 +53,7 @@ fn eb_of(args: &[String]) -> Result<ErrorBound, String> {
         .unwrap_or("1e-3")
         .parse()
         .map_err(|_| "bad --eb value".to_string())?;
-    if !(eb > 0.0) {
+    if eb.is_nan() || eb <= 0.0 {
         return Err("--eb must be positive".into());
     }
     Ok(if args.iter().any(|a| a == "--abs") {
@@ -67,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "decompress" => decompress(&args[1..]),
         "info" => info(&args[1..]),
         "bench" => bench(&args[1..]),
+        "profile" => profile(&args[1..]),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -127,10 +131,62 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("  error bound:  {:.6e} (absolute)", header.eb);
     println!("  zero blocks:  {} of {} present", header.payload_words / 4, header.num_blocks);
     println!("  stream size:  {} bytes", header.stream_bytes());
+    println!("  ratio:        {:.2}x", (header.n_values * 4) as f64 / header.stream_bytes() as f64);
+    Ok(())
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let field = if let Some(name) = flag_value(args, "--synthetic") {
+        let info = fz_gpu::data::dataset(name)
+            .ok_or_else(|| format!("unknown synthetic dataset '{name}'"))?;
+        info.generate(fz_gpu::data::Scale::Reduced)
+    } else {
+        let input = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("missing input path or --synthetic <dataset>")?;
+        load_field(args, input)?
+    };
+    let eb = eb_of(args)?;
+    let mut fz = FzGpu::new(device_of(args)?);
+    let shape = field.dims.as_3d();
+
+    let c = fz.compress(&field.data, shape, eb);
+    let compress_stages = fz.stage_times();
+    let mut prof = fz.profile();
+    fz.decompress(&c).map_err(|e| e.to_string())?;
+    let decompress_stages = fz.stage_times();
+    prof.append(&fz.profile());
+
     println!(
-        "  ratio:        {:.2}x",
-        (header.n_values * 4) as f64 / header.stream_bytes() as f64
+        "{} / {} ({}, {:.2} MB), eb {:.3e}, ratio {:.2}x",
+        field.dataset,
+        field.name,
+        field.dims.to_string_paper(),
+        field.size_bytes() as f64 / 1e6,
+        c.header.eb,
+        c.ratio(),
     );
+    println!();
+    let report = prof.text_report();
+    print!("{report}");
+    println!();
+    for (label, stages) in [("compress", compress_stages), ("decompress", decompress_stages)] {
+        let total: f64 = stages.iter().map(|(_, t)| t).sum();
+        println!("{label} stages ({:.2} us):", total * 1e6);
+        for (stage, t) in stages {
+            println!("  {stage:<12} {:>9.2} us  ({:>4.1}%)", t * 1e6, t / total * 100.0);
+        }
+    }
+
+    if let Some(path) = flag_value(args, "--trace") {
+        std::fs::write(path, prof.chrome_trace_json()).map_err(|e| e.to_string())?;
+        println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = flag_value(args, "--report") {
+        std::fs::write(path, &report).map_err(|e| e.to_string())?;
+        println!("wrote report to {path}");
+    }
     Ok(())
 }
 

@@ -30,10 +30,7 @@ fn cusz_and_fzgpu_share_distortion_at_same_bound() {
     let run = cusz.run(&data, SHAPE, eb(1e-3)).unwrap();
     let p_fz = psnr(&data, &fz_rec);
     let p_cusz = psnr(&data, &run.reconstructed);
-    assert!(
-        (p_fz - p_cusz).abs() < 0.75,
-        "psnr diverged: FZ {p_fz} vs cuSZ {p_cusz}"
-    );
+    assert!((p_fz - p_cusz).abs() < 0.75, "psnr diverged: FZ {p_fz} vs cuSZ {p_cusz}");
 }
 
 #[test]

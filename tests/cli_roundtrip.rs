@@ -49,6 +49,43 @@ fn file_compress_decompress_roundtrip() {
 }
 
 #[test]
+fn profile_subcommand_emits_report_and_trace() {
+    // Drive the actual binary: `fzgpu profile` on a synthetic dataset must
+    // print a roofline-attributed report and write a Chrome-trace JSON.
+    let trace = tmp("profile.trace.json");
+    let report = tmp("profile.txt");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_fzgpu"))
+        .args([
+            "profile",
+            "--synthetic",
+            "CESM",
+            "--eb",
+            "1e-3",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run fzgpu binary");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["bound by", "margin", "compress stages", "decompress stages", "quantize"] {
+        assert!(stdout.contains(needle), "stdout missing {needle:?}:\n{stdout}");
+    }
+
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    assert!(report_text.contains("pred_quant"), "report lists the quant kernel");
+    let trace_json = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_json.starts_with('{') && trace_json.contains("\"traceEvents\":["));
+    assert!(trace_json.contains("\"bound_by\""));
+
+    for p in [trace, report] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn stream_file_is_self_describing() {
     let dims = parse_dims("4096").unwrap();
     let data: Vec<f32> = (0..4096).map(|i| (i % 37) as f32).collect();

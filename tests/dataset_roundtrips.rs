@@ -57,12 +57,7 @@ fn compression_ordering_matches_paper_qualitative_claims() {
     }
     // RTM (zero-heavy, smooth) must compress better than HACC (unsorted
     // particles) and QMCPACK (oscillatory) — the paper's §4.3 ordering.
-    assert!(
-        ratios["RTM"] > ratios["HACC"],
-        "RTM {} <= HACC {}",
-        ratios["RTM"],
-        ratios["HACC"]
-    );
+    assert!(ratios["RTM"] > ratios["HACC"], "RTM {} <= HACC {}", ratios["RTM"], ratios["HACC"]);
     assert!(
         ratios["RTM"] > ratios["QMCPACK"],
         "RTM {} <= QMCPACK {}",

@@ -36,10 +36,8 @@ fn archive_spans_devices() {
 fn fused_1d_inside_archive_is_bit_compatible() {
     let data = wave(9_000);
     let mut normal = FzGpu::new(A100);
-    let mut fused = FzGpu::with_options(
-        A100,
-        FzOptions { full_fusion_1d: true, ..FzOptions::default() },
-    );
+    let mut fused =
+        FzGpu::with_options(A100, FzOptions { full_fusion_1d: true, ..FzOptions::default() });
     let a = Archive::compress(&mut normal, &data, 3000, ErrorBound::Abs(1e-3));
     let b = Archive::compress(&mut fused, &data, 3000, ErrorBound::Abs(1e-3));
     assert_eq!(a.to_bytes(), b.to_bytes());
@@ -67,8 +65,7 @@ fn race_detector_is_clean_on_the_full_pipeline() {
     gpu.enable_race_detection();
     let d = fz_gpu::sim::GpuBuffer::from_host(&data);
     let codes = fz_gpu::core::gpu::quant::pred_quant_v2(&mut gpu, &d, (1, 1, 8192), 1e-3);
-    let words =
-        fz_gpu::sim::GpuBuffer::from_host(&fz_gpu::core::pack::pack_codes(&codes.to_vec()));
+    let words = fz_gpu::sim::GpuBuffer::from_host(&fz_gpu::core::pack::pack_codes(&codes.to_vec()));
     let (shuffled, flags, _bits) = fz_gpu::core::gpu::bitshuffle::bitshuffle_mark(
         &mut gpu,
         &words,
@@ -105,6 +102,7 @@ fn race_detector_also_clean_on_decode_kernels() {
     let shuffled = fz_gpu::core::gpu::decode::scatter(&mut gpu, &d_payload, &flags, &offsets);
     let words = fz_gpu::core::gpu::decode::bit_unshuffle(&mut gpu, &shuffled);
     let deltas = fz_gpu::core::gpu::decode::codes_to_deltas(&mut gpu, &words, header.n_values);
-    let _out = fz_gpu::core::gpu::decode::inverse_lorenzo(&mut gpu, &deltas, header.shape, header.eb);
+    let _out =
+        fz_gpu::core::gpu::decode::inverse_lorenzo(&mut gpu, &deltas, header.shape, header.eb);
     assert!(gpu.races().is_empty(), "decode kernels race: {:?}", gpu.races().first());
 }

@@ -1,0 +1,146 @@
+//! Counter-regression tests: lock in the *hardware behaviour* of the
+//! paper's key kernels via [`StatsBudget`]. Timing model constants may be
+//! retuned; these counters are exact products of the kernels' access
+//! patterns, so any regression here is an algorithmic regression:
+//!
+//! - the fused bitshuffle's 32x33 padded tile is bank-conflict-free
+//!   (paper §3.3 / Fig. 10), while the unpadded ablation conflicts heavily;
+//! - the fused path stays coalesced (efficiency >= 0.9);
+//! - unfusing the mark kernel strictly increases global-memory sectors
+//!   (it must re-read the shuffled stream from global memory).
+
+use fz_gpu::core::gpu::bitshuffle::{bitshuffle_mark, ShuffleVariant};
+use fz_gpu::core::pack::TILE_WORDS;
+use fz_gpu::core::{ErrorBound, FzGpu};
+use fz_gpu::sim::device::A100;
+use fz_gpu::sim::{Event, Gpu, KernelStats, StatsBudget};
+
+/// Tile-aligned words with the mixed sparse/dense texture the pipeline
+/// produces after quantization.
+fn sample_words(n_tiles: usize) -> Vec<u32> {
+    (0..n_tiles * TILE_WORDS)
+        .map(|i| {
+            let i = i as u32;
+            if i.is_multiple_of(89) {
+                i.wrapping_mul(2654435761)
+            } else {
+                (i % 11) | ((i % 3) << 16)
+            }
+        })
+        .collect()
+}
+
+/// Run one shuffle variant and return (per-kernel stats, merged stats).
+fn run_variant(variant: ShuffleVariant, n_tiles: usize) -> (Vec<KernelStats>, KernelStats) {
+    let mut gpu = Gpu::new(A100);
+    let d = gpu.upload(&sample_words(n_tiles));
+    gpu.reset_timeline();
+    let _ = bitshuffle_mark(&mut gpu, &d, variant);
+    let per_kernel: Vec<KernelStats> = gpu
+        .timeline()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Kernel(k) => Some(k.stats),
+            _ => None,
+        })
+        .collect();
+    let mut merged = KernelStats::default();
+    for s in &per_kernel {
+        merged.merge(s);
+    }
+    (per_kernel, merged)
+}
+
+#[test]
+fn fused_padded_tile_has_zero_bank_conflicts() {
+    let (_, stats) = run_variant(ShuffleVariant::Fused, 8);
+    StatsBudget::new("bitshuffle_mark_fused").max_conflict_cycles(0).assert(&stats);
+    assert_eq!(stats.smem_conflict_cycles, 0);
+}
+
+#[test]
+fn unpadded_ablation_pays_bank_conflicts() {
+    let (_, padded) = run_variant(ShuffleVariant::Fused, 8);
+    let (_, unpadded) = run_variant(ShuffleVariant::FusedUnpadded, 8);
+    assert!(unpadded.smem_conflict_cycles > 0, "unpadded 32x32 tile must serialize on banks");
+    // The budget that the padded kernel satisfies must fail on the
+    // unpadded one — proves the check has teeth.
+    let budget = StatsBudget::new("bitshuffle_mark").max_conflict_cycles(0);
+    assert!(budget.check(&padded).is_ok());
+    let violations = budget.check(&unpadded).unwrap_err();
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].to_string().contains("conflict"), "{}", violations[0]);
+}
+
+#[test]
+fn fused_path_is_coalesced() {
+    let (_, stats) = run_variant(ShuffleVariant::Fused, 8);
+    StatsBudget::new("bitshuffle_mark_fused")
+        .min_coalescing_efficiency(0.9)
+        .max_traffic_amplification(1.0 / 0.9)
+        .assert(&stats);
+}
+
+#[test]
+fn unfused_variant_moves_strictly_more_sectors() {
+    let (fused_kernels, fused) = run_variant(ShuffleVariant::Fused, 8);
+    let (unfused_kernels, unfused) = run_variant(ShuffleVariant::Unfused, 8);
+    assert_eq!(fused_kernels.len(), 1, "fused variant is a single kernel");
+    assert_eq!(unfused_kernels.len(), 2, "unfused variant = shuffle + mark");
+    assert!(
+        unfused.global_sectors > fused.global_sectors,
+        "unfused {} sectors must exceed fused {} (mark re-reads the stream)",
+        unfused.global_sectors,
+        fused.global_sectors
+    );
+}
+
+#[test]
+fn whole_pipeline_satisfies_conflict_and_divergence_floors() {
+    // The production compress path end to end: every kernel individually
+    // within a loose budget, and the bitshuffle stage within the tight one.
+    let n = 64 * 64 * 16;
+    let data: Vec<f32> =
+        (0..n).map(|i| ((i % 64) as f32 * 0.1).sin() + (i / 64 % 64) as f32 * 0.01).collect();
+    let mut fz = FzGpu::new(A100);
+    let _ = fz.compress(&data, (16, 64, 64), ErrorBound::Abs(1e-3));
+    let shuffle_budget = StatsBudget::new("bitshuffle_mark_fused")
+        .max_conflict_cycles(0)
+        .min_coalescing_efficiency(0.9);
+    let mut saw_shuffle = false;
+    for e in fz.gpu().timeline() {
+        if let Event::Kernel(k) = e {
+            if k.name == "bitshuffle_mark_fused" {
+                shuffle_budget.assert(&k.stats);
+                saw_shuffle = true;
+            }
+            // Compaction/scatter are data-dependent (only present tiles do
+            // work), so the blanket floor is loose; it still catches a
+            // kernel degenerating to one active lane per warp.
+            StatsBudget::new(&k.name).min_lane_utilization(0.15).assert(&k.stats);
+        }
+    }
+    assert!(saw_shuffle, "pipeline must launch the fused bitshuffle");
+}
+
+#[test]
+fn min_sectors_bounds_streaming_traffic() {
+    // A simple copy kernel cannot move fewer sectors than the buffer's
+    // streaming minimum, and a coalesced one moves exactly 2x (read+write).
+    let n = 1 << 16;
+    let mut gpu = Gpu::new(A100);
+    let input = gpu.upload(&(0u32..n as u32).collect::<Vec<_>>());
+    let out: fz_gpu::sim::GpuBuffer<u32> = gpu.alloc(n);
+    gpu.reset_timeline();
+    gpu.launch("copy", (n as u32 / 256, 1, 1), 256u32, |blk| {
+        let base = blk.block_linear() * blk.thread_count();
+        blk.warps(|w| {
+            let v = w.load(&input, |l| Some(base + l.ltid));
+            w.store(&out, |l| Some((base + l.ltid, v[l.id])));
+        });
+    });
+    let stats = gpu.last_kernel().stats;
+    let floor = input.min_sectors() + out.min_sectors();
+    assert_eq!(stats.global_sectors, floor, "coalesced copy moves exactly the minimum");
+    StatsBudget::new("copy").max_global_sectors(floor).assert(&stats);
+}

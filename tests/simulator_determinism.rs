@@ -40,6 +40,26 @@ fn repeated_compression_is_bit_and_time_deterministic() {
 }
 
 #[test]
+fn profiles_are_bit_identical_across_runs() {
+    // The profile exporters render floats, so determinism of the timeline
+    // must survive all the way to the serialized artifacts: two runs of
+    // the same pipeline produce byte-equal reports and traces.
+    let data = field();
+    let run = || {
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+        let mut prof = fz.profile();
+        fz.decompress(&c).unwrap();
+        prof.append(&fz.profile());
+        (prof.text_report(), prof.chrome_trace_json())
+    };
+    let (report1, trace1) = run();
+    let (report2, trace2) = run();
+    assert_eq!(report1, report2, "text report varies across runs");
+    assert_eq!(trace1, trace2, "Chrome trace varies across runs");
+}
+
+#[test]
 fn decompression_throughput_is_same_order_as_compression() {
     // §4.4: "the decompression pipeline is highly symmetrical ...
     // exhibiting throughput nearly identical to that of compression".
@@ -61,14 +81,12 @@ fn timeline_resets_between_operations() {
     let data = field();
     let mut fz = FzGpu::new(A100);
     let _ = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-2));
-    let names_compress: Vec<String> =
-        fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
+    let names_compress: Vec<String> = fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
     assert!(names_compress.iter().any(|n| n.contains("pred_quant")));
 
     let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-2));
     let _ = fz.decompress(&c).unwrap();
-    let names_decompress: Vec<String> =
-        fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
+    let names_decompress: Vec<String> = fz.kernel_breakdown().into_iter().map(|(n, _)| n).collect();
     assert!(
         names_decompress.iter().all(|n| !n.contains("pred_quant")),
         "decompress timeline leaked compression kernels"
