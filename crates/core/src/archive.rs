@@ -3,22 +3,115 @@
 //! coarse-grained manner ... with a data chunk independent from another").
 //!
 //! An archive is a sequence of independent FZ-GPU streams over 1D chunks
-//! of a flat value array, prefixed by a tiny directory. Chunks can be
-//! compressed on different devices, decompressed selectively, and the
-//! whole archive round-trips through the normal pipeline per chunk.
+//! of a flat value array, prefixed by a directory. Chunks can be
+//! compressed on different devices, decompressed selectively, and — the
+//! robustness contract — *scrubbed and partially recovered*: because every
+//! chunk is independent and v2 directories carry per-chunk CRC-32s, one
+//! corrupted chunk never takes down the rest of the archive
+//! ([`Archive::scrub`], [`Archive::decompress_degraded`]).
+//!
+//! Directory v2 (written by [`Archive::to_bytes`]; v1 still parses):
 //!
 //! ```text
-//! [magic "FZAR"][u32 version][u64 total_values][u64 nchunks]
-//! [u64 chunk_byte_len x nchunks]
+//! [magic "FZAR"][u32 version=2][u64 total_values][u64 nchunks]
+//! [nchunks x { u64 byte_len, u64 n_values, u32 crc32 }]
+//! [u32 directory_crc32 over every byte above]
 //! [chunk 0 stream][chunk 1 stream]...
 //! ```
+//!
+//! v1 directories (`version=1`) have 8-byte entries (`u64 byte_len` only)
+//! and no CRCs; parsed archives then carry [`ChunkMeta::crc`]` == None` and
+//! scrubbing falls back to each chunk's own stream checks.
 
-use crate::format::FormatError;
+use crate::crc::{crc32, Crc32};
+use crate::format::{self, ChecksumSection, FormatError};
 use crate::pipeline::FzGpu;
 use crate::quant::ErrorBound;
 
 /// Archive magic.
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"FZAR";
+/// Directory version written by [`Archive::to_bytes`].
+pub const ARCHIVE_VERSION: u32 = 2;
+
+/// Directory metadata for one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Original f32 values in the chunk (drives degraded-mode fill sizing).
+    pub n_values: usize,
+    /// CRC-32 of the serialized chunk stream. `None` for archives parsed
+    /// from v1 directories, which stored no checksums.
+    pub crc: Option<u32>,
+}
+
+/// Verdict of [`Archive::scrub`] for one chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkHealth {
+    /// Every available check passed (directory CRC when present, stream
+    /// header + body checksums).
+    Healthy,
+    /// No corruption found, but the chunk is a v1 stream in a v1 directory
+    /// — there are no checksums to verify against.
+    Unverified,
+    /// A check failed; the error says which.
+    Corrupt(FormatError),
+}
+
+impl ChunkHealth {
+    /// True unless corrupt.
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, ChunkHealth::Corrupt(_))
+    }
+}
+
+/// Per-chunk health summary produced by [`Archive::scrub`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubReport {
+    /// One verdict per chunk, in order.
+    pub chunks: Vec<ChunkHealth>,
+}
+
+impl ScrubReport {
+    /// Chunks that failed a check.
+    pub fn corrupt_count(&self) -> usize {
+        self.chunks.iter().filter(|h| !h.is_usable()).count()
+    }
+
+    /// True when no chunk is corrupt.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_count() == 0
+    }
+}
+
+/// What [`Archive::decompress_degraded`] writes in place of values from
+/// chunks that cannot be recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Quiet NaN — poisons downstream arithmetic so losses stay visible.
+    NaN,
+    /// Zero — for consumers that need finite values everywhere.
+    Zero,
+}
+
+impl FillPolicy {
+    fn value(self) -> f32 {
+        match self {
+            FillPolicy::NaN => f32::NAN,
+            FillPolicy::Zero => 0.0,
+        }
+    }
+}
+
+/// Result of a degraded-mode decompression.
+#[derive(Debug, Clone)]
+pub struct DegradedOutput {
+    /// The reconstructed field: exact-roundtrip values for usable chunks,
+    /// fill values where chunks were lost. Always `total_values` long.
+    pub data: Vec<f32>,
+    /// Per-chunk verdicts (same as [`Archive::scrub`]).
+    pub report: ScrubReport,
+    /// How many output values are fill rather than decompressed data.
+    pub filled_values: usize,
+}
 
 /// A chunked archive of independent FZ-GPU streams.
 #[derive(Debug, Clone)]
@@ -27,13 +120,29 @@ pub struct Archive {
     pub total_values: usize,
     /// Per-chunk serialized streams.
     pub chunks: Vec<Vec<u8>>,
+    /// Per-chunk directory metadata, parallel to `chunks`.
+    pub meta: Vec<ChunkMeta>,
 }
 
 impl Archive {
+    /// Build an archive from already-compressed streams (the multi-device
+    /// assembly path). Directory metadata — per-chunk value counts and
+    /// CRCs — is derived from the streams themselves.
+    pub fn from_streams(total_values: usize, chunks: Vec<Vec<u8>>) -> Self {
+        let meta = chunks
+            .iter()
+            .map(|c| ChunkMeta {
+                n_values: format::Header::from_bytes(c).map_or(0, |h| h.n_values),
+                crc: Some(crc32(c)),
+            })
+            .collect();
+        Self { total_values, chunks, meta }
+    }
+
     /// Compress `data` as 1D chunks of at most `chunk_values` each, all on
     /// the provided device. (For multi-device compression, build chunks
-    /// with [`FzGpu::compress`] directly and assemble an `Archive` — the
-    /// format is identical; streams are device-independent.)
+    /// with [`FzGpu::compress`] directly and assemble with
+    /// [`Archive::from_streams`] — streams are device-independent.)
     pub fn compress(fz: &mut FzGpu, data: &[f32], chunk_values: usize, eb: ErrorBound) -> Self {
         assert!(chunk_values > 0);
         // Resolve a relative bound against the *whole* field so chunks
@@ -51,13 +160,15 @@ impl Archive {
             .chunks(chunk_values)
             .map(|chunk| fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes)
             .collect();
-        Self { total_values: data.len(), chunks }
+        Self::from_streams(data.len(), chunks)
     }
 
-    /// Decompress the whole archive.
+    /// Decompress the whole archive. Fails on the first corrupt chunk —
+    /// use [`Archive::decompress_degraded`] to recover what survives.
     pub fn decompress(&self, fz: &mut FzGpu) -> Result<Vec<f32>, FormatError> {
         let mut out = Vec::with_capacity(self.total_values);
-        for chunk in &self.chunks {
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            self.check_directory_crc(i)?;
             out.extend(fz.decompress_bytes(chunk)?);
         }
         if out.len() != self.total_values {
@@ -69,12 +180,97 @@ impl Archive {
     /// Decompress a single chunk (selective access — the in-memory-cache
     /// use case).
     pub fn decompress_chunk(&self, fz: &mut FzGpu, index: usize) -> Result<Vec<f32>, FormatError> {
+        if index >= self.chunks.len() {
+            return Err(FormatError::Inconsistent("chunk index out of range"));
+        }
+        self.check_directory_crc(index)?;
         fz.decompress_bytes(&self.chunks[index])
+    }
+
+    /// Directory-CRC gate for chunk `index` (no-op for v1 metadata).
+    fn check_directory_crc(&self, index: usize) -> Result<(), FormatError> {
+        if let Some(stored) = self.meta.get(index).and_then(|m| m.crc) {
+            if crc32(&self.chunks[index]) != stored {
+                return Err(FormatError::ChecksumMismatch {
+                    section: ChecksumSection::Chunk(index),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check every chunk without decompressing anything: directory CRC
+    /// (when stored) against the chunk bytes, then the chunk's own stream
+    /// verification ([`format::verify`] — header CRC, structure, body CRC).
+    pub fn scrub(&self) -> ScrubReport {
+        let chunks = self
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| {
+                if self.check_directory_crc(i).is_err() {
+                    return ChunkHealth::Corrupt(FormatError::ChecksumMismatch {
+                        section: ChecksumSection::Chunk(i),
+                    });
+                }
+                match format::verify(chunk) {
+                    Err(e) => ChunkHealth::Corrupt(e),
+                    // A v1 stream in a v1 directory passed only structural
+                    // checks — nothing was actually checksummed.
+                    Ok(h) if h.version == format::VERSION_V1 && self.meta[i].crc.is_none() => {
+                        ChunkHealth::Unverified
+                    }
+                    Ok(_) => ChunkHealth::Healthy,
+                }
+            })
+            .collect();
+        ScrubReport { chunks }
+    }
+
+    /// Best-effort decompression of a damaged archive: every usable chunk
+    /// decodes normally; corrupt chunks (and any decode that still fails)
+    /// are replaced by `fill` values sized from the directory's per-chunk
+    /// value counts. The output is always `total_values` long.
+    pub fn decompress_degraded(&self, fz: &mut FzGpu, fill: FillPolicy) -> DegradedOutput {
+        let mut report = self.scrub();
+        let mut data = Vec::with_capacity(self.total_values);
+        let mut filled_values = 0usize;
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            let decoded = match report.chunks[i] {
+                ChunkHealth::Corrupt(_) => None,
+                _ => match fz.decompress_bytes(chunk) {
+                    Ok(v) => Some(v),
+                    Err(e) => {
+                        // Possible for Unverified v1 chunks whose corruption
+                        // only surfaces at decode time.
+                        report.chunks[i] = ChunkHealth::Corrupt(e);
+                        None
+                    }
+                },
+            };
+            match decoded {
+                Some(v) => data.extend(v),
+                None => {
+                    let n = self.meta.get(i).map_or(0, |m| m.n_values);
+                    filled_values += n;
+                    data.resize(data.len() + n, fill.value());
+                }
+            }
+        }
+        // A corrupt v1 chunk with an unparseable header contributes an
+        // unknown value count; square the output length against the
+        // directory total so callers can always index the full field.
+        if data.len() < self.total_values {
+            filled_values += self.total_values - data.len();
+            data.resize(self.total_values, fill.value());
+        }
+        data.truncate(self.total_values);
+        DegradedOutput { data, report, filled_values }
     }
 
     /// Total compressed bytes including the directory.
     pub fn size_bytes(&self) -> usize {
-        4 + 4 + 8 + 8 + 8 * self.chunks.len() + self.chunks.iter().map(Vec::len).sum::<usize>()
+        4 + 4 + 8 + 8 + 20 * self.chunks.len() + 4 + self.chunks.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Compression ratio over the original f32 data.
@@ -82,42 +278,74 @@ impl Archive {
         (self.total_values * 4) as f64 / self.size_bytes() as f64
     }
 
-    /// Serialize to bytes.
+    /// Serialize to bytes (directory v2).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.size_bytes());
         out.extend_from_slice(&ARCHIVE_MAGIC);
-        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&ARCHIVE_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.total_values as u64).to_le_bytes());
         out.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
-        for c in &self.chunks {
+        for (c, m) in self.chunks.iter().zip(&self.meta) {
             out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(m.n_values as u64).to_le_bytes());
+            out.extend_from_slice(&m.crc.unwrap_or_else(|| crc32(c)).to_le_bytes());
         }
+        let dir_crc = crc32(&out);
+        out.extend_from_slice(&dir_crc.to_le_bytes());
         for c in &self.chunks {
             out.extend_from_slice(c);
         }
         out
     }
 
-    /// Parse from bytes.
+    /// Parse from bytes (directory v1 or v2).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
-        if bytes.len() < 24 || bytes[..4] != ARCHIVE_MAGIC {
+        if bytes.len() < 4 || bytes[..4] != ARCHIVE_MAGIC {
             return Err(FormatError::BadMagic);
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        if version != 1 {
-            return Err(FormatError::BadVersion(version));
-        }
-        let total_values = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-        let nchunks = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
-        let dir_end = 24 + 8 * nchunks;
-        if bytes.len() < dir_end || nchunks > bytes.len() {
+        if bytes.len() < 24 {
             return Err(FormatError::Truncated);
         }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let entry_bytes = match version {
+            1 => 8,
+            ARCHIVE_VERSION => 20,
+            v => return Err(FormatError::BadVersion(v)),
+        };
+        let total_values = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let nchunks = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let entries_end = nchunks
+            .checked_mul(entry_bytes)
+            .and_then(|n| n.checked_add(24))
+            .ok_or(FormatError::Truncated)?;
+        let dir_end = if version == 1 {
+            entries_end
+        } else {
+            entries_end.checked_add(4).ok_or(FormatError::Truncated)?
+        };
+        if bytes.len() < dir_end {
+            return Err(FormatError::Truncated);
+        }
+        if version != 1 {
+            let stored = u32::from_le_bytes(bytes[entries_end..dir_end].try_into().unwrap());
+            let mut c = Crc32::new();
+            c.update(&bytes[..entries_end]);
+            if c.finalize() != stored {
+                return Err(FormatError::ChecksumMismatch { section: ChecksumSection::Directory });
+            }
+        }
         let mut lens = Vec::with_capacity(nchunks);
+        let mut meta = Vec::with_capacity(nchunks);
         for i in 0..nchunks {
-            lens.push(
-                u64::from_le_bytes(bytes[24 + 8 * i..32 + 8 * i].try_into().unwrap()) as usize
-            );
+            let at = 24 + entry_bytes * i;
+            let rd64 = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap()) as usize;
+            lens.push(rd64(at));
+            if version == 1 {
+                meta.push(ChunkMeta { n_values: 0, crc: None });
+            } else {
+                let crc = u32::from_le_bytes(bytes[at + 16..at + 20].try_into().unwrap());
+                meta.push(ChunkMeta { n_values: rd64(at + 8), crc: Some(crc) });
+            }
         }
         let mut chunks = Vec::with_capacity(nchunks);
         let mut pos = dir_end;
@@ -129,7 +357,14 @@ impl Archive {
             chunks.push(bytes[pos..end].to_vec());
             pos = end;
         }
-        Ok(Self { total_values, chunks })
+        if version == 1 {
+            // Recover per-chunk value counts from the streams themselves so
+            // degraded mode can size fills for legacy archives too.
+            for (m, c) in meta.iter_mut().zip(&chunks) {
+                m.n_values = format::Header::from_bytes(c).map_or(0, |h| h.n_values);
+            }
+        }
+        Ok(Self { total_values, chunks, meta })
     }
 }
 
@@ -148,6 +383,7 @@ mod tests {
         let mut fz = FzGpu::new(A100);
         let a = Archive::compress(&mut fz, &d, 3000, ErrorBound::Abs(1e-3));
         assert_eq!(a.chunks.len(), 4); // 3000*3 + 1000
+        assert_eq!(a.meta.iter().map(|m| m.n_values).sum::<usize>(), d.len());
         let back = a.decompress(&mut fz).unwrap();
         assert_eq!(back.len(), d.len());
         for (&x, &y) in d.iter().zip(&back) {
@@ -168,6 +404,15 @@ mod tests {
     }
 
     #[test]
+    fn chunk_index_out_of_range_is_an_error() {
+        let d = data(2048);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1024, ErrorBound::Abs(1e-3));
+        let err = a.decompress_chunk(&mut fz, 2).unwrap_err();
+        assert_eq!(err, FormatError::Inconsistent("chunk index out of range"));
+    }
+
+    #[test]
     fn serialization_roundtrip() {
         let d = data(5000);
         let mut fz = FzGpu::new(A100);
@@ -177,6 +422,7 @@ mod tests {
         let b = Archive::from_bytes(&bytes).unwrap();
         assert_eq!(b.total_values, a.total_values);
         assert_eq!(b.chunks, a.chunks);
+        assert_eq!(b.meta, a.meta);
     }
 
     #[test]
@@ -204,5 +450,95 @@ mod tests {
         assert!(Archive::from_bytes(&bytes).is_err());
         let short = &a.to_bytes()[..30];
         assert!(Archive::from_bytes(short).is_err());
+    }
+
+    #[test]
+    fn directory_corruption_detected() {
+        let d = data(2048);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1024, ErrorBound::Abs(1e-3));
+        let mut bytes = a.to_bytes();
+        bytes[25] ^= 0x04; // a chunk-length byte
+        assert_eq!(
+            Archive::from_bytes(&bytes).unwrap_err(),
+            FormatError::ChecksumMismatch { section: ChecksumSection::Directory }
+        );
+    }
+
+    #[test]
+    fn scrub_clean_archive() {
+        let d = data(4096);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1024, ErrorBound::Abs(1e-3));
+        let report = a.scrub();
+        assert!(report.is_clean());
+        assert!(report.chunks.iter().all(|h| *h == ChunkHealth::Healthy));
+    }
+
+    #[test]
+    fn scrub_flags_corrupted_chunk() {
+        let d = data(4096);
+        let mut fz = FzGpu::new(A100);
+        let mut a = Archive::compress(&mut fz, &d, 1024, ErrorBound::Abs(1e-3));
+        let last = a.chunks[2].len() - 1;
+        a.chunks[2][last] ^= 0x01;
+        let report = a.scrub();
+        assert_eq!(report.corrupt_count(), 1);
+        assert!(
+            report.chunks[2]
+                == ChunkHealth::Corrupt(FormatError::ChecksumMismatch {
+                    section: ChecksumSection::Chunk(2)
+                })
+        );
+        // The other chunks remain healthy and individually decodable.
+        assert!(a.decompress_chunk(&mut fz, 0).is_ok());
+        assert!(a.decompress_chunk(&mut fz, 2).is_err());
+        assert!(a.decompress(&mut fz).is_err());
+    }
+
+    #[test]
+    fn degraded_decompression_recovers_surviving_chunks() {
+        let d = data(8192);
+        let mut fz = FzGpu::new(A100);
+        let mut a = Archive::compress(&mut fz, &d, 2048, ErrorBound::Abs(1e-3));
+        a.chunks[1][100] ^= 0x80;
+        let out = a.decompress_degraded(&mut fz, FillPolicy::NaN);
+        assert_eq!(out.data.len(), d.len());
+        assert_eq!(out.filled_values, 2048);
+        assert_eq!(out.report.corrupt_count(), 1);
+        for (i, (&x, &y)) in d.iter().zip(&out.data).enumerate() {
+            if (2048..4096).contains(&i) {
+                assert!(y.is_nan(), "lost chunk must fill with NaN at {i}");
+            } else {
+                assert!((x - y).abs() <= 1.1e-3, "surviving value must roundtrip at {i}");
+            }
+        }
+        let zeros = a.decompress_degraded(&mut fz, FillPolicy::Zero);
+        assert!(zeros.data[2048..4096].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn v1_directory_still_parses() {
+        // Hand-build a v1 archive around two freshly compressed chunks.
+        let d = data(4096);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 2048, ErrorBound::Abs(1e-3));
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&ARCHIVE_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(a.total_values as u64).to_le_bytes());
+        v1.extend_from_slice(&(a.chunks.len() as u64).to_le_bytes());
+        for c in &a.chunks {
+            v1.extend_from_slice(&(c.len() as u64).to_le_bytes());
+        }
+        for c in &a.chunks {
+            v1.extend_from_slice(c);
+        }
+        let b = Archive::from_bytes(&v1).unwrap();
+        assert_eq!(b.chunks, a.chunks);
+        assert!(b.meta.iter().all(|m| m.crc.is_none()));
+        // n_values recovered from the chunk headers.
+        assert_eq!(b.meta.iter().map(|m| m.n_values).sum::<usize>(), 4096);
+        assert_eq!(b.decompress(&mut fz).unwrap().len(), 4096);
     }
 }

@@ -9,7 +9,7 @@
 use rayon::prelude::*;
 
 use crate::bitshuffle::{shuffle_tile, unshuffle_tile};
-use crate::format::{assemble, disassemble, FormatError, Header};
+use crate::format::{assemble, disassemble, FormatError, Header, VERSION};
 use crate::lorenzo;
 use crate::lorenzo::Shape;
 use crate::pack::{pack_codes, TILE_WORDS};
@@ -81,6 +81,7 @@ impl FzOmp {
         });
 
         let header = Header {
+            version: VERSION,
             shape,
             eb: eb_abs,
             n_values: data.len(),

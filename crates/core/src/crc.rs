@@ -1,0 +1,126 @@
+//! CRC-32 (IEEE 802.3) — the integrity primitive behind stream format v2
+//! and the archive chunk directory.
+//!
+//! Hand-rolled (reflected polynomial `0xEDB88320`, table-driven, one byte
+//! per step) because the workspace is offline and pulls in no external
+//! crates. The parameters match zlib's `crc32()`: initial value
+//! `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`, reflected input/output — so the
+//! classic check value holds: `crc32(b"123456789") == 0xCBF43926`.
+//!
+//! A CRC is an error-*detection* code, not authentication: it catches the
+//! soft-error corruption model of [`fzgpu_sim::fault`] (every single-bit
+//! flip, all burst errors up to 32 bits) but offers nothing against an
+//! adversary. That is exactly the robustness contract DESIGN.md §10
+//! promises.
+
+/// Byte-indexed lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// One-shot CRC-32 of `bytes`.
+#[inline]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+/// Incremental CRC-32 — feed sections in order, then [`Crc32::finalize`].
+///
+/// Used where the checksummed region is assembled piecewise (archive
+/// directory entries, header with a zeroed checksum slot).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh computation.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final digest. The computation can continue afterwards (`finalize`
+    /// does not consume) — handy for running CRCs in tests.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_check_value() {
+        // The universal CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for split in [0usize, 1, 63, 64, 65, 4096, 9999, 10_000] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        // CRC-32 detects every single-bit error regardless of position.
+        let data = vec![0xA5u8; 257];
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc32(&d), clean, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn zlib_style_vectors() {
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+}

@@ -31,6 +31,7 @@
 pub mod archive;
 pub mod bitshuffle;
 pub mod cpu;
+pub mod crc;
 pub mod format;
 pub mod gpu;
 pub mod lorenzo;
@@ -39,9 +40,11 @@ pub mod pipeline;
 pub mod quant;
 pub mod zeroblock;
 
-pub use archive::Archive;
+pub use archive::{Archive, ChunkHealth, ChunkMeta, DegradedOutput, FillPolicy, ScrubReport};
 pub use cpu::FzOmp;
-pub use format::{FormatError, Header};
+pub use crc::crc32;
+pub use format::{ChecksumSection, FormatError, Header};
+pub use fzgpu_sim::{FaultPlan, RetryPolicy};
 pub use gpu::bitshuffle::ShuffleVariant;
 pub use lorenzo::Shape;
 pub use pipeline::{Compressed, FzGpu, FzOptions};

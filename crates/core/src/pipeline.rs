@@ -6,9 +6,9 @@
 //! on the [`fzgpu_sim::Gpu`] simulator; the stream bytes are bit-exact
 //! products of the kernels, the kernel times come from the device model.
 
-use fzgpu_sim::{DeviceSpec, Event, Gpu, GpuBuffer, Profile};
+use fzgpu_sim::{DeviceSpec, Event, FaultPlan, Gpu, GpuBuffer, Profile, RetryPolicy};
 
-use crate::format::{assemble, disassemble, FormatError, Header};
+use crate::format::{assemble, disassemble, FormatError, Header, VERSION};
 use crate::gpu::bitshuffle::{bitshuffle_mark, ShuffleVariant};
 use crate::gpu::decode as gdec;
 use crate::gpu::encode as genc;
@@ -27,11 +27,18 @@ pub struct FzOptions {
     /// item 1): quantization + packing + bitshuffle + marking in a single
     /// kernel. Stream bytes are unchanged; only the launch structure is.
     pub full_fusion_1d: bool,
+    /// Launch retry policy used when transient-fault injection is active
+    /// (see [`FzGpu::enable_faults`]); inert otherwise.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FzOptions {
     fn default() -> Self {
-        Self { shuffle: ShuffleVariant::Fused, full_fusion_1d: false }
+        Self {
+            shuffle: ShuffleVariant::Fused,
+            full_fusion_1d: false,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -65,12 +72,34 @@ impl FzGpu {
 
     /// New compressor with explicit options.
     pub fn with_options(spec: DeviceSpec, opts: FzOptions) -> Self {
-        Self { gpu: Gpu::new(spec), opts }
+        let mut gpu = Gpu::new(spec);
+        gpu.set_retry_policy(opts.retry);
+        Self { gpu, opts }
     }
 
     /// Access the underlying device (timeline inspection, spec).
     pub fn gpu(&self) -> &Gpu {
         &self.gpu
+    }
+
+    /// Mutable access to the underlying device (fault plans, budgets).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Turn on deterministic fault injection for subsequent pipeline runs
+    /// (soft errors in device memory, transient launch failures). Launch
+    /// failures are absorbed by the retry policy in [`FzOptions::retry`];
+    /// memory corruption propagates into the produced stream, where the
+    /// format-v2 checksums are expected to catch it.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.gpu.enable_faults(plan);
+    }
+
+    /// Total launch retries absorbed across this compressor's lifetime
+    /// (0 unless fault injection is active).
+    pub fn total_retries(&self) -> u64 {
+        self.gpu.total_retries()
     }
 
     /// Compress `data` of `shape` under `eb`.
@@ -122,6 +151,7 @@ impl FzGpu {
             genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present);
 
         let header = Header {
+            version: VERSION,
             shape,
             eb: eb_abs,
             n_values: data.len(),

@@ -66,6 +66,20 @@ pub type TestCaseResult = Result<(), TestCaseError>;
 /// The deterministic generator handed to strategies.
 pub type TestRng = StdRng;
 
+/// Resolve the case count for a test run: the `PROPTEST_CASES` environment
+/// variable when set and parseable, else the configured value.
+///
+/// Divergence from the real crate (where the env var only changes the
+/// *default* and an explicit config wins): here the env var always wins, so
+/// CI can globally deepen fuzzing (e.g. `PROPTEST_CASES=256`) without
+/// touching per-test configs.
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
 /// Derive a stable 64-bit seed from a test's name.
 pub fn seed_of(name: &str) -> u64 {
     let mut h = 0xcbf29ce484222325u64; // FNV-1a
@@ -297,7 +311,8 @@ macro_rules! __proptest_impl {
     )*) => {$(
         $(#[$attr])*
         fn $name() {
-            let config: $crate::ProptestConfig = $cfg;
+            let mut config: $crate::ProptestConfig = $cfg;
+            config.cases = $crate::effective_cases(config.cases);
             let mut rng: $crate::TestRng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
                 $crate::seed_of(concat!(module_path!(), "::", stringify!($name))),
             );
@@ -437,6 +452,18 @@ mod tests {
         }
         let exact = crate::collection::vec(0u32..10, 5usize);
         assert_eq!(exact.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn env_overrides_case_count() {
+        // Harmless to the parallel proptest! tests in this binary: they
+        // only run a different number of cases while the var is set.
+        std::env::set_var("PROPTEST_CASES", "24");
+        assert_eq!(crate::effective_cases(64), 24);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(crate::effective_cases(64), 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(crate::effective_cases(64), 64);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! phases in our kernels only communicate across `sync()` boundaries).
 
 use crate::device::{DeviceSpec, WARP_SIZE};
+use crate::fault::BlockFault;
 use crate::perf::KernelStats;
 use crate::pod::Pod;
 use crate::shared::Shared;
@@ -77,6 +78,9 @@ pub struct BlockCtx<'g> {
     /// When `Some`, every global store is logged as `(buffer_id, index)`
     /// for the cross-block write-race detector.
     pub(crate) writes: Option<Vec<(u64, usize)>>,
+    /// When `Some`, shared-memory allocations receive injected bit flips
+    /// (see [`crate::fault`]).
+    pub(crate) fault: Option<BlockFault>,
 }
 
 impl<'g> BlockCtx<'g> {
@@ -124,7 +128,11 @@ impl<'g> BlockCtx<'g> {
             self.spec.name
         );
         self.stats.smem_bytes_peak = self.stats.smem_bytes_peak.max(self.shared_bytes as u64);
-        Shared::new(len)
+        let sh = Shared::new(len);
+        if let Some(fault) = &mut self.fault {
+            fault.corrupt_shared(&sh);
+        }
+        sh
     }
 
     /// Run one warp-parallel phase: `f` executes for every warp.
@@ -165,6 +173,7 @@ mod tests {
             stats: KernelStats::default(),
             shared_bytes: 0,
             writes: None,
+            fault: None,
         }
     }
 

@@ -10,6 +10,7 @@ use rayon::prelude::*;
 
 use crate::block::{BlockCtx, Dim3};
 use crate::device::DeviceSpec;
+use crate::fault::{BlockFault, FaultInjector, FaultPlan, RetryPolicy};
 use crate::memory::GpuBuffer;
 use crate::perf::{KernelRecord, KernelStats, TimeBreakdown, TransferRecord};
 use crate::pod::Pod;
@@ -58,13 +59,64 @@ pub struct Gpu {
     timeline: Vec<Event>,
     detect_races: bool,
     races: Vec<WriteRace>,
+    fault: Option<FaultInjector>,
+    retry_policy: RetryPolicy,
+    launch_index: u64,
+    total_retries: u64,
 }
 
 impl Gpu {
     /// Create a device from a spec (see [`crate::device::A100`] /
     /// [`crate::device::A4000`]).
     pub fn new(spec: DeviceSpec) -> Self {
-        Self { spec, timeline: Vec::new(), detect_races: false, races: Vec::new() }
+        Self {
+            spec,
+            timeline: Vec::new(),
+            detect_races: false,
+            races: Vec::new(),
+            fault: None,
+            retry_policy: RetryPolicy::default(),
+            launch_index: 0,
+            total_retries: 0,
+        }
+    }
+
+    /// Install a deterministic fault injector: subsequent uploads receive
+    /// bit flips at the plan's global rate, shared-memory allocations at
+    /// its shared rate, and launches fail transiently at its probability
+    /// (retried under the installed [`RetryPolicy`]). Zero cost when never
+    /// called — the hooks are a single `Option` check per launch/upload.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// Remove the fault injector, returning it (with its tallies) if one
+    /// was installed.
+    pub fn disable_faults(&mut self) -> Option<FaultInjector> {
+        self.fault.take()
+    }
+
+    /// The installed fault injector, if any (tallies of injected faults).
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Set the transient-launch-failure retry policy (see
+    /// [`crate::fault::RetryPolicy`]). Policy is inert until a fault plan
+    /// with launch faults is installed.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// Transient launch failures absorbed by retries since construction
+    /// (survives [`Gpu::reset_timeline`], unlike the per-record counts).
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
     }
 
     /// Enable the cross-block write-race detector: every subsequent launch
@@ -101,7 +153,11 @@ impl Gpu {
             bytes,
             time: bytes as f64 / self.spec.pcie_peak,
         }));
-        GpuBuffer::from_host(data)
+        let buf = GpuBuffer::from_host(data);
+        if let Some(injector) = &mut self.fault {
+            injector.corrupt_buffer(&buf);
+        }
+        buf
     }
 
     /// Copy a device buffer back to the host, charging D2H transfer time.
@@ -144,6 +200,40 @@ impl Gpu {
         let spec = self.spec;
         let nblocks = grid_dim.count();
         let detect = self.detect_races;
+
+        // Transient launch faults: ask the injector before each attempt and
+        // retry under the policy, charging the failed attempt (overhead +
+        // exponential backoff) on the timeline as an analytic record. The
+        // injector's consecutive-failure cap makes faults transient, so any
+        // budget at least that deep always reaches the successful attempt
+        // below; past the budget the fault surfaces (panic — the moral
+        // equivalent of a sticky `cudaError` in this synchronous API).
+        self.launch_index += 1;
+        let mut retries = 0u32;
+        loop {
+            let failed = self.fault.as_mut().is_some_and(FaultInjector::launch_attempt_fails);
+            if !failed {
+                break;
+            }
+            assert!(
+                retries < self.retry_policy.max_retries,
+                "kernel '{name}' launch: transient-fault retry budget ({}) exhausted",
+                self.retry_policy.max_retries
+            );
+            retries += 1;
+            self.total_retries += 1;
+            let cost = self.spec.launch_overhead + self.retry_policy.backoff_time(retries);
+            self.timeline.push(Event::Kernel(KernelRecord {
+                name: format!("{name} [transient-fault retry {retries}]"),
+                time: cost,
+                stats: KernelStats::default(),
+                breakdown: TimeBreakdown::analytic(cost),
+                retries: 0,
+            }));
+        }
+        let block_fault =
+            self.fault.as_ref().and_then(|inj| inj.block_fault_seed(self.launch_index));
+
         // Per block: merged counters + (when race detection is on) the
         // (buffer id, element index) log of its global stores.
         type BlockResult = (KernelStats, Option<Vec<(u64, usize)>>);
@@ -159,6 +249,7 @@ impl Gpu {
                     stats: KernelStats::default(),
                     shared_bytes: 0,
                     writes: detect.then(Vec::new),
+                    fault: block_fault.map(|(seed, rate)| BlockFault::new(seed, linear, rate)),
                 };
                 f(&mut ctx);
                 (ctx.stats, ctx.writes)
@@ -206,6 +297,7 @@ impl Gpu {
             time: breakdown.total,
             stats,
             breakdown,
+            retries,
         }));
     }
 
@@ -219,6 +311,7 @@ impl Gpu {
             time,
             stats,
             breakdown: TimeBreakdown::analytic(time),
+            retries: 0,
         }));
     }
 
@@ -448,6 +541,69 @@ mod tests {
     fn oversized_block_rejected() {
         let mut gpu = Gpu::new(A100);
         gpu.launch("bad", 1u32, 2048u32, |_| {});
+    }
+
+    #[test]
+    fn launch_faults_retry_and_record() {
+        let mut gpu = Gpu::new(A100);
+        // Every attempt fails until the consecutive cap (2) forces success,
+        // so each launch costs exactly 2 retries under the default budget (3).
+        gpu.enable_faults(FaultPlan::seeded(7).launch_faults(1.0, 2));
+        let out: GpuBuffer<u32> = gpu.alloc(32);
+        gpu.launch("faulty", 1u32, 32u32, |blk| {
+            blk.warps(|w| {
+                w.store(&out, |l| Some((l.id, l.id as u32)));
+            });
+        });
+        assert_eq!(gpu.total_retries(), 2);
+        let names: Vec<&str> = gpu.timeline().iter().map(|e| e.name()).collect();
+        assert!(names[0].contains("transient-fault retry 1"), "{names:?}");
+        assert!(names[1].contains("transient-fault retry 2"), "{names:?}");
+        assert_eq!(names[2], "faulty");
+        let rec = gpu.last_kernel();
+        assert_eq!(rec.retries, 2);
+        // The result is still correct: retries are transparent.
+        assert_eq!(gpu.download(&out)[5], 5);
+        let inj = gpu.disable_faults().unwrap();
+        assert_eq!(inj.launch_faults(), gpu.total_retries());
+    }
+
+    #[test]
+    #[should_panic(expected = "retry budget")]
+    fn launch_fault_budget_exhaustion_panics() {
+        let mut gpu = Gpu::new(A100);
+        // Faults outlast the policy: 5 consecutive failures vs 3 retries.
+        gpu.enable_faults(FaultPlan::seeded(7).launch_faults(1.0, 5));
+        gpu.launch("doomed", 1u32, 32u32, |_| {});
+    }
+
+    #[test]
+    fn upload_corruption_flips_bits() {
+        let mut gpu = Gpu::new(A100);
+        gpu.enable_faults(FaultPlan::seeded(11).global_bit_flips(1e-3));
+        let data = vec![0u32; 1 << 16];
+        let buf = gpu.upload(&data);
+        let flipped: u32 = gpu.download(&buf).iter().map(|v| v.count_ones()).sum();
+        let inj = gpu.faults().unwrap();
+        assert_eq!(flipped as u64, inj.bits_flipped());
+        assert!(inj.bits_flipped() > 0);
+    }
+
+    #[test]
+    fn disabled_faults_do_not_perturb_timeline() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut gpu = Gpu::new(A100);
+            if let Some(p) = plan {
+                gpu.enable_faults(p);
+            }
+            let buf = gpu.upload(&vec![3u32; 1024]);
+            gpu.launch("clean", 1u32, 256u32, |_| {});
+            (gpu.total_time(), gpu.download(&buf))
+        };
+        let (t0, d0) = run(None);
+        let (t1, d1) = run(Some(FaultPlan::disabled()));
+        assert_eq!(t0, t1);
+        assert_eq!(d0, d1);
     }
 
     #[test]

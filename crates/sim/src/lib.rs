@@ -43,6 +43,7 @@ pub mod block;
 pub mod budget;
 pub mod cluster;
 pub mod device;
+pub mod fault;
 pub mod grid;
 pub mod histogram;
 pub mod memory;
@@ -58,6 +59,7 @@ pub use block::{BlockCtx, Dim3};
 pub use budget::{BudgetViolation, StatsBudget};
 pub use cluster::Cluster;
 pub use device::{DeviceSpec, SECTOR_BYTES, SMEM_BANKS, WARP_SIZE};
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
 pub use grid::{Event, Gpu};
 pub use memory::GpuBuffer;
 pub use perf::{estimate_time, BoundBy, KernelRecord, KernelStats, TimeBreakdown, TransferRecord};

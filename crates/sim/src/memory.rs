@@ -102,6 +102,31 @@ impl<T: Pod> GpuBuffer<T> {
         }
     }
 
+    /// Total bits stored in the buffer (fault-injection address space).
+    #[inline]
+    pub fn bit_len(&self) -> usize {
+        self.size_bytes() * 8
+    }
+
+    /// Flip one bit of the buffer in place — the global-memory soft-error
+    /// hook used by [`crate::fault::FaultInjector`]. Bit `i` lives in byte
+    /// `i / 8` of element `i / (8 * T::BYTES)` (little-endian within the
+    /// element, matching the host representation).
+    ///
+    /// # Panics
+    /// Panics when `bit >= self.bit_len()`.
+    pub fn flip_bit(&self, bit: usize) {
+        let bits_per_elem = T::BYTES * 8;
+        let cell = &self.cells[bit / bits_per_elem];
+        let within = bit % bits_per_elem;
+        // SAFETY: same single-writer contract as `write`; `UnsafeCell<T>`
+        // has the layout of `T`, whose bytes we address directly.
+        unsafe {
+            let byte = (cell.get() as *mut u8).add(within / 8);
+            *byte ^= 1 << (within % 8);
+        }
+    }
+
     /// Copy the device contents back to the host (models D2H without
     /// charging transfer time; use [`crate::grid::Gpu::download`] to charge it).
     pub fn to_vec(&self) -> Vec<T> {

@@ -232,6 +232,11 @@ pub struct KernelRecord {
     pub stats: KernelStats,
     /// Roofline attribution of `time`.
     pub breakdown: TimeBreakdown,
+    /// Transient launch failures retried before this (successful) launch —
+    /// 0 unless fault injection is active (see [`crate::fault`]). Each
+    /// failed attempt also appears on the timeline as its own analytic
+    /// record, so retry overhead is visible in `kernel_time`.
+    pub retries: u32,
 }
 
 /// Record of a host<->device transfer on the timeline.

@@ -195,6 +195,7 @@ impl Profile {
                         ("warp_instructions".to_string(), s.warp_instructions.to_string()),
                         ("barriers".to_string(), s.barriers.to_string()),
                         ("smem_bytes_peak".to_string(), s.smem_bytes_peak.to_string()),
+                        ("retries".to_string(), record.retries.to_string()),
                     ];
                     (0u32, "kernel", args.to_vec())
                 }

@@ -45,6 +45,24 @@ impl<T: Pod> Shared<T> {
         self.data.borrow_mut()[idx] = v;
     }
 
+    /// Flip one bit in place — the shared-memory soft-error hook used by
+    /// the fault injector at allocation time (see [`crate::fault`]).
+    ///
+    /// # Panics
+    /// Panics when `bit >= len * T::BYTES * 8`.
+    pub(crate) fn flip_bit(&self, bit: usize) {
+        let bits_per_elem = T::BYTES * 8;
+        let mut data = self.data.borrow_mut();
+        let elem = &mut data[bit / bits_per_elem];
+        let within = bit % bits_per_elem;
+        // SAFETY: `elem` is an exclusive reference to one `T`; we address
+        // its bytes directly.
+        unsafe {
+            let byte = (elem as *mut T as *mut u8).add(within / 8);
+            *byte ^= 1 << (within % 8);
+        }
+    }
+
     /// Bank of element `idx` (successive 4-byte words -> successive banks).
     #[inline]
     pub(crate) fn bank_of(idx: usize) -> usize {

@@ -12,7 +12,8 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use fz_gpu::core::{ErrorBound, FzGpu, Header};
+use fz_gpu::core::archive::ARCHIVE_MAGIC;
+use fz_gpu::core::{Archive, ChunkHealth, ErrorBound, FillPolicy, FzGpu, Header};
 use fz_gpu::data::io::{parse_dims, read_f32_file, write_f32_file};
 use fz_gpu::metrics::{max_abs_error, psnr};
 use fz_gpu::sim::device;
@@ -37,7 +38,10 @@ const USAGE: &str = "usage:
   fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]
   fzgpu profile    (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
                    [--device a100|a4000] [--trace out.json] [--report out.txt]
-                   (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)";
+                   (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)
+  fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--eb 1e-3] [--abs] [--device ...]
+  fzgpu verify     <input.fz|input.fzar>
+  fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -71,6 +75,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "info" => info(&args[1..]),
         "bench" => bench(&args[1..]),
         "profile" => profile(&args[1..]),
+        "archive" => archive(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "extract" => extract(&args[1..]),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -187,6 +194,116 @@ fn profile(args: &[String]) -> Result<(), String> {
         std::fs::write(path, &report).map_err(|e| e.to_string())?;
         println!("wrote report to {path}");
     }
+    Ok(())
+}
+
+/// Read a raw little-endian f32 file as a flat value array (archives chunk
+/// 1D data; no dims required).
+fn read_flat_f32(path: &str) -> Result<Vec<f32>, String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+fn archive(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let output = args.get(1).ok_or("missing output path")?;
+    let chunk_values: usize = flag_value(args, "--chunk-values")
+        .ok_or("missing --chunk-values N")?
+        .parse()
+        .map_err(|_| "bad --chunk-values value".to_string())?;
+    if chunk_values == 0 {
+        return Err("--chunk-values must be positive".into());
+    }
+    let data = read_flat_f32(input)?;
+    let eb = eb_of(args)?;
+    let mut fz = FzGpu::new(device_of(args)?);
+    let a = Archive::compress(&mut fz, &data, chunk_values, eb);
+    std::fs::write(output, a.to_bytes()).map_err(|e| e.to_string())?;
+    println!(
+        "{} -> {}: {} values in {} chunks, {:.2} MB -> {:.2} MB (ratio {:.1}x)",
+        input,
+        output,
+        a.total_values,
+        a.chunks.len(),
+        (a.total_values * 4) as f64 / 1e6,
+        a.size_bytes() as f64 / 1e6,
+        a.ratio(),
+    );
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    if bytes.len() >= 4 && bytes[..4] == ARCHIVE_MAGIC {
+        let a = Archive::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        let report = a.scrub();
+        println!("FZ-GPU archive: {input} ({} chunks, {} values)", a.chunks.len(), a.total_values);
+        for (i, health) in report.chunks.iter().enumerate() {
+            let verdict = match health {
+                ChunkHealth::Healthy => "ok".to_string(),
+                ChunkHealth::Unverified => "unverified (v1, no checksums)".to_string(),
+                ChunkHealth::Corrupt(e) => format!("CORRUPT: {e}"),
+            };
+            println!("  chunk {i:>4}: {:>10} bytes  {verdict}", a.chunks[i].len());
+        }
+        if report.is_clean() {
+            println!("archive OK ({} chunks verified)", report.chunks.len());
+            Ok(())
+        } else {
+            Err(format!(
+                "{} of {} chunks corrupt (recover the rest with `fzgpu extract --degraded`)",
+                report.corrupt_count(),
+                report.chunks.len()
+            ))
+        }
+    } else {
+        let header = fz_gpu::core::format::verify(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        let (nz, ny, nx) = header.shape;
+        println!("FZ-GPU stream: {input}");
+        println!("  version:      {}", header.version);
+        println!("  shape:        {nz} x {ny} x {nx} ({} values)", header.n_values);
+        if header.version >= 2 {
+            println!("stream OK (header + payload checksums verified)");
+        } else {
+            println!("stream structurally OK (v1 carries no checksums)");
+        }
+        Ok(())
+    }
+}
+
+fn extract(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input path")?;
+    let output = args.get(1).ok_or("missing output path")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let a = Archive::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    let mut fz = FzGpu::new(device_of(args)?);
+    let values = if args.iter().any(|a| a == "--degraded") {
+        let fill = match flag_value(args, "--fill").unwrap_or("nan") {
+            "nan" => FillPolicy::NaN,
+            "zero" => FillPolicy::Zero,
+            other => return Err(format!("bad --fill '{other}' (expected nan|zero)")),
+        };
+        let out = a.decompress_degraded(&mut fz, fill);
+        if out.filled_values > 0 {
+            println!(
+                "recovered {} of {} values; {} filled from {} corrupt chunk(s)",
+                out.data.len() - out.filled_values,
+                out.data.len(),
+                out.filled_values,
+                out.report.corrupt_count(),
+            );
+        }
+        out.data
+    } else {
+        a.decompress(&mut fz)
+            .map_err(|e| format!("{input}: {e} (use --degraded to recover intact chunks)"))?
+    };
+    write_f32_file(Path::new(output), &values).map_err(|e| e.to_string())?;
+    println!("{} -> {}: {} values from {} chunks", input, output, values.len(), a.chunks.len());
     Ok(())
 }
 

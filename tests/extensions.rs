@@ -23,7 +23,7 @@ fn archive_spans_devices() {
         chunks.push(fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(1e-3)).bytes);
         total += chunk.len();
     }
-    let archive = Archive { total_values: total, chunks };
+    let archive = Archive::from_streams(total, chunks);
     let bytes = archive.to_bytes();
     let parsed = Archive::from_bytes(&bytes).unwrap();
     let back = parsed.decompress(&mut a100).unwrap();

@@ -2,7 +2,8 @@
 //! rejected with an error — never a panic, never silent garbage accepted
 //! as a valid header.
 
-use fz_gpu::core::{ErrorBound, FzGpu};
+use fz_gpu::core::format::{self, Header, HEADER_BYTES, HEADER_V1_BYTES, VERSION, VERSION_V1};
+use fz_gpu::core::{ErrorBound, FzGpu, FzOmp};
 use fz_gpu::sim::device::A100;
 use proptest::prelude::*;
 
@@ -38,6 +39,36 @@ fn header_byte_corruption_never_panics() {
             }
         }
     }
+}
+
+#[test]
+fn v1_streams_still_decompress() {
+    // Backward compatibility: re-serialize today's sections under a v1
+    // header (the checksum-free legacy layout) — readers must accept it
+    // and produce identical values.
+    let (data, bytes) = small_stream();
+    let (h, bit_flags, payload) = format::disassemble(&bytes).unwrap();
+    assert_eq!(h.version, VERSION);
+    let v1 = format::assemble(&Header { version: VERSION_V1, ..h }, &bit_flags, &payload);
+    assert_eq!(v1.len(), bytes.len() - (HEADER_BYTES - HEADER_V1_BYTES));
+    let mut fz = FzGpu::new(A100);
+    let out = fz.decompress_bytes(&v1).unwrap();
+    let reference = fz.decompress_bytes(&bytes).unwrap();
+    assert_eq!(out, reference);
+    assert_eq!(out.len(), data.len());
+}
+
+#[test]
+fn v2_streams_are_bit_exact_and_deterministic() {
+    // Checksums add no nondeterminism: same input → same bytes, GPU and
+    // CPU paths agree, and the stream round-trips through verify.
+    let (data, bytes) = small_stream();
+    let (_, bytes_again) = small_stream();
+    assert_eq!(bytes, bytes_again);
+    let cpu = FzOmp.compress(&data, (1, 32, 64), ErrorBound::Abs(1e-3));
+    assert_eq!(cpu.bytes, bytes, "CPU and GPU v2 streams must be bit-identical");
+    let h = format::verify(&bytes).expect("fresh stream must verify");
+    assert_eq!(h.version, VERSION);
 }
 
 proptest! {
