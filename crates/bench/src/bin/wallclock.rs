@@ -1,0 +1,174 @@
+//! Wall-clock benchmark: *real* elapsed time across host thread counts.
+//!
+//! Every figure bin reports the simulator's modeled device time; this one
+//! measures what actually elapses on the host — the FZ-OMP CPU pipeline
+//! end to end, and the simulated FZ-GPU pipeline (whose wall time is
+//! simulation cost, reported alongside its modeled kernel time so the two
+//! are never conflated). The sweep runs thread counts 1/2/4/N in one
+//! process via `rayon::set_num_threads` and asserts the determinism
+//! contract as it goes: every compressed stream must be byte-identical to
+//! the single-threaded reference.
+//!
+//! Outputs `results/wallclock.txt` (human table) and `BENCH_wallclock.json`
+//! (machine-readable, seeds the perf trajectory) at the repo root.
+//!
+//! `--smoke`: one tiny field, one iteration — a CI deadlock/consistency
+//! canary, not a measurement. `--scale full` measures paper-size fields.
+
+use std::time::Instant;
+
+use fzgpu_bench::{arg_flag, fmt, scale_from_args, shape_of, Table};
+use fzgpu_core::cpu::FzOmp;
+use fzgpu_core::pipeline::FzGpu;
+use fzgpu_core::quant::ErrorBound;
+use fzgpu_data::dataset;
+use fzgpu_sim::device::A100;
+
+struct Sample {
+    threads: usize,
+    compress_s: f64,
+    decompress_s: f64,
+    sim_wall_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = arg_flag(&args, "--smoke");
+    let eb = ErrorBound::RelToRange(1e-3);
+
+    let mut field = dataset("CESM").expect("catalog").generate(scale_from_args(&args));
+    let (shape, label) = if smoke {
+        // A canary grid, large enough to exercise the pool, small enough
+        // for CI: correctness (byte-identity) is asserted, timing is noise.
+        field.data.truncate(1 << 16);
+        ((1usize, 64usize, 1024usize), "CESM (smoke slice)")
+    } else {
+        (shape_of(&field), field.dataset)
+    };
+    let data = &field.data[..];
+    let input_bytes = std::mem::size_of_val(data);
+    let iters = if smoke { 1 } else { 3 };
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut counts = vec![1, 2, 4, host_cores];
+    counts.sort_unstable();
+    counts.dedup();
+
+    println!("wallclock: {label}, {} values, rel eb 1e-3, host cores {host_cores}", data.len());
+
+    let fz = FzOmp;
+    let mut reference: Option<Vec<u8>> = None;
+    let mut modeled_kernel_s = 0.0;
+    let mut samples = Vec::new();
+    for &threads in &counts {
+        rayon::set_num_threads(threads);
+
+        // FZ-OMP: measured host pipeline. Warm-up once, then best-of-N
+        // (minimum discards scheduler noise; every run is checked).
+        let mut compress_s = f64::INFINITY;
+        let mut decompress_s = f64::INFINITY;
+        let mut stream = Vec::new();
+        for i in 0..=iters {
+            let t0 = Instant::now();
+            let c = fz.compress(data, shape, eb);
+            let tc = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let back = fz.decompress(&c).expect("roundtrip");
+            let td = t1.elapsed().as_secs_f64();
+            assert_eq!(back.len(), data.len());
+            if i > 0 || iters == 1 {
+                compress_s = compress_s.min(tc);
+                decompress_s = decompress_s.min(td);
+            }
+            stream = c.bytes;
+        }
+
+        // FZ-GPU under simulation: wall time is what the simulator costs
+        // on the host (it parallelizes over blocks too); kernel time is
+        // the modeled device time and must not vary with threads.
+        let mut sim = FzGpu::new(A100);
+        let t0 = Instant::now();
+        let g = sim.compress(data, shape, eb);
+        let sim_wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(g.bytes, stream, "GPU/CPU stream divergence at {threads} threads");
+        if let Some(reference) = &reference {
+            assert_eq!(
+                &stream, reference,
+                "stream at {threads} threads differs from sequential reference"
+            );
+        } else {
+            reference = Some(stream);
+            modeled_kernel_s = sim.kernel_time();
+        }
+        assert_eq!(sim.kernel_time(), modeled_kernel_s, "modeled time drifted with thread count");
+
+        samples.push(Sample { threads, compress_s, decompress_s, sim_wall_s });
+    }
+    let base = samples[0].compress_s;
+
+    let mut t = Table::new(&[
+        "threads",
+        "compress s",
+        "decompress s",
+        "GB/s",
+        "speedup",
+        "sim wall s",
+        "modeled s",
+    ]);
+    for s in &samples {
+        t.row(vec![
+            s.threads.to_string(),
+            format!("{:.4}", s.compress_s),
+            format!("{:.4}", s.decompress_s),
+            fmt(input_bytes as f64 / s.compress_s / 1e9),
+            fmt(base / s.compress_s),
+            format!("{:.4}", s.sim_wall_s),
+            format!("{:.6}", modeled_kernel_s),
+        ]);
+    }
+    let table = t.render();
+    print!("{table}");
+    println!("\nstreams byte-identical across all thread counts: yes");
+    if host_cores == 1 {
+        println!("note: single-core host — speedups are bounded by hardware, not the pool");
+    }
+
+    // Persist. The bench crate lives at crates/bench, so the repo root is
+    // two levels up from its manifest.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut txt = format!(
+        "wallclock bench: {label}, {} values ({} MB), rel eb 1e-3\nhost cores: {host_cores}{}\n\n",
+        data.len(),
+        input_bytes / (1 << 20),
+        if smoke { " [smoke]" } else { "" },
+    );
+    txt.push_str(&table);
+    txt.push_str("\nstreams byte-identical across all thread counts: yes\n");
+    std::fs::create_dir_all(root.join("results")).expect("results dir");
+    std::fs::write(root.join("results/wallclock.txt"), txt).expect("write results/wallclock.txt");
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"threads\": {}, \"compress_s\": {:.6}, \"decompress_s\": {:.6}, \
+                 \"compress_gbps\": {:.4}, \"speedup_vs_1\": {:.3}, \"sim_wall_s\": {:.6}}}",
+                s.threads,
+                s.compress_s,
+                s.decompress_s,
+                input_bytes as f64 / s.compress_s / 1e9,
+                base / s.compress_s,
+                s.sim_wall_s,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"wallclock\",\n  \"dataset\": \"{label}\",\n  \"n_values\": {},\n  \
+         \"input_bytes\": {input_bytes},\n  \"host_cores\": {host_cores},\n  \"smoke\": {smoke},\n  \
+         \"modeled_kernel_s\": {modeled_kernel_s:.6},\n  \"identical_streams\": true,\n  \
+         \"threads\": [\n{}\n  ]\n}}\n",
+        data.len(),
+        rows.join(",\n"),
+    );
+    std::fs::write(root.join("BENCH_wallclock.json"), json).expect("write BENCH_wallclock.json");
+}

@@ -1,27 +1,200 @@
-//! Workspace-local stand-in for the `rayon` crate.
+//! Workspace-local stand-in for the `rayon` crate, with a real thread pool.
 //!
-//! The build environment is offline (no crates.io access) and runs on a
-//! single CPU, so this shim keeps rayon's *call-site API* — `par_iter`,
-//! `par_chunks_mut`, `into_par_iter`, the `fold`/`reduce`(identity, op)
-//! shapes — while executing sequentially. Sequential execution is a valid
-//! rayon schedule (one worker, one split), so every caller's semantics are
-//! preserved exactly; determinism improves for free.
+//! The build environment is offline (no crates.io access), so this shim
+//! keeps rayon's *call-site API* — `par_iter`, `par_chunks_mut`,
+//! `into_par_iter`, the `fold`/`reduce`(identity, op) shapes — while
+//! executing on a workspace-owned pool of persistent `std::thread` workers
+//! (see [`mod@pool`]). Iterator *structure* (zip, enumerate, chunk
+//! boundaries) is evaluated sequentially on the calling thread; the
+//! *work* — `map`/`for_each`/`reduce` closures — runs in parallel, which
+//! is where all the time goes in this workspace (per-plane Lorenzo
+//! passes, per-tile bitshuffles, per-block kernel execution).
 //!
+//! # Scheduling and the determinism contract
+//! Each parallel region splits its items into a chunk grid computed from
+//! the item count alone — never from the thread count — and threads claim
+//! chunks dynamically from a shared counter (chunked index-range
+//! stealing). Results are written to chunk- or item-indexed slots and all
+//! reductions combine their per-chunk partials **in chunk order** on the
+//! calling thread. Consequently every adapter here is bit-deterministic:
+//! the same input produces the same output (including non-associative
+//! float reductions) at *any* thread count, including 1. The
+//! `parallel_determinism` integration suite holds this contract over the
+//! whole compression pipeline.
+//!
+//! # Thread count
+//! `FZGPU_THREADS` sets the pool size (default: all available cores);
+//! `FZGPU_THREADS=1` is a strict sequential escape hatch that never
+//! spawns a worker. [`set_num_threads`] / [`current_num_threads`] adjust
+//! and inspect it at runtime.
+//!
+//! # Scope
 //! Only the surface actually used in this workspace is provided. If a new
-//! adapter is needed, add it to [`Par`] rather than reaching for std
-//! iterators at the call site, so a future swap to real rayon stays a
-//! one-line `Cargo.toml` change.
+//! adapter is needed, add it to [`Par`] / [`MapPar`] rather than reaching
+//! for std iterators at the call site, so a future swap to real rayon
+//! stays a one-line `Cargo.toml` change. Item *handles* (references,
+//! chunk slices) are buffered per region before fan-out — O(items)
+//! pointer-sized memory, negligible next to the data they point at.
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator that
-/// exposes rayon-shaped adapters (notably the two-argument
-/// `reduce(identity, op)` and `fold(identity, op)`, which differ from
-/// [`Iterator`]'s one-argument forms).
+mod pool;
+
+pub use pool::{current_num_threads, set_num_threads};
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Execution engine: deterministic chunk grids over buffered items.
+// ---------------------------------------------------------------------------
+
+/// Raw pointer that may cross threads. Every use targets distinct slots
+/// (disjoint indices) per thread, upholding the aliasing rules manually.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare pointer.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: the engine guarantees disjoint-index access (see call sites).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// The deterministic chunk grid: `(chunk_len, n_chunks)`. Depends only on
+/// `total` so that per-chunk partials — and therefore every reduction —
+/// are identical at any thread count. Aims for ≤256 chunks, degrading to
+/// one item per chunk for small regions (whose items are coarse: planes,
+/// tiles, thread blocks).
+fn det_grid(total: usize) -> (usize, usize) {
+    if total == 0 {
+        return (1, 0);
+    }
+    let chunk_len = total.div_ceil(256).max(1);
+    (chunk_len, total.div_ceil(chunk_len))
+}
+
+/// Owning iterator over one chunk's buffered items. Reads items out of
+/// the (logically leaked) buffer; whatever the consumer does not iterate
+/// is dropped on `Drop`, so each item is consumed exactly once.
+struct Claimed<A> {
+    ptr: *mut A,
+    len: usize,
+}
+
+impl<A> Iterator for Claimed<A> {
+    type Item = A;
+
+    fn next(&mut self) -> Option<A> {
+        if self.len == 0 {
+            return None;
+        }
+        // SAFETY: `ptr..ptr+len` are initialized items this chunk owns.
+        let v = unsafe { self.ptr.read() };
+        self.ptr = unsafe { self.ptr.add(1) };
+        self.len -= 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len, Some(self.len))
+    }
+}
+
+impl<A> ExactSizeIterator for Claimed<A> {}
+
+impl<A> Drop for Claimed<A> {
+    fn drop(&mut self) {
+        while self.next().is_some() {}
+    }
+}
+
+/// Partition `items` into the deterministic grid and run
+/// `chunk_fn(chunk_index, first_item_index, chunk_items)` for every chunk
+/// across the pool. Consumes every item exactly once (chunks that panic
+/// may leak their unconsumed items; no double drops).
+fn drive<A, F>(mut items: Vec<A>, chunk_fn: F)
+where
+    A: Send,
+    F: Fn(usize, usize, Claimed<A>) + Sync,
+{
+    let n = items.len();
+    let (chunk_len, n_chunks) = det_grid(n);
+    let base = SendPtr(items.as_mut_ptr());
+    // The region takes ownership of the elements; `items` keeps only the
+    // allocation, freed when this frame unwinds or returns.
+    unsafe { items.set_len(0) };
+    pool::run(n_chunks, &|c| {
+        let start = c * chunk_len;
+        let len = chunk_len.min(n - start);
+        // SAFETY: chunk `c` exclusively owns items `start..start+len`.
+        let claimed = Claimed { ptr: unsafe { base.get().add(start) }, len };
+        chunk_fn(c, start, claimed);
+    });
+}
+
+/// Run `part` over every chunk and return the per-chunk results **in
+/// chunk order** — the deterministic-merge backbone for reductions.
+fn parts<A, T, F>(items: Vec<A>, part: F) -> Vec<T>
+where
+    A: Send,
+    T: Send,
+    F: Fn(usize, usize, Claimed<A>) -> T + Sync,
+{
+    let n_chunks = det_grid(items.len()).1;
+    let mut out: Vec<T> = Vec::with_capacity(n_chunks);
+    let slots = SendPtr(out.as_mut_ptr());
+    drive(items, |c, start, claimed| {
+        let v = part(c, start, claimed);
+        // SAFETY: slot `c` is written by exactly one chunk.
+        unsafe { slots.get().add(c).write(v) };
+    });
+    // SAFETY: all `n_chunks` slots were initialized (drive returned).
+    unsafe { out.set_len(n_chunks) };
+    out
+}
+
+/// Apply `f` to every item in parallel, preserving item order.
+fn map_into_vec<A, T, F>(items: Vec<A>, f: F) -> Vec<T>
+where
+    A: Send,
+    T: Send,
+    F: Fn(A) -> T + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let slots = SendPtr(out.as_mut_ptr());
+    drive(items, |_c, start, claimed| {
+        for (k, a) in claimed.enumerate() {
+            // SAFETY: item index `start + k` belongs to this chunk alone.
+            unsafe { slots.get().add(start + k).write(f(a)) };
+        }
+    });
+    // SAFETY: all `n` slots were initialized (drive returned).
+    unsafe { out.set_len(n) };
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators.
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: lazily composed sequential *structure* whose
+/// terminal operations fan the per-item work out over the pool.
 pub struct Par<I>(I);
 
 impl<I: Iterator> Par<I> {
-    /// Map each item (rayon: `ParallelIterator::map`).
-    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<core::iter::Map<I, F>> {
-        Par(self.0.map(f))
+    /// Map each item (rayon: `ParallelIterator::map`). The closure runs in
+    /// parallel at the terminal operation.
+    pub fn map<T, F: Fn(I::Item) -> T>(self, f: F) -> MapPar<I, F> {
+        MapPar { base: self.0, f }
     }
 
     /// Zip with another parallel iterator.
@@ -34,19 +207,10 @@ impl<I: Iterator> Par<I> {
         Par(self.0.enumerate())
     }
 
-    /// Keep items matching the predicate.
+    /// Keep items matching the predicate (evaluated during the sequential
+    /// structure pass — keep predicates cheap).
     pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<core::iter::Filter<I, P>> {
         Par(self.0.filter(p))
-    }
-
-    /// Run `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Sum the items.
-    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
     }
 
     /// Collect into any [`FromIterator`] container (order preserved, as
@@ -54,31 +218,84 @@ impl<I: Iterator> Par<I> {
     pub fn collect<C: FromIterator<I::Item>>(self) -> C {
         self.0.collect()
     }
+}
 
-    /// rayon's `reduce`: fold with an identity-producing closure. With one
-    /// sequential split this is a plain fold seeded by `identity()`.
+impl<I: Iterator> Par<I>
+where
+    I::Item: Send,
+{
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F: Fn(I::Item) + Sync>(self, f: F) {
+        let items: Vec<I::Item> = self.0.collect();
+        drive(items, |_, _, claimed| {
+            for a in claimed {
+                f(a);
+            }
+        });
+    }
+
+    /// Sum the items. Deterministic at any thread count: per-chunk sums
+    /// combine in chunk order.
+    pub fn sum<S>(self) -> S
+    where
+        S: core::iter::Sum<I::Item> + core::iter::Sum<S> + Send,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        parts(items, |_, _, claimed| claimed.sum::<S>()).into_iter().sum()
+    }
+
+    /// rayon's `reduce`: fold with an identity-producing closure. Each
+    /// chunk folds sequentially from `identity()`; partials combine in
+    /// chunk order, so the result is schedule-independent.
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
     where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> I::Item + Sync,
+        OP: Fn(I::Item, I::Item) -> I::Item + Sync,
     {
-        self.0.fold(identity(), op)
+        let items: Vec<I::Item> = self.0.collect();
+        parts(items, |_, _, claimed| claimed.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
     }
 
-    /// rayon's `fold`: produces one accumulator per split — a single one
-    /// here — as a parallel iterator, ready for a following `reduce`.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<core::iter::Once<T>>
+    /// rayon's `fold`: produces one accumulator per chunk (rayon: per
+    /// split) as a parallel iterator, ready for a following `reduce`.
+    /// Accumulators arrive in chunk order.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::vec::IntoIter<T>>
     where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, I::Item) -> T + Sync,
     {
-        Par(core::iter::once(self.0.fold(identity(), fold_op)))
+        let items: Vec<I::Item> = self.0.collect();
+        Par(parts(items, |_, _, claimed| claimed.fold(identity(), &fold_op)).into_iter())
     }
 
-    /// rayon's `position_any`: index of some item matching the predicate
-    /// (sequentially: the first).
-    pub fn position_any<P: FnMut(I::Item) -> bool>(mut self, p: P) -> Option<usize> {
-        self.0.position(p)
+    /// rayon's `position_any`: index of some item matching the predicate.
+    /// This implementation deterministically returns the *first* match
+    /// (chunks later than a known hit are skipped, earlier ones always
+    /// complete).
+    pub fn position_any<P>(self, p: P) -> Option<usize>
+    where
+        P: Fn(I::Item) -> bool + Sync,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        let best_chunk = AtomicUsize::new(usize::MAX);
+        let hits = parts(items, |c, start, claimed| {
+            if c > best_chunk.load(Ordering::Relaxed) {
+                return None; // a hit in an earlier chunk already wins
+            }
+            let mut idx = start;
+            for a in claimed {
+                if p(a) {
+                    best_chunk.fetch_min(c, Ordering::Relaxed);
+                    return Some(idx);
+                }
+                idx += 1;
+            }
+            None
+        });
+        hits.into_iter().flatten().next()
     }
 }
 
@@ -89,6 +306,76 @@ where
     /// Copy out of a by-reference iterator.
     pub fn copied(self) -> Par<core::iter::Copied<I>> {
         Par(self.0.copied())
+    }
+}
+
+/// A mapped parallel iterator: the base structure is evaluated
+/// sequentially, `f` runs in parallel at the terminal.
+pub struct MapPar<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<T, I, F> MapPar<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    T: Send,
+    F: Fn(I::Item) -> T + Sync,
+{
+    /// Collect mapped items, order preserved.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let items: Vec<I::Item> = self.base.collect();
+        map_into_vec(items, self.f).into_iter().collect()
+    }
+
+    /// Run `g` on every mapped item, in parallel.
+    pub fn for_each<G: Fn(T) + Sync>(self, g: G) {
+        let items: Vec<I::Item> = self.base.collect();
+        let f = self.f;
+        drive(items, |_, _, claimed| {
+            for a in claimed {
+                g(f(a));
+            }
+        });
+    }
+
+    /// Sum the mapped items (deterministic chunk-ordered combine).
+    pub fn sum<S>(self) -> S
+    where
+        S: core::iter::Sum<T> + core::iter::Sum<S> + Send,
+    {
+        let items: Vec<I::Item> = self.base.collect();
+        let f = self.f;
+        parts(items, |_, _, claimed| claimed.map(&f).sum::<S>()).into_iter().sum()
+    }
+
+    /// rayon's `reduce` over the mapped items.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let items: Vec<I::Item> = self.base.collect();
+        let f = self.f;
+        parts(items, |_, _, claimed| claimed.map(&f).fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// rayon's `fold` over the mapped items (one accumulator per chunk).
+    pub fn fold<B, ID, G>(self, identity: ID, fold_op: G) -> Par<std::vec::IntoIter<B>>
+    where
+        B: Send,
+        ID: Fn() -> B + Sync,
+        G: Fn(B, T) -> B + Sync,
+    {
+        let items: Vec<I::Item> = self.base.collect();
+        let f = self.f;
+        Par(
+            parts(items, |_, _, claimed| claimed.map(&f).fold(identity(), &fold_op))
+                .into_iter(),
+        )
     }
 }
 
@@ -143,18 +430,40 @@ impl<T> ParallelSliceExt<T> for [T] {
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.
-    pub use crate::{IntoParallelIterator, Par, ParallelSliceExt};
+    pub use crate::{IntoParallelIterator, MapPar, Par, ParallelSliceExt};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use crate::{current_num_threads, set_num_threads};
+
+    /// Serialize tests that reconfigure the global pool.
+    fn threads(n: usize) -> impl Drop {
+        struct Reset(std::sync::MutexGuard<'static, ()>);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                set_num_threads(1);
+            }
+        }
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let guard = M.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(n);
+        Reset(guard)
+    }
 
     #[test]
     fn map_collect_preserves_order() {
         let v: Vec<u32> = (0..100u32).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v[7], 14);
         assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_parallel() {
+        let _t = threads(4);
+        let v: Vec<u64> = (0..100_000u64).into_par_iter().map(|i| i * i).collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i * i) as u64));
     }
 
     #[test]
@@ -205,5 +514,73 @@ mod tests {
         let b = [1, 2, 4];
         let pos = a.par_iter().zip(b.par_iter()).position_any(|(&x, &y)| x != y);
         assert_eq!(pos, Some(2));
+    }
+
+    #[test]
+    fn position_any_returns_first_match_parallel() {
+        let _t = threads(4);
+        let mut v = vec![0u8; 100_000];
+        v[63_123] = 1;
+        v[90_000] = 1;
+        assert_eq!(v.par_iter().position_any(|&x| x == 1), Some(63_123));
+        assert_eq!(v.par_iter().position_any(|&x| x == 2), None);
+    }
+
+    #[test]
+    fn float_sum_is_thread_count_invariant() {
+        // Non-associative reduction: bit-identity across thread counts is
+        // the shim's determinism contract, not an accident.
+        let data: Vec<f32> = (0..300_001).map(|i| ((i as f32) * 0.7129).sin() * 1e3).collect();
+        let at = |n: usize| {
+            let _t = threads(n);
+            let s: f64 = data.par_iter().map(|&x| x as f64).sum::<f64>();
+            let r = data.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max);
+            (s.to_bits(), r.to_bits())
+        };
+        assert_eq!(at(1), at(4));
+        assert_eq!(at(2), at(7));
+    }
+
+    #[test]
+    fn for_each_runs_every_item_parallel() {
+        let _t = threads(4);
+        let mut v = vec![0u32; 4096];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        v.par_chunks_exact_mut(64).for_each(|c| c[0] += 1);
+        assert_eq!(v.iter().map(|&x| x as usize).sum::<usize>(), 4096 + 64);
+    }
+
+    #[test]
+    fn owned_items_drop_exactly_once() {
+        let _t = threads(4);
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let items: Vec<D> = (0..10_000).map(D).collect();
+        // position_any consumes some items eagerly and drops the rest.
+        let _ = items.into_par_iter().position_any(|d| d.0 == 5_000);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn panic_in_map_propagates() {
+        let _t = threads(4);
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u32> =
+                (0..10_000u32).into_par_iter().map(|i| if i == 7777 { panic!("boom") } else { i }).collect();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn current_num_threads_reflects_override() {
+        let _t = threads(3);
+        assert_eq!(current_num_threads(), 3);
     }
 }

@@ -2,9 +2,23 @@
 //!
 //! [`Gpu`] owns a device spec and a timeline of events (kernel launches and
 //! PCIe transfers). [`Gpu::launch`] executes the kernel closure once per
-//! block — blocks run in parallel on the host via rayon, mirroring their
-//! independence on the device — merges per-block counters, and appends a
-//! timed [`KernelRecord`] computed by the roofline model.
+//! block, fanning blocks out across the workspace thread pool
+//! (`FZGPU_THREADS` workers; see the `rayon` shim crate) — mirroring their
+//! independence on the device — then merges per-block counters and appends
+//! a timed [`KernelRecord`] computed by the roofline model.
+//!
+//! # Determinism contract
+//! Host-side parallelism must never show through in results. Per-block
+//! state ([`BlockCtx`]) is isolated while blocks run; counters, race logs,
+//! and fault draws merge **in block order** afterwards, and per-block
+//! fault streams are seeded from `(launch, block)` rather than anything
+//! schedule-dependent. Timelines, [`KernelStats`], detected races, and
+//! every buffer byte are therefore bit-identical at any `FZGPU_THREADS`
+//! value (held by the `parallel_determinism` test suite). The one
+//! deliberate exception to parallel execution: with race detection enabled
+//! blocks run sequentially, because the buggy kernels that detector exists
+//! to catch would otherwise be real host data races (UB), not simulated
+//! ones.
 
 use rayon::prelude::*;
 
@@ -174,8 +188,11 @@ impl Gpu {
     /// Launch a kernel over `grid_dim` blocks of `block_dim` threads.
     ///
     /// The closure runs once per block with a fresh [`BlockCtx`]; blocks
-    /// execute in parallel on the host. Per-block counters are merged and
-    /// the launch is appended to the timeline with its modeled time.
+    /// execute in parallel on the host thread pool (sequentially when race
+    /// detection is on, or under `FZGPU_THREADS=1`). Per-block counters
+    /// merge in block order — results are identical at any thread count
+    /// (see the module docs) — and the launch is appended to the timeline
+    /// with its modeled time.
     ///
     /// # Panics
     /// Panics when `block_dim` exceeds the device's thread-per-block limit.
@@ -237,24 +254,29 @@ impl Gpu {
         // Per block: merged counters + (when race detection is on) the
         // (buffer id, element index) log of its global stores.
         type BlockResult = (KernelStats, Option<Vec<(u64, usize)>>);
-        let results: Vec<BlockResult> = (0..nblocks)
-            .into_par_iter()
-            .map(|linear| {
-                let (x, y, z) = grid_dim.delinearize(linear);
-                let mut ctx = BlockCtx {
-                    block_idx: Dim3 { x, y, z },
-                    grid_dim,
-                    block_dim,
-                    spec: &spec,
-                    stats: KernelStats::default(),
-                    shared_bytes: 0,
-                    writes: detect.then(Vec::new),
-                    fault: block_fault.map(|(seed, rate)| BlockFault::new(seed, linear, rate)),
-                };
-                f(&mut ctx);
-                (ctx.stats, ctx.writes)
-            })
-            .collect();
+        let run_block = |linear: usize| -> BlockResult {
+            let (x, y, z) = grid_dim.delinearize(linear);
+            let mut ctx = BlockCtx {
+                block_idx: Dim3 { x, y, z },
+                grid_dim,
+                block_dim,
+                spec: &spec,
+                stats: KernelStats::default(),
+                shared_bytes: 0,
+                writes: detect.then(Vec::new),
+                fault: block_fault.map(|(seed, rate)| BlockFault::new(seed, linear, rate)),
+            };
+            f(&mut ctx);
+            (ctx.stats, ctx.writes)
+        };
+        // Race detection pins execution to one thread: the overlapping
+        // stores the detector exists to find would be genuine host data
+        // races if the blocks truly ran concurrently.
+        let results: Vec<BlockResult> = if detect {
+            (0..nblocks).map(run_block).collect()
+        } else {
+            (0..nblocks).into_par_iter().map(run_block).collect()
+        };
         let mut stats = KernelStats::default();
         for (s, _) in &results {
             stats.merge(s);
@@ -262,25 +284,43 @@ impl Gpu {
         if detect {
             // An element is racy when written by two *different* blocks
             // within one launch (intra-block rewrites are ordered by the
-            // sequential warp execution and are fine).
-            let mut seen: std::collections::HashMap<(u64, usize), usize> =
-                std::collections::HashMap::new();
+            // sequential warp execution and are fine). The owner of an
+            // element is its first writer in block order; every later write
+            // from another block is one detected race. Implemented as a
+            // sort over the merged log rather than a hash map — the log's
+            // vec index doubles as the global write sequence number, so
+            // sorting by (buffer, index, seq) groups collisions while
+            // preserving first-writer-wins and the original report order.
+            let mut log: Vec<(u64, usize, u32)> = Vec::new();
             for (block, (_, writes)) in results.iter().enumerate() {
-                for &key in writes.iter().flatten() {
-                    match seen.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(e) if *e.get() != block => {
-                            self.races.push(WriteRace {
-                                kernel: name.to_string(),
-                                buffer_id: key.0,
-                                index: key.1,
-                            });
-                        }
-                        std::collections::hash_map::Entry::Occupied(_) => {}
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            v.insert(block);
-                        }
-                    }
+                for &(buf, idx) in writes.iter().flatten() {
+                    log.push((buf, idx, block as u32));
                 }
+            }
+            let mut order: Vec<u32> = (0..log.len() as u32).collect();
+            order.sort_unstable_by_key(|&s| {
+                let (buf, idx, _) = log[s as usize];
+                (buf, idx, s)
+            });
+            let mut hits: Vec<u32> = Vec::new();
+            let mut g = 0;
+            while g < order.len() {
+                let (buf, idx, owner) = log[order[g] as usize];
+                let mut e = g + 1;
+                while e < order.len() {
+                    let (b, i, _) = log[order[e] as usize];
+                    if (b, i) != (buf, idx) {
+                        break;
+                    }
+                    e += 1;
+                }
+                hits.extend(order[g..e].iter().copied().filter(|&s| log[s as usize].2 != owner));
+                g = e;
+            }
+            hits.sort_unstable();
+            for &s in &hits {
+                let (buffer_id, index, _) = log[s as usize];
+                self.races.push(WriteRace { kernel: name.to_string(), buffer_id, index });
             }
         }
 
@@ -502,6 +542,32 @@ mod tests {
         assert!(!gpu.races().is_empty());
         assert_eq!(gpu.races()[0].kernel, "racy");
         assert_eq!(gpu.races()[0].index, 0);
+    }
+
+    #[test]
+    fn race_dedup_matches_first_writer_semantics() {
+        // Micro-assertion for the sort-based dedup: results must match the
+        // reference (hash map) rule — owner = first writer in block order,
+        // one race per later write from any *other* block, reported in
+        // global write order. Four blocks each store element 0 twice (two
+        // `store` passes) plus a private element; blocks 1..4 contribute
+        // two races each, block 0 (the owner) none.
+        let mut gpu = Gpu::new(A100);
+        gpu.enable_race_detection();
+        let out: GpuBuffer<u32> = gpu.alloc(16);
+        gpu.launch("multi", 4u32, 32u32, |blk| {
+            let b = blk.block_linear();
+            blk.warps(|w| {
+                w.store(&out, |l| (l.id == 0).then_some((0, b as u32)));
+                w.store(&out, |l| (l.id == 0).then_some((b + 10, 7)));
+                w.store(&out, |l| (l.id == 0).then_some((0, b as u32 + 100)));
+            });
+        });
+        let races = gpu.races();
+        assert_eq!(races.len(), 6, "{races:?}");
+        assert!(races.iter().all(|r| r.kernel == "multi" && r.index == 0));
+        // Disjoint per-block elements never appear.
+        assert!(races.iter().all(|r| r.index < 10));
     }
 
     #[test]
