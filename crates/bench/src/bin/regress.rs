@@ -1,0 +1,125 @@
+//! Regression gate: fresh deterministic suite vs the committed baseline.
+//!
+//! ```text
+//! cargo run -p fzgpu-bench --bin regress -- --check            # gate (CI)
+//! cargo run -p fzgpu-bench --bin regress -- --update           # refresh baseline
+//! cargo run -p fzgpu-bench --bin regress -- --baseline b.json  # custom path
+//! ```
+//!
+//! `--check` exits nonzero when any metric regressed past its threshold
+//! (see `fzgpu_bench::regress::Thresholds`). Every compared metric is
+//! modeled/deterministic, so a failure is a real code-behavior change, not
+//! machine noise. Writes `results/regress.txt` either way.
+
+use std::process::ExitCode;
+
+use fzgpu_bench::regress::{compare, parse_baseline, run_suite, to_json, Thresholds};
+use fzgpu_bench::{arg_flag, arg_value, Table};
+use fzgpu_sim::device;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let device_name = arg_value(&args, "--device").unwrap_or_else(|| "a100".into());
+    let Some(spec) = device::by_name(&device_name) else {
+        eprintln!("error: unknown device '{device_name}'");
+        return ExitCode::FAILURE;
+    };
+    let rel_eb: f64 = arg_value(&args, "--eb").map_or(1e-3, |v| v.parse().expect("bad --eb"));
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline_path = arg_value(&args, "--baseline")
+        .map_or_else(|| root.join("BENCH_regress.json"), std::path::PathBuf::from);
+
+    println!("regress: all catalog datasets, rel eb {rel_eb:.0e}, device {}", spec.name);
+    let current = run_suite(spec, rel_eb);
+
+    let mut t = Table::new(&[
+        "dataset",
+        "values",
+        "bytes",
+        "ratio",
+        "compress us",
+        "decompress us",
+        "PSNR dB",
+    ]);
+    for c in &current {
+        t.row(vec![
+            c.dataset.clone(),
+            c.n_values.to_string(),
+            c.compressed_bytes.to_string(),
+            format!("{:.2}", c.ratio),
+            format!("{:.2}", c.compress_modeled_us),
+            format!("{:.2}", c.decompress_modeled_us),
+            format!("{:.2}", c.psnr_db),
+        ]);
+    }
+    let table = t.render();
+    print!("{table}");
+
+    let mut report = format!(
+        "regression gate: device {}, rel eb {rel_eb:.0e} (all metrics modeled/deterministic)\n\n",
+        spec.name
+    );
+    report.push_str(&table);
+
+    if arg_flag(&args, "--update") {
+        std::fs::write(&baseline_path, to_json(spec.name, rel_eb, &current))
+            .expect("write baseline");
+        println!("\nbaseline updated: {}", baseline_path.display());
+        report.push_str("\nbaseline updated\n");
+        write_report(&root, &report);
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read baseline {}: {e}\n(run with --update to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = compare(&baseline, &current, Thresholds::default());
+    let regressions: Vec<_> = findings.iter().filter(|f| f.regressed).collect();
+    println!();
+    report.push('\n');
+    if findings.is_empty() {
+        println!("no metric changed vs baseline");
+        report.push_str("no metric changed vs baseline\n");
+    }
+    for f in &findings {
+        let line = f.describe();
+        println!("{line}");
+        report.push_str(&line);
+        report.push('\n');
+    }
+    let verdict = if regressions.is_empty() {
+        format!("PASS ({} datasets, {} benign changes)", current.len(), findings.len())
+    } else {
+        format!("FAIL ({} regressions — see above)", regressions.len())
+    };
+    println!("\n{verdict}");
+    report.push_str(&format!("\n{verdict}\n"));
+    write_report(&root, &report);
+
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_report(root: &std::path::Path, report: &str) {
+    std::fs::create_dir_all(root.join("results")).expect("results dir");
+    std::fs::write(root.join("results/regress.txt"), report).expect("write results/regress.txt");
+}

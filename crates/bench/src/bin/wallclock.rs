@@ -163,10 +163,11 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"wallclock\",\n  \"dataset\": \"{label}\",\n  \"n_values\": {},\n  \
+        "{{\n  \"bench\": \"wallclock\",\n  \"dataset\": {},\n  \"n_values\": {},\n  \
          \"input_bytes\": {input_bytes},\n  \"host_cores\": {host_cores},\n  \"smoke\": {smoke},\n  \
          \"modeled_kernel_s\": {modeled_kernel_s:.6},\n  \"identical_streams\": true,\n  \
          \"threads\": [\n{}\n  ]\n}}\n",
+        fzgpu_trace::json::escape(label),
         data.len(),
         rows.join(",\n"),
     );

@@ -6,6 +6,8 @@
 //! error-bound grid, cuZFP's PSNR-matched rate search, and plain-text
 //! table rendering.
 
+pub mod regress;
+
 use fzgpu_baselines::{Baseline, CuZfp, Run, Setting};
 use fzgpu_core::lorenzo::Shape;
 use fzgpu_core::quant::ErrorBound;

@@ -144,7 +144,23 @@ impl Archive {
     /// with [`FzGpu::compress`] directly and assemble with
     /// [`Archive::from_streams`] — streams are device-independent.)
     pub fn compress(fz: &mut FzGpu, data: &[f32], chunk_values: usize, eb: ErrorBound) -> Self {
+        Self::compress_profiled(fz, data, chunk_values, eb).0
+    }
+
+    /// [`Archive::compress`] that also returns the joined device profile
+    /// of every chunk ([`FzGpu::compress`] resets the timeline per chunk;
+    /// here the per-chunk captures are appended back-to-back so a single
+    /// trace covers the whole archive).
+    pub fn compress_profiled(
+        fz: &mut FzGpu,
+        data: &[f32],
+        chunk_values: usize,
+        eb: ErrorBound,
+    ) -> (Self, fzgpu_sim::Profile) {
         assert!(chunk_values > 0);
+        let _root = fzgpu_trace::span("archive.compress")
+            .field("values", data.len())
+            .field("chunk_values", chunk_values);
         // Resolve a relative bound against the *whole* field so chunks
         // share one absolute bound (otherwise chunk-local ranges would
         // change the error semantics of the archive).
@@ -156,18 +172,41 @@ impl Archive {
                 eb.to_abs((hi - lo) as f64)
             }
         };
+        let mut profile: Option<fzgpu_sim::Profile> = None;
         let chunks = data
             .chunks(chunk_values)
-            .map(|chunk| fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let _c = fzgpu_trace::span("archive.chunk").field("index", i);
+                let bytes = fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes;
+                match &mut profile {
+                    Some(p) => p.append(&fz.profile()),
+                    None => profile = Some(fz.profile()),
+                }
+                bytes
+            })
             .collect();
-        Self::from_streams(data.len(), chunks)
+        let archive = Self::from_streams(data.len(), chunks);
+        fzgpu_trace::metrics::counter_add(
+            fzgpu_trace::metrics::Class::Det,
+            "fzgpu_archive_chunks_total",
+            &[],
+            archive.chunks.len() as u64,
+        );
+        (
+            archive,
+            profile
+                .unwrap_or(fzgpu_sim::Profile { device: fz.gpu().spec().name, events: Vec::new() }),
+        )
     }
 
     /// Decompress the whole archive. Fails on the first corrupt chunk —
     /// use [`Archive::decompress_degraded`] to recover what survives.
     pub fn decompress(&self, fz: &mut FzGpu) -> Result<Vec<f32>, FormatError> {
+        let _root = fzgpu_trace::span("archive.decompress").field("chunks", self.chunks.len());
         let mut out = Vec::with_capacity(self.total_values);
         for (i, chunk) in self.chunks.iter().enumerate() {
+            let _c = fzgpu_trace::span("archive.chunk").field("index", i);
             self.check_directory_crc(i)?;
             out.extend(fz.decompress_bytes(chunk)?);
         }
@@ -191,6 +230,7 @@ impl Archive {
     fn check_directory_crc(&self, index: usize) -> Result<(), FormatError> {
         if let Some(stored) = self.meta.get(index).and_then(|m| m.crc) {
             if crc32(&self.chunks[index]) != stored {
+                format::note_crc_failure(ChecksumSection::Chunk(index));
                 return Err(FormatError::ChecksumMismatch {
                     section: ChecksumSection::Chunk(index),
                 });
@@ -203,6 +243,7 @@ impl Archive {
     /// (when stored) against the chunk bytes, then the chunk's own stream
     /// verification ([`format::verify`] — header CRC, structure, body CRC).
     pub fn scrub(&self) -> ScrubReport {
+        let _root = fzgpu_trace::span("archive.scrub").field("chunks", self.chunks.len());
         let chunks = self
             .chunks
             .iter()

@@ -54,6 +54,20 @@ pub enum ChecksumSection {
     Chunk(usize),
 }
 
+impl ChecksumSection {
+    /// The section's kind as a low-cardinality metric label: chunk indices
+    /// collapse to `"chunk"` so the `fzgpu_crc_failures_total` label set
+    /// stays bounded regardless of archive size.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChecksumSection::Header => "header",
+            ChecksumSection::Payload => "payload",
+            ChecksumSection::Directory => "directory",
+            ChecksumSection::Chunk(_) => "chunk",
+        }
+    }
+}
+
 impl core::fmt::Display for ChecksumSection {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -63,6 +77,19 @@ impl core::fmt::Display for ChecksumSection {
             ChecksumSection::Chunk(i) => write!(f, "chunk {i}"),
         }
     }
+}
+
+/// Count a checksum failure on the global metrics registry and drop a
+/// trace event. Called at every CRC gate (stream verify, archive
+/// directory checks) so corrupted-data incidents are observable.
+pub(crate) fn note_crc_failure(section: ChecksumSection) {
+    fzgpu_trace::metrics::counter_add(
+        fzgpu_trace::metrics::Class::Det,
+        "fzgpu_crc_failures_total",
+        &[("section", section.kind())],
+        1,
+    );
+    fzgpu_trace::event("crc.mismatch").field("section", section.kind());
 }
 
 /// Parsed stream header.
@@ -264,6 +291,14 @@ pub fn assemble(header: &Header, bit_flags: &[u32], payload: &[u32]) -> Vec<u8> 
 /// `Archive::scrub` build on. For v1 streams only the structural checks
 /// run — the format carries no checksums to compare against.
 pub fn verify(bytes: &[u8]) -> Result<Header, FormatError> {
+    let result = verify_inner(bytes);
+    if let Err(FormatError::ChecksumMismatch { section }) = &result {
+        note_crc_failure(*section);
+    }
+    result
+}
+
+fn verify_inner(bytes: &[u8]) -> Result<Header, FormatError> {
     let header = Header::from_bytes(bytes)?;
     if bytes.len() < header.stream_bytes() {
         return Err(FormatError::Truncated);

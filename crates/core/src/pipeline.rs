@@ -7,6 +7,7 @@
 //! products of the kernels, the kernel times come from the device model.
 
 use fzgpu_sim::{DeviceSpec, Event, FaultPlan, Gpu, GpuBuffer, Profile, RetryPolicy};
+use fzgpu_trace::metrics::{self, Class};
 
 use crate::format::{assemble, disassemble, FormatError, Header, VERSION};
 use crate::gpu::bitshuffle::{bitshuffle_mark, ShuffleVariant};
@@ -122,33 +123,48 @@ impl FzGpu {
         };
         assert!(eb_abs > 0.0, "error bound must be positive");
 
+        let t0 = std::time::Instant::now();
+        let _root = fzgpu_trace::span("fz.compress")
+            .field("values", data.len())
+            .field("eb", format_args!("{eb_abs:e}"));
+
         let d_input = self.gpu.upload(data);
         self.gpu.reset_timeline();
 
         let (d_shuffled, d_byte_flags, d_bit_flags) =
             if self.opts.full_fusion_1d && crate::lorenzo::rank_of(shape) == 1 {
                 // Experimental single-kernel front end (future work §6.1).
+                let _s = fzgpu_trace::span("stage.fused_quant_shuffle");
                 crate::gpu::fused::fused_1d(&mut self.gpu, &d_input, data.len(), eb_abs)
             } else {
                 // Stage 1: optimized dual-quantization.
-                let d_codes = pred_quant_v2(&mut self.gpu, &d_input, shape, eb_abs);
+                let d_codes = {
+                    let _s = fzgpu_trace::span("stage.quant");
+                    pred_quant_v2(&mut self.gpu, &d_input, shape, eb_abs)
+                };
 
                 // Reinterpret the u16 code array as u32 words, zero-padded
                 // to a whole number of bitshuffle tiles. On hardware this is
                 // a pointer cast (two u16 occupy one u32); no kernel runs
                 // and no time is charged — only the padding tail is fresh.
-                let words = crate::pack::pack_codes(&d_codes.to_vec());
-                let d_words = GpuBuffer::from_host(&words);
+                let d_words = {
+                    let _s = fzgpu_trace::span("stage.pack");
+                    let words = crate::pack::pack_codes(&d_codes.to_vec());
+                    GpuBuffer::from_host(&words)
+                };
 
                 // Stage 2: fused bitshuffle + zero-block mark.
+                let _s = fzgpu_trace::span("stage.shuffle");
                 bitshuffle_mark(&mut self.gpu, &d_words, self.opts.shuffle)
             };
 
         // Stage 3: prefix sum + compaction.
-        let d_wide = genc::widen_flags(&mut self.gpu, &d_byte_flags);
-        let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
-        let d_payload =
-            genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present);
+        let d_payload = {
+            let _s = fzgpu_trace::span("stage.encode");
+            let d_wide = genc::widen_flags(&mut self.gpu, &d_byte_flags);
+            let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
+            genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present)
+        };
 
         let header = Header {
             version: VERSION,
@@ -158,7 +174,22 @@ impl FzGpu {
             num_blocks: d_shuffled.len() / BLOCK_WORDS,
             payload_words: d_payload.len(),
         };
-        let bytes = assemble(&header, &d_bit_flags.to_vec(), &d_payload.to_vec());
+        let bytes = {
+            let _s = fzgpu_trace::span("stage.assemble");
+            assemble(&header, &d_bit_flags.to_vec(), &d_payload.to_vec())
+        };
+
+        metrics::counter_add(Class::Det, "fzgpu_compress_calls_total", &[], 1);
+        metrics::counter_add(Class::Det, "fzgpu_bytes_in_total", &[], (data.len() * 4) as u64);
+        metrics::counter_add(Class::Det, "fzgpu_bytes_out_total", &[], bytes.len() as u64);
+        let ratio = (data.len() * 4) as f64 / bytes.len() as f64;
+        metrics::gauge_set(Class::Det, "fzgpu_compression_ratio_last", &[], ratio);
+        metrics::observe(
+            Class::Wall,
+            "fzgpu_host_seconds",
+            &[("op", "compress")],
+            t0.elapsed().as_secs_f64(),
+        );
         Compressed { bytes, header }
     }
 
@@ -170,22 +201,44 @@ impl FzGpu {
 
     /// Decompress from raw stream bytes.
     pub fn decompress_bytes(&mut self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
-        let (header, bit_flags, payload) = disassemble(bytes)?;
+        let t0 = std::time::Instant::now();
+        let _root = fzgpu_trace::span("fz.decompress").field("bytes", bytes.len());
+        let (header, bit_flags, payload) = {
+            let _s = fzgpu_trace::span("stage.disassemble");
+            disassemble(bytes)?
+        };
         let d_bits = self.gpu.upload(&bit_flags);
         let d_payload = self.gpu.upload(&payload);
         self.gpu.reset_timeline();
 
-        let d_flags = gdec::expand_flags(&mut self.gpu, &d_bits, header.num_blocks);
-        let d_wide = genc::widen_flags(&mut self.gpu, &d_flags);
-        let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
+        let (d_flags, d_offsets, present) = {
+            let _s = fzgpu_trace::span("stage.expand_flags");
+            let d_flags = gdec::expand_flags(&mut self.gpu, &d_bits, header.num_blocks);
+            let d_wide = genc::widen_flags(&mut self.gpu, &d_flags);
+            let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
+            (d_flags, d_offsets, present)
+        };
         if present * BLOCK_WORDS != header.payload_words {
             return Err(FormatError::Inconsistent("flag popcount vs payload length"));
         }
-        let d_shuffled = gdec::scatter(&mut self.gpu, &d_payload, &d_flags, &d_offsets);
-        debug_assert_eq!(d_shuffled.len() % TILE_WORDS, 0);
-        let d_words = gdec::bit_unshuffle(&mut self.gpu, &d_shuffled);
-        let d_deltas = gdec::codes_to_deltas(&mut self.gpu, &d_words, header.n_values);
-        let d_out = gdec::inverse_lorenzo(&mut self.gpu, &d_deltas, header.shape, header.eb);
+        let d_words = {
+            let _s = fzgpu_trace::span("stage.unshuffle");
+            let d_shuffled = gdec::scatter(&mut self.gpu, &d_payload, &d_flags, &d_offsets);
+            debug_assert_eq!(d_shuffled.len() % TILE_WORDS, 0);
+            gdec::bit_unshuffle(&mut self.gpu, &d_shuffled)
+        };
+        let d_out = {
+            let _s = fzgpu_trace::span("stage.dequant");
+            let d_deltas = gdec::codes_to_deltas(&mut self.gpu, &d_words, header.n_values);
+            gdec::inverse_lorenzo(&mut self.gpu, &d_deltas, header.shape, header.eb)
+        };
+        metrics::counter_add(Class::Det, "fzgpu_decompress_calls_total", &[], 1);
+        metrics::observe(
+            Class::Wall,
+            "fzgpu_host_seconds",
+            &[("op", "decompress")],
+            t0.elapsed().as_secs_f64(),
+        );
         Ok(d_out.to_vec())
     }
 

@@ -136,7 +136,28 @@ pub fn set_num_threads(n: usize) {
 /// chunks over the pool. Returns after every chunk has completed.
 /// Sequential (inline) when the pool is configured for one thread, when
 /// called from inside a worker, or when another region is active.
+///
+/// # Tracing
+/// Region and chunk counts are deterministic metrics (chunk grids are a
+/// pure function of item count), incremented once per call regardless of
+/// which execution path runs. When a span capture window is open, chunks
+/// that fan out to the pool record their spans through a
+/// [`fzgpu_trace::RegionCapture`] and merge them back in chunk order —
+/// the same record sequence the inline paths produce naturally — so the
+/// captured span tree is bit-identical at any thread count.
 pub fn run(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    fzgpu_trace::metrics::counter_add(
+        fzgpu_trace::metrics::Class::Det,
+        "fzgpu_pool_regions_total",
+        &[],
+        1,
+    );
+    fzgpu_trace::metrics::counter_add(
+        fzgpu_trace::metrics::Class::Det,
+        "fzgpu_pool_chunks_total",
+        &[],
+        n_chunks as u64,
+    );
     let threads = current_num_threads();
     if n_chunks <= 1 || threads == 1 || IN_POOL.with(|f| f.get()) {
         for i in 0..n_chunks {
@@ -148,13 +169,20 @@ pub fn run(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
     let sh = shared();
     let next = AtomicUsize::new(0);
     let panic_slot: PanicSlot = Mutex::new(None);
-    // SAFETY (lifetime erasure): the job's pointers reference `body`,
-    // `next` and `panic_slot` on this stack frame. `run` does not return
-    // until (a) its own drain loop has claimed every remaining chunk and
-    // (b) `in_flight == 0`, i.e. every worker that copied the job has left
-    // `execute`. Workers that wake later observe `job == None` under the
-    // mutex and never touch the pointers.
-    let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+    // Per-chunk span capture (no-op when no capture window is open). The
+    // traced wrapper redirects each chunk's spans into a chunk-indexed
+    // slot; after the region drains they merge back in chunk order.
+    let region = fzgpu_trace::RegionCapture::new(n_chunks);
+    let traced = |i: usize| region.run(i, || body(i));
+    let traced_ref: &(dyn Fn(usize) + Sync) = &traced;
+    // SAFETY (lifetime erasure): the job's pointers reference `traced`
+    // (which borrows `body` and `region`), `next` and `panic_slot` on this
+    // stack frame. `run` does not return until (a) its own drain loop has
+    // claimed every remaining chunk and (b) `in_flight == 0`, i.e. every
+    // worker that copied the job has left `execute`. Workers that wake
+    // later observe `job == None` under the mutex and never touch the
+    // pointers.
+    let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(traced_ref) };
     let job = Job {
         body: body_static,
         next: &next,
@@ -199,6 +227,11 @@ pub fn run(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
     }
     drop(st);
 
+    // All chunks are done; fold worker-captured spans back into this
+    // thread's buffer in chunk order (before re-raising any panic, so the
+    // trace keeps the records leading up to the failure).
+    region.merge();
+
     let payload = panic_slot.lock().unwrap().take();
     if let Some(payload) = payload {
         resume_unwind(payload);
@@ -206,16 +239,19 @@ pub fn run(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
 }
 
 /// Claim and execute chunks until the job's counter is exhausted.
-fn execute(job: &Job) {
+/// Returns how many chunks this thread executed.
+fn execute(job: &Job) -> usize {
     let was = IN_POOL.with(|f| f.replace(true));
     // SAFETY: see `Job` / `run` — pointees outlive every `execute` call.
     let body = unsafe { &*job.body };
     let next = unsafe { &*job.next };
+    let mut executed = 0;
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n_chunks {
             break;
         }
+        executed += 1;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
             let slot = unsafe { &*job.panic_slot };
             let mut s = slot.lock().unwrap();
@@ -225,6 +261,7 @@ fn execute(job: &Job) {
         }
     }
     IN_POOL.with(|f| f.set(was));
+    executed
 }
 
 fn worker_loop(sh: &'static Shared) {
@@ -246,7 +283,17 @@ fn worker_loop(sh: &'static Shared) {
                 st = sh.work.wait(st).unwrap();
             }
         };
-        execute(&job);
+        let stolen = execute(&job);
+        if stolen > 0 {
+            // Schedule-dependent by nature: which worker got how many
+            // chunks varies run to run, hence the wallclock class.
+            fzgpu_trace::metrics::counter_add(
+                fzgpu_trace::metrics::Class::Wall,
+                "fzgpu_pool_steals_total",
+                &[],
+                stolen as u64,
+            );
+        }
         let mut st = sh.state.lock().unwrap();
         st.in_flight -= 1;
         if st.in_flight == 0 {
@@ -318,7 +365,13 @@ mod tests {
         });
         set_num_threads(1);
         let payload = r.expect_err("panic must propagate");
-        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        // Literal-message asserts panic with `&'static str` on current
+        // rustc; formatted ones with `String`. Accept either.
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
         assert!(msg.contains("chunk seventeen exploded"), "{msg}");
     }
 

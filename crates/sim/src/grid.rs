@@ -20,6 +20,7 @@
 //! to catch would otherwise be real host data races (UB), not simulated
 //! ones.
 
+use fzgpu_trace::metrics::{self, Class};
 use rayon::prelude::*;
 
 use crate::block::{BlockCtx, Dim3};
@@ -162,11 +163,11 @@ impl Gpu {
     /// at peak PCIe bandwidth.
     pub fn upload<T: Pod>(&mut self, data: &[T]) -> GpuBuffer<T> {
         let bytes = (data.len() * T::BYTES) as u64;
-        self.timeline.push(Event::Transfer(TransferRecord {
-            direction: "H2D",
-            bytes,
-            time: bytes as f64 / self.spec.pcie_peak,
-        }));
+        let _span = fzgpu_trace::span("gpu.upload").field("bytes", bytes);
+        let time = bytes as f64 / self.spec.pcie_peak;
+        metrics::counter_add(Class::Det, "fzgpu_h2d_bytes_total", &[], bytes);
+        metrics::gauge_add(Class::Det, "fzgpu_modeled_transfer_seconds_total", &[], time);
+        self.timeline.push(Event::Transfer(TransferRecord { direction: "H2D", bytes, time }));
         let buf = GpuBuffer::from_host(data);
         if let Some(injector) = &mut self.fault {
             injector.corrupt_buffer(&buf);
@@ -177,11 +178,11 @@ impl Gpu {
     /// Copy a device buffer back to the host, charging D2H transfer time.
     pub fn download<T: Pod>(&mut self, buf: &GpuBuffer<T>) -> Vec<T> {
         let bytes = buf.size_bytes() as u64;
-        self.timeline.push(Event::Transfer(TransferRecord {
-            direction: "D2H",
-            bytes,
-            time: bytes as f64 / self.spec.pcie_peak,
-        }));
+        let _span = fzgpu_trace::span("gpu.download").field("bytes", bytes);
+        let time = bytes as f64 / self.spec.pcie_peak;
+        metrics::counter_add(Class::Det, "fzgpu_d2h_bytes_total", &[], bytes);
+        metrics::gauge_add(Class::Det, "fzgpu_modeled_transfer_seconds_total", &[], time);
+        self.timeline.push(Event::Transfer(TransferRecord { direction: "D2H", bytes, time }));
         buf.to_vec()
     }
 
@@ -218,6 +219,17 @@ impl Gpu {
         let nblocks = grid_dim.count();
         let detect = self.detect_races;
 
+        // Host span for the whole launch (retry loop included) plus the
+        // deterministic launch counter. Span time is real wallclock — the
+        // cost of *simulating* the kernel — while the timeline record
+        // below carries the modeled device time; the unified trace keeps
+        // them on separate tracks.
+        let _span = fzgpu_trace::span("gpu.launch")
+            .field("kernel", name)
+            .field("blocks", nblocks)
+            .field("block_threads", block_dim.count());
+        metrics::counter_add(Class::Det, "fzgpu_kernel_launches_total", &[], 1);
+
         // Transient launch faults: ask the injector before each attempt and
         // retry under the policy, charging the failed attempt (overhead +
         // exponential backoff) on the timeline as an analytic record. The
@@ -239,7 +251,10 @@ impl Gpu {
             );
             retries += 1;
             self.total_retries += 1;
+            fzgpu_trace::event("gpu.retry").field("kernel", name).field("attempt", retries);
+            metrics::counter_add(Class::Det, "fzgpu_launch_retries_total", &[], 1);
             let cost = self.spec.launch_overhead + self.retry_policy.backoff_time(retries);
+            metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], cost);
             self.timeline.push(Event::Kernel(KernelRecord {
                 name: format!("{name} [transient-fault retry {retries}]"),
                 time: cost,
@@ -332,6 +347,7 @@ impl Gpu {
         let occupancy = (total_warps / saturating_warps).min(1.0).max(1.0 / saturating_warps);
         let breakdown = TimeBreakdown::attribute(&self.spec, &stats, occupancy);
 
+        metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], breakdown.total);
         self.timeline.push(Event::Kernel(KernelRecord {
             name: name.to_string(),
             time: breakdown.total,
@@ -346,6 +362,7 @@ impl Gpu {
     /// through the simulator (e.g. cuSZ's serial Huffman-codebook build,
     /// MGARD's CPU-side DEFLATE). Callers must document the model used.
     pub fn record_kernel(&mut self, name: &str, time: f64, stats: KernelStats) {
+        metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], time);
         self.timeline.push(Event::Kernel(KernelRecord {
             name: name.to_string(),
             time,

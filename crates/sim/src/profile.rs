@@ -7,10 +7,22 @@
 //! function of the timeline and profiles bit-identical across runs of a
 //! deterministic pipeline.
 //!
-//! The JSON exporter is hand-rolled (the workspace is dependency-free); it
-//! emits the Trace Event Format's `"X"` (complete) events, loadable in
-//! `chrome://tracing` and Perfetto. Kernels render on one track (tid 0),
-//! transfers on another (tid 1).
+//! The JSON exporters are hand-rolled (the workspace is dependency-free)
+//! on the shared [`fzgpu_trace::chrome`] builder and [`fzgpu_trace::json`]
+//! escaping; they emit the Trace Event Format's `"X"` (complete) events,
+//! loadable in `chrome://tracing` and Perfetto. Kernels render on one
+//! track (tid 0), transfers on another (tid 1).
+//!
+//! # Clock domains
+//! [`Profile::chrome_trace_json`] carries *modeled/analytic* device time
+//! only. [`Profile::unified_chrome_trace`] joins it with a captured host
+//! span [`fzgpu_trace::Trace`] in one document: pid 0 is the modeled
+//! device (analytic clock), pid 1 is the host (real wallclock). The two
+//! clocks share an origin (t=0 = capture start) but not a rate — never
+//! compare durations across pids.
+
+use fzgpu_trace::chrome::ChromeTrace;
+use fzgpu_trace::json;
 
 use crate::grid::{Event, Gpu};
 use crate::perf::{KernelRecord, TransferRecord};
@@ -174,92 +186,123 @@ impl Profile {
 
     /// Export as Chrome Trace Event Format JSON (`chrome://tracing`,
     /// Perfetto). Kernels land on tid 0, transfers on tid 1; timestamps
-    /// and durations are microseconds per the format.
+    /// and durations are microseconds per the format. Modeled device time
+    /// only — see [`Profile::unified_chrome_trace`] for the joined
+    /// host+device document.
     pub fn chrome_trace_json(&self) -> String {
-        let mut events = Vec::with_capacity(self.events.len() + 3);
-        events.push(meta_event(0, "kernels"));
-        events.push(meta_event(1, "transfers"));
+        let mut t = ChromeTrace::new();
+        t.thread_name(0, 0, "kernels");
+        t.thread_name(0, 1, "transfers");
+        self.write_device_events(&mut t);
+        t.finish(&[("device", json::escape(self.device))])
+    }
+
+    /// Export one Chrome-trace document carrying both clock domains:
+    /// pid 0 = "modeled device (analytic clock)" with this profile's
+    /// kernel/transfer records, pid 1 = "host (wallclock)" with the spans
+    /// of a capture window ([`fzgpu_trace::begin_capture`] /
+    /// [`fzgpu_trace::end_capture`]). Both timelines start at t=0 but tick
+    /// different clocks; durations are only comparable within a pid.
+    pub fn unified_chrome_trace(&self, host: &fzgpu_trace::Trace) -> String {
+        let mut t = ChromeTrace::new();
+        t.process_name(0, "modeled device (analytic clock)");
+        t.thread_name(0, 0, "kernels");
+        t.thread_name(0, 1, "transfers");
+        t.process_name(1, "host (wallclock)");
+        t.thread_name(1, 0, "host spans");
+        self.write_device_events(&mut t);
+        for r in &host.records {
+            let mut args: Vec<(&str, String)> =
+                r.fields.iter().map(|(k, v)| (*k, json::escape(v))).collect();
+            args.push(("depth", r.depth.to_string()));
+            let ts_us = r.start_ns as f64 / 1e3;
+            match r.kind {
+                fzgpu_trace::SpanKind::Span => {
+                    t.complete(1, 0, &r.name, "host", ts_us, r.dur_ns as f64 / 1e3, &args);
+                }
+                fzgpu_trace::SpanKind::Event => {
+                    t.instant(1, 0, &r.name, "host", ts_us, &args);
+                }
+            }
+        }
+        t.finish(&[
+            ("device", json::escape(self.device)),
+            ("clock_domains", json::escape("pid 0 analytic/modeled, pid 1 host wallclock")),
+        ])
+    }
+
+    /// Machine-readable JSON for `fzgpu profile --json`: device, totals,
+    /// and every event with its start/duration and health counters.
+    pub fn to_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let head = format!(
+                "{{\"name\":{},\"start_us\":{},\"dur_us\":{}",
+                json::escape(e.name()),
+                json::num(e.start() * 1e6),
+                json::num(e.duration() * 1e6),
+            );
+            let body = match e {
+                ProfileEvent::Kernel { record, .. } => {
+                    let s = &record.stats;
+                    let b = &record.breakdown;
+                    format!(
+                        ",\"kind\":\"kernel\",\"bound_by\":{},\"margin\":{},\"occupancy\":{},\
+                         \"coalescing_efficiency\":{},\"smem_conflict_cycles\":{},\
+                         \"lane_utilization\":{},\"retries\":{}}}",
+                        json::escape(b.bound_by.label()),
+                        json::num(b.margin),
+                        json::num(b.occupancy),
+                        json::num(s.coalescing_efficiency()),
+                        s.smem_conflict_cycles,
+                        json::num(s.lane_utilization()),
+                        record.retries,
+                    )
+                }
+                ProfileEvent::Transfer { record, .. } => {
+                    format!(",\"kind\":\"transfer\",\"bytes\":{}}}", record.bytes)
+                }
+            };
+            events.push(format!("{head}{body}"));
+        }
+        format!(
+            "{{\"device\":{},\"kernel_time_us\":{},\"total_time_us\":{},\"events\":[{}]}}",
+            json::escape(self.device),
+            json::num(self.kernel_time() * 1e6),
+            json::num(self.total_time() * 1e6),
+            events.join(",")
+        )
+    }
+
+    /// Append this profile's records to a [`ChromeTrace`] under pid 0.
+    fn write_device_events(&self, t: &mut ChromeTrace) {
         for e in &self.events {
             let (tid, cat, args) = match e {
                 ProfileEvent::Kernel { record, .. } => {
                     let s = &record.stats;
                     let b = &record.breakdown;
-                    let args = [
-                        ("bound_by".to_string(), json_str(b.bound_by.label())),
-                        ("margin".to_string(), json_f64(b.margin)),
-                        ("occupancy".to_string(), json_f64(b.occupancy)),
-                        ("global_sectors".to_string(), s.global_sectors.to_string()),
-                        ("coalescing_efficiency".to_string(), json_f64(s.coalescing_efficiency())),
-                        ("smem_conflict_cycles".to_string(), s.smem_conflict_cycles.to_string()),
-                        ("lane_utilization".to_string(), json_f64(s.lane_utilization())),
-                        ("warp_instructions".to_string(), s.warp_instructions.to_string()),
-                        ("barriers".to_string(), s.barriers.to_string()),
-                        ("smem_bytes_peak".to_string(), s.smem_bytes_peak.to_string()),
-                        ("retries".to_string(), record.retries.to_string()),
+                    let args = vec![
+                        ("bound_by", json::escape(b.bound_by.label())),
+                        ("margin", json::num(b.margin)),
+                        ("occupancy", json::num(b.occupancy)),
+                        ("global_sectors", s.global_sectors.to_string()),
+                        ("coalescing_efficiency", json::num(s.coalescing_efficiency())),
+                        ("smem_conflict_cycles", s.smem_conflict_cycles.to_string()),
+                        ("lane_utilization", json::num(s.lane_utilization())),
+                        ("warp_instructions", s.warp_instructions.to_string()),
+                        ("barriers", s.barriers.to_string()),
+                        ("smem_bytes_peak", s.smem_bytes_peak.to_string()),
+                        ("retries", record.retries.to_string()),
                     ];
-                    (0u32, "kernel", args.to_vec())
+                    (0u32, "kernel", args)
                 }
                 ProfileEvent::Transfer { record, .. } => {
-                    let args = vec![("bytes".to_string(), record.bytes.to_string())];
-                    (1u32, "transfer", args)
+                    (1u32, "transfer", vec![("bytes", record.bytes.to_string())])
                 }
             };
-            events.push(format!(
-                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
-                json_str(e.name()),
-                json_str(cat),
-                json_f64(e.start() * 1e6),
-                json_f64(e.duration() * 1e6),
-                tid,
-                events_args(&args),
-            ));
-        }
-        format!(
-            "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"device\":{}}},\"traceEvents\":[{}]}}",
-            json_str(self.device),
-            events.join(",")
-        )
-    }
-}
-
-fn meta_event(tid: u32, name: &str) -> String {
-    format!(
-        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
-        tid,
-        json_str(name)
-    )
-}
-
-fn events_args(args: &[(String, String)]) -> String {
-    args.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect::<Vec<_>>().join(",")
-}
-
-/// JSON string literal with the escapes the format requires.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            t.complete(0, tid, e.name(), cat, e.start() * 1e6, e.duration() * 1e6, &args);
         }
     }
-    out.push('"');
-    out
-}
-
-/// JSON number literal: finite `f64` only (JSON has no NaN/Infinity).
-fn json_f64(v: f64) -> String {
-    debug_assert!(v.is_finite(), "non-finite value {v} reached the trace exporter");
-    let v = if v.is_finite() { v } else { 0.0 };
-    // `{:?}` prints enough digits to round-trip and always includes a
-    // decimal point or exponent, keeping the token a JSON number.
-    format!("{v:?}")
 }
 
 #[cfg(test)]
@@ -320,16 +363,87 @@ mod tests {
     }
 
     #[test]
-    fn json_strings_escape_specials() {
-        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
-        assert_eq!(json_str("plain"), "\"plain\"");
+    fn hostile_kernel_names_stay_valid_json() {
+        use fzgpu_trace::json::{parse, Value};
+        let hostile = "evil \"kernel\"\\ with\nnewline\tand \u{1} ctrl";
+        let mut gpu = Gpu::new(A100);
+        gpu.record_kernel(hostile, 1e-6, crate::perf::KernelStats::default());
+        let p = Profile::capture(&gpu);
+        let doc = parse(&p.chrome_trace_json()).expect("hostile name must stay valid JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(Value::as_str)).collect();
+        assert!(names.contains(&hostile), "{names:?}");
     }
 
     #[test]
-    fn json_numbers_round_trip() {
-        assert_eq!(json_f64(1.5), "1.5");
-        assert_eq!(json_f64(0.0), "0.0");
-        // Integral values keep a decimal point so the token stays a float.
-        assert_eq!(json_f64(3.0), "3.0");
+    fn unified_trace_carries_both_clock_domains() {
+        use fzgpu_trace::json::{parse, Value};
+        fzgpu_trace::begin_capture();
+        let gpu = {
+            let _s = fzgpu_trace::span("host.work").field("n", 4096);
+            profiled_gpu()
+        };
+        let host = fzgpu_trace::end_capture();
+        let doc = parse(&Profile::capture(&gpu).unified_chrome_trace(&host)).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        let pid_of = |e: &Value| e.get("pid").and_then(Value::as_f64).unwrap();
+        assert!(events.iter().any(|e| pid_of(e) == 0.0));
+        assert!(events.iter().any(
+            |e| pid_of(e) == 1.0 && e.get("name").and_then(Value::as_str) == Some("host.work")
+        ));
+        // The capture wrapped the whole pipeline, so the gpu.launch span
+        // rides along on the host track.
+        assert!(events.iter().any(|e| e.get("name").and_then(Value::as_str) == Some("gpu.launch")));
+        assert!(doc.get("otherData").and_then(|o| o.get("clock_domains")).is_some());
+    }
+
+    #[test]
+    fn profile_json_parses_and_matches_totals() {
+        use fzgpu_trace::json::{parse, Value};
+        let p = Profile::capture(&profiled_gpu());
+        let doc = parse(&p.to_json()).unwrap();
+        assert_eq!(doc.get("device").and_then(Value::as_str), Some("A100"));
+        let events = doc.get("traceEvents");
+        assert!(events.is_none(), "to_json is not a chrome trace");
+        let evs = doc.get("events").and_then(Value::as_array).unwrap();
+        assert_eq!(evs.len(), p.events.len());
+        let total = doc.get("total_time_us").and_then(Value::as_f64).unwrap();
+        assert!((total - p.total_time() * 1e6).abs() < 1e-9);
+        assert_eq!(evs[1].get("kind").and_then(Value::as_str), Some("kernel"));
+    }
+
+    proptest::proptest! {
+        /// Satellite: `append` rebases the second capture monotonically and
+        /// keeps the time sums consistent, for arbitrary phase timelines.
+        #[test]
+        fn append_rebases_monotonically(
+            first in proptest::collection::vec(1e-7f64..1e-3, 0..12),
+            second in proptest::collection::vec(1e-7f64..1e-3, 1..12),
+        ) {
+            let build = |times: &[f64]| {
+                let mut gpu = Gpu::new(A100);
+                for (i, &t) in times.iter().enumerate() {
+                    gpu.record_kernel(&format!("k{i}"), t, crate::perf::KernelStats::default());
+                }
+                Profile::capture(&gpu)
+            };
+            let mut joined = build(&first);
+            let b = build(&second);
+            let (ta, tb) = (joined.total_time(), b.total_time());
+            let (ka, kb) = (joined.kernel_time(), b.kernel_time());
+            joined.append(&b);
+            proptest::prop_assert!((joined.total_time() - (ta + tb)).abs() < 1e-12);
+            proptest::prop_assert!((joined.kernel_time() - (ka + kb)).abs() < 1e-12);
+            // Starts stay monotonically non-decreasing and back-to-back
+            // across the joint: every event starts when the previous ends.
+            let mut clock = 0.0;
+            for e in &joined.events {
+                proptest::prop_assert!((e.start() - clock).abs() < 1e-12);
+                clock += e.duration();
+            }
+            // The appended phase is rebased past the whole first phase.
+            proptest::prop_assert!(joined.events[first.len()].start() >= ta - 1e-12);
+        }
     }
 }

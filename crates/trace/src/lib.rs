@@ -1,0 +1,31 @@
+//! `fzgpu-trace`: dependency-free structured tracing + metrics for the
+//! FZ-GPU workspace.
+//!
+//! Three pieces, shared by the simulator, the core pipeline, the thread
+//! pool, the CLI, and the bench harness:
+//!
+//! * **Spans** ([`span`], [`event`], [`begin_capture`]/[`end_capture`],
+//!   [`RegionCapture`]) — RAII host-side spans in real wallclock time,
+//!   merged across pool workers in deterministic chunk order.
+//! * **Metrics** ([`metrics`]) — a global registry of counters, gauges and
+//!   histograms split into deterministic and wallclock classes, with
+//!   Prometheus-style text exposition and JSON export.
+//! * **Writers** ([`json`], [`chrome`]) — the one JSON escaping helper
+//!   every hand-rolled writer uses, a small parser for reading baselines
+//!   back, and a Chrome Trace Event Format builder.
+//!
+//! The clock-domain convention: host spans carry *real* time, simulator
+//! records carry *modeled/analytic* time. They are never mixed on one
+//! track; the unified exporter in `fzgpu-sim` labels them separately.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+mod span;
+
+pub use span::{
+    begin_capture, end_capture, event, is_capturing, span, EventMark, RegionCapture, Span,
+    SpanKind, SpanRecord, Trace,
+};

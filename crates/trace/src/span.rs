@@ -1,0 +1,434 @@
+//! Structured host-side spans: RAII guards collecting into thread-local
+//! buffers, with a deterministic merge rule for work that fans out over
+//! the thread pool.
+//!
+//! # Model
+//!
+//! A capture window is opened with [`begin_capture`] and closed with
+//! [`end_capture`], which returns the recorded [`Trace`]. Inside the
+//! window, [`span`] opens a nested span (closed when the guard drops) and
+//! [`event`] records an instantaneous marker. Both accept `key=value`
+//! fields. Outside a window every call is a cheap no-op — instrumentation
+//! stays compiled in and costs one relaxed atomic load.
+//!
+//! # Clock domain
+//!
+//! Span timestamps are **real host wallclock** (nanoseconds since the
+//! capture started). They live in a different clock domain than the
+//! simulator's modeled/analytic device time; the unified Chrome-trace
+//! export keeps the two on separate, labeled tracks.
+//!
+//! # Determinism contract
+//!
+//! Wallclock timestamps are inherently nondeterministic, so the contract
+//! from the host-parallelism layer ("bit-identical at any thread count")
+//! is stated over [`Trace::canonical`]: the span *tree* — names, nesting,
+//! fields, order — excluding times. Work executed on pool workers is
+//! captured per chunk via [`RegionCapture`] and merged in chunk order,
+//! which depends only on the item count, never on which worker ran what.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a [`SpanRecord`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A duration: opened by [`span`], closed when the guard drops.
+    Span,
+    /// An instantaneous marker recorded by [`event`].
+    Event,
+}
+
+/// One recorded span or event.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"stage.quant"`.
+    pub name: String,
+    /// Duration span or instantaneous event.
+    pub kind: SpanKind,
+    /// Nesting depth at open time (0 = top level of the capture).
+    pub depth: u32,
+    /// Wallclock start, nanoseconds since the capture began.
+    pub start_ns: u64,
+    /// Wallclock duration in nanoseconds (0 for events).
+    pub dur_ns: u64,
+    /// `key=value` fields attached via [`Span::field`] / [`EventMark::field`].
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// A completed capture: every record of the window, pre-order (a span
+/// precedes its children), pool-worker records merged in chunk order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The records, in deterministic order.
+    pub records: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The deterministic serialization of the span tree: indentation by
+    /// depth, name, `key=value` fields, events marked with `@`. Times and
+    /// worker identities are deliberately excluded — this is the byte
+    /// string the determinism contract ("identical at any thread count")
+    /// is stated over.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            for _ in 0..r.depth {
+                out.push_str("  ");
+            }
+            if r.kind == SpanKind::Event {
+                out.push('@');
+            }
+            out.push_str(&r.name);
+            for (k, v) in &r.fields {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct Frames {
+    records: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+impl Frames {
+    const fn new() -> Self {
+        Frames { records: Vec::new(), stack: Vec::new() }
+    }
+}
+
+thread_local! {
+    static FRAMES: RefCell<Frames> = const { RefCell::new(Frames::new()) };
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CAPTURE_START_NS: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn rel_now_ns() -> u64 {
+    now_ns().saturating_sub(CAPTURE_START_NS.load(Ordering::Relaxed))
+}
+
+/// True while a capture window is open. Instrumentation sites may use
+/// this to skip building expensive field values.
+pub fn is_capturing() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Open a capture window on the calling thread, discarding any previous
+/// buffer. One window is active per process; captures are not reentrant.
+pub fn begin_capture() {
+    let _ = epoch();
+    FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        f.records.clear();
+        f.stack.clear();
+    });
+    CAPTURE_START_NS.store(now_ns(), Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Close the capture window and return everything recorded on the calling
+/// thread (which, via [`RegionCapture`], includes merged worker records).
+pub fn end_capture() -> Trace {
+    ACTIVE.store(false, Ordering::Release);
+    FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        f.stack.clear();
+        Trace { records: std::mem::take(&mut f.records) }
+    })
+}
+
+const INACTIVE: usize = usize::MAX;
+
+fn add_field(idx: usize, key: &'static str, value: String) {
+    FRAMES.with(|f| {
+        if let Some(r) = f.borrow_mut().records.get_mut(idx) {
+            r.fields.push((key, value));
+        }
+    });
+}
+
+/// RAII guard for an open span; the span closes when this drops.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct Span {
+    idx: usize,
+}
+
+/// Open a span. A no-op (and allocation-free) outside a capture window.
+pub fn span(name: &str) -> Span {
+    if !is_capturing() {
+        return Span { idx: INACTIVE };
+    }
+    let start_ns = rel_now_ns();
+    FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        let idx = f.records.len();
+        let depth = f.stack.len() as u32;
+        f.records.push(SpanRecord {
+            name: name.to_string(),
+            kind: SpanKind::Span,
+            depth,
+            start_ns,
+            dur_ns: 0,
+            fields: Vec::new(),
+        });
+        f.stack.push(idx);
+        Span { idx }
+    })
+}
+
+impl Span {
+    /// Attach a `key=value` field. Chainable; values are rendered with
+    /// `Display` so keep them deterministic (no addresses, no clocks).
+    pub fn field(self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        if self.idx != INACTIVE {
+            add_field(self.idx, key, value.to_string());
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.idx == INACTIVE {
+            return;
+        }
+        let end_ns = rel_now_ns();
+        FRAMES.with(|f| {
+            let mut f = f.borrow_mut();
+            // The guard may outlive its buffer (capture ended, or a region
+            // swap happened mid-span); only close if we are still the top
+            // of the stack we were pushed onto.
+            if f.stack.last() == Some(&self.idx) {
+                f.stack.pop();
+                if let Some(r) = f.records.get_mut(self.idx) {
+                    r.dur_ns = end_ns.saturating_sub(r.start_ns);
+                }
+            }
+        });
+    }
+}
+
+/// Handle for attaching fields to a just-recorded event. Not a guard —
+/// the event is already complete.
+pub struct EventMark {
+    idx: usize,
+}
+
+impl EventMark {
+    /// Attach a `key=value` field. Chainable.
+    pub fn field(self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        if self.idx != INACTIVE {
+            add_field(self.idx, key, value.to_string());
+        }
+        self
+    }
+}
+
+/// Record an instantaneous event at the current depth. A no-op outside a
+/// capture window.
+pub fn event(name: &str) -> EventMark {
+    if !is_capturing() {
+        return EventMark { idx: INACTIVE };
+    }
+    let start_ns = rel_now_ns();
+    FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        let idx = f.records.len();
+        let depth = f.stack.len() as u32;
+        f.records.push(SpanRecord {
+            name: name.to_string(),
+            kind: SpanKind::Event,
+            depth,
+            start_ns,
+            dur_ns: 0,
+            fields: Vec::new(),
+        });
+        EventMark { idx }
+    })
+}
+
+/// Per-chunk span capture for pool regions, implementing the deterministic
+/// merge rule.
+///
+/// The thread pool creates one `RegionCapture` per parallel region. Each
+/// chunk body runs inside [`RegionCapture::run`], which redirects the
+/// executing thread's span buffer into a slot indexed by *chunk* (not
+/// worker). After the region completes, [`RegionCapture::merge`] appends
+/// every chunk's records — in chunk order — to the submitting thread's
+/// buffer, re-based under its current nesting depth. Chunk grids are a
+/// pure function of item count, so the merged record sequence is identical
+/// whether the region ran inline, on one worker, or on sixteen.
+pub struct RegionCapture {
+    slots: Option<Mutex<Vec<Option<Vec<SpanRecord>>>>>,
+}
+
+impl RegionCapture {
+    /// Set up capture for a region of `n_chunks` chunks. Free when no
+    /// capture window is open.
+    pub fn new(n_chunks: usize) -> Self {
+        if is_capturing() {
+            RegionCapture { slots: Some(Mutex::new((0..n_chunks).map(|_| None).collect())) }
+        } else {
+            RegionCapture { slots: None }
+        }
+    }
+
+    /// Run one chunk body with its spans redirected into slot `chunk`.
+    /// Panic-safe: records captured before a panic are still stored and
+    /// the thread's own buffer is always restored.
+    pub fn run<R>(&self, chunk: usize, f: impl FnOnce() -> R) -> R {
+        let Some(slots) = &self.slots else {
+            return f();
+        };
+        struct Restore<'a> {
+            saved: Option<Frames>,
+            slots: &'a Mutex<Vec<Option<Vec<SpanRecord>>>>,
+            chunk: usize,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                let captured = FRAMES
+                    .with(|f| std::mem::replace(&mut *f.borrow_mut(), self.saved.take().unwrap()));
+                let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(slot) = slots.get_mut(self.chunk) {
+                    *slot = Some(captured.records);
+                }
+            }
+        }
+        let saved = FRAMES.with(|f| std::mem::replace(&mut *f.borrow_mut(), Frames::new()));
+        let _restore = Restore { saved: Some(saved), slots, chunk };
+        f()
+    }
+
+    /// Append all captured chunk records, in chunk order, to the calling
+    /// thread's buffer at its current depth. Call once, from the region's
+    /// submitting thread, after all chunks finished.
+    pub fn merge(&self) {
+        let Some(slots) = &self.slots else {
+            return;
+        };
+        let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+        FRAMES.with(|f| {
+            let mut f = f.borrow_mut();
+            let base_depth = f.stack.len() as u32;
+            for slot in slots.iter_mut() {
+                for mut r in slot.take().into_iter().flatten() {
+                    r.depth += base_depth;
+                    f.records.push(r);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span state is process-global; serialize the tests that open windows.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let _g = lock();
+        begin_capture();
+        {
+            let _a = span("outer").field("n", 3);
+            let _b = span("inner");
+            event("tick").field("i", 7);
+        }
+        let t = end_capture();
+        assert_eq!(t.canonical(), "outer n=3\n  inner\n    @tick i=7\n");
+        assert_eq!(t.records[0].kind, SpanKind::Span);
+        assert_eq!(t.records[2].kind, SpanKind::Event);
+        assert!(t.records[1].start_ns >= t.records[0].start_ns);
+    }
+
+    #[test]
+    fn noop_outside_capture_window() {
+        let _g = lock();
+        assert!(!is_capturing());
+        let _s = span("ignored").field("k", 1);
+        event("also-ignored");
+        begin_capture();
+        let t = end_capture();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn region_capture_merges_in_chunk_order() {
+        let _g = lock();
+        begin_capture();
+        let _root = span("region");
+        let rc = RegionCapture::new(3);
+        // Run chunks out of order, as a racing pool would.
+        for chunk in [2usize, 0, 1] {
+            rc.run(chunk, || {
+                let _s = span("chunk").field("i", chunk);
+            });
+        }
+        rc.merge();
+        drop(_root);
+        let t = end_capture();
+        assert_eq!(t.canonical(), "region\n  chunk i=0\n  chunk i=1\n  chunk i=2\n");
+    }
+
+    #[test]
+    fn region_capture_is_transparent_when_inactive() {
+        let _g = lock();
+        let rc = RegionCapture::new(4);
+        let mut acc = 0;
+        for c in 0..4 {
+            acc += rc.run(c, || c * 2);
+        }
+        rc.merge();
+        assert_eq!(acc, 12);
+    }
+
+    #[test]
+    fn region_capture_survives_chunk_panics() {
+        let _g = lock();
+        begin_capture();
+        let rc = RegionCapture::new(2);
+        rc.run(0, || {
+            let _s = span("ok");
+        });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rc.run(1, || {
+                let _s = span("doomed");
+                panic!("chunk failure");
+            })
+        }));
+        assert!(r.is_err());
+        rc.merge();
+        let t = end_capture();
+        // Both chunks' records survive; the submitting thread's buffer is intact.
+        assert_eq!(t.canonical(), "ok\ndoomed\n");
+    }
+}

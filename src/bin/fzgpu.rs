@@ -33,13 +33,17 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   fzgpu compress   <input.f32> <output.fz>  --dims ZxYxX --eb 1e-3 [--abs] [--device a100|a4000]
-  fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000]
+                   [--trace out.json]
+  fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000] [--trace out.json]
   fzgpu info       <input.fz>
   fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]
   fzgpu profile    (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
-                   [--device a100|a4000] [--trace out.json] [--report out.txt]
+                   [--device a100|a4000] [--trace out.json] [--report out.txt] [--json]
                    (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)
+  fzgpu stats      (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
+                   [--device a100|a4000] [--timings] [--json]
   fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--eb 1e-3] [--abs] [--device ...]
+                   [--trace out.json]
   fzgpu verify     <input.fz|input.fzar>
   fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]";
 
@@ -75,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "info" => info(&args[1..]),
         "bench" => bench(&args[1..]),
         "profile" => profile(&args[1..]),
+        "stats" => stats(&args[1..]),
         "archive" => archive(&args[1..]),
         "verify" => verify(&args[1..]),
         "extract" => extract(&args[1..]),
@@ -88,13 +93,53 @@ fn load_field(args: &[String], path: &str) -> Result<fz_gpu::data::Field, String
     read_f32_file(Path::new(path), dims).map_err(|e| e.to_string())
 }
 
+/// Shared input selection for `profile` / `stats`: either a raw file with
+/// `--dims`, or a generated `--synthetic <dataset>` field.
+fn field_of(args: &[String]) -> Result<fz_gpu::data::Field, String> {
+    if let Some(name) = flag_value(args, "--synthetic") {
+        let info = fz_gpu::data::dataset(name)
+            .ok_or_else(|| format!("unknown synthetic dataset '{name}'"))?;
+        Ok(info.generate(fz_gpu::data::Scale::Reduced))
+    } else {
+        let input = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("missing input path or --synthetic <dataset>")?;
+        load_field(args, input)
+    }
+}
+
+/// Run `f` with host-span capture when `--trace <path>` is present, then
+/// join the captured spans with the modeled device profile `f` returns and
+/// write one unified Chrome trace (pid 0 = modeled device, pid 1 = host
+/// wallclock). Without the flag, `f` runs untraced.
+fn with_unified_trace<T>(
+    args: &[String],
+    f: impl FnOnce() -> Result<(T, fz_gpu::sim::Profile), String>,
+) -> Result<T, String> {
+    let Some(path) = flag_value(args, "--trace") else {
+        return f().map(|(v, _)| v);
+    };
+    fz_gpu::trace::begin_capture();
+    let result = f();
+    let host = fz_gpu::trace::end_capture();
+    let (value, prof) = result?;
+    std::fs::write(path, prof.unified_chrome_trace(&host)).map_err(|e| e.to_string())?;
+    println!("wrote unified trace to {path} (modeled device + host wallclock tracks)");
+    Ok(value)
+}
+
 fn compress(args: &[String]) -> Result<(), String> {
     let input = args.first().ok_or("missing input path")?;
     let output = args.get(1).ok_or("missing output path")?;
     let field = load_field(args, input)?;
     let eb = eb_of(args)?;
     let mut fz = FzGpu::new(device_of(args)?);
-    let c = fz.compress(&field.data, field.dims.as_3d(), eb);
+    let c = with_unified_trace(args, || {
+        let c = fz.compress(&field.data, field.dims.as_3d(), eb);
+        let prof = fz.profile();
+        Ok((c, prof))
+    })?;
     std::fs::write(output, &c.bytes).map_err(|e| e.to_string())?;
     println!(
         "{} -> {}: {:.2} MB -> {:.2} MB (ratio {:.1}x), eb {:.3e}, {:.2} ms modeled on {}",
@@ -115,7 +160,11 @@ fn decompress(args: &[String]) -> Result<(), String> {
     let output = args.get(1).ok_or("missing output path")?;
     let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
     let mut fz = FzGpu::new(device_of(args)?);
-    let values = fz.decompress_bytes(&bytes).map_err(|e| e.to_string())?;
+    let values = with_unified_trace(args, || {
+        let values = fz.decompress_bytes(&bytes).map_err(|e| e.to_string())?;
+        let prof = fz.profile();
+        Ok((values, prof))
+    })?;
     write_f32_file(Path::new(output), &values).map_err(|e| e.to_string())?;
     println!(
         "{} -> {}: {} values, {:.2} ms modeled on {}",
@@ -143,56 +192,83 @@ fn info(args: &[String]) -> Result<(), String> {
 }
 
 fn profile(args: &[String]) -> Result<(), String> {
-    let field = if let Some(name) = flag_value(args, "--synthetic") {
-        let info = fz_gpu::data::dataset(name)
-            .ok_or_else(|| format!("unknown synthetic dataset '{name}'"))?;
-        info.generate(fz_gpu::data::Scale::Reduced)
-    } else {
-        let input = args
-            .first()
-            .filter(|a| !a.starts_with("--"))
-            .ok_or("missing input path or --synthetic <dataset>")?;
-        load_field(args, input)?
-    };
+    let field = field_of(args)?;
     let eb = eb_of(args)?;
     let mut fz = FzGpu::new(device_of(args)?);
     let shape = field.dims.as_3d();
 
+    let tracing = flag_value(args, "--trace").is_some();
+    if tracing {
+        fz_gpu::trace::begin_capture();
+    }
     let c = fz.compress(&field.data, shape, eb);
     let compress_stages = fz.stage_times();
     let mut prof = fz.profile();
     fz.decompress(&c).map_err(|e| e.to_string())?;
     let decompress_stages = fz.stage_times();
     prof.append(&fz.profile());
+    let host = if tracing { fz_gpu::trace::end_capture() } else { fz_gpu::trace::Trace::default() };
 
-    println!(
-        "{} / {} ({}, {:.2} MB), eb {:.3e}, ratio {:.2}x",
-        field.dataset,
-        field.name,
-        field.dims.to_string_paper(),
-        field.size_bytes() as f64 / 1e6,
-        c.header.eb,
-        c.ratio(),
-    );
-    println!();
-    let report = prof.text_report();
-    print!("{report}");
-    println!();
-    for (label, stages) in [("compress", compress_stages), ("decompress", decompress_stages)] {
-        let total: f64 = stages.iter().map(|(_, t)| t).sum();
-        println!("{label} stages ({:.2} us):", total * 1e6);
-        for (stage, t) in stages {
-            println!("  {stage:<12} {:>9.2} us  ({:>4.1}%)", t * 1e6, t / total * 100.0);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{{\"dataset\": {}, \"field\": {}, \"dims\": {}, \"eb\": {}, \"ratio\": {}, \
+             \"profile\": {}}}",
+            fz_gpu::trace::json::escape(field.dataset),
+            fz_gpu::trace::json::escape(&field.name),
+            fz_gpu::trace::json::escape(&field.dims.to_string_paper()),
+            fz_gpu::trace::json::num(c.header.eb),
+            fz_gpu::trace::json::num(c.ratio()),
+            prof.to_json(),
+        );
+    } else {
+        println!(
+            "{} / {} ({}, {:.2} MB), eb {:.3e}, ratio {:.2}x",
+            field.dataset,
+            field.name,
+            field.dims.to_string_paper(),
+            field.size_bytes() as f64 / 1e6,
+            c.header.eb,
+            c.ratio(),
+        );
+        println!();
+        let report = prof.text_report();
+        print!("{report}");
+        println!();
+        for (label, stages) in [("compress", compress_stages), ("decompress", decompress_stages)] {
+            let total: f64 = stages.iter().map(|(_, t)| t).sum();
+            println!("{label} stages ({:.2} us):", total * 1e6);
+            for (stage, t) in stages {
+                println!("  {stage:<12} {:>9.2} us  ({:>4.1}%)", t * 1e6, t / total * 100.0);
+            }
+        }
+        if let Some(path) = flag_value(args, "--report") {
+            std::fs::write(path, &report).map_err(|e| e.to_string())?;
+            println!("wrote report to {path}");
         }
     }
 
     if let Some(path) = flag_value(args, "--trace") {
-        std::fs::write(path, prof.chrome_trace_json()).map_err(|e| e.to_string())?;
-        println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+        std::fs::write(path, prof.unified_chrome_trace(&host)).map_err(|e| e.to_string())?;
+        println!("wrote unified trace to {path} (open in chrome://tracing or Perfetto)");
     }
-    if let Some(path) = flag_value(args, "--report") {
-        std::fs::write(path, &report).map_err(|e| e.to_string())?;
-        println!("wrote report to {path}");
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let field = field_of(args)?;
+    let eb = eb_of(args)?;
+    fz_gpu::trace::metrics::reset();
+    let mut fz = FzGpu::new(device_of(args)?);
+    let c = fz.compress(&field.data, field.dims.as_3d(), eb);
+    fz.decompress(&c).map_err(|e| e.to_string())?;
+    // Deterministic metrics only by default: the exposition is then
+    // byte-identical across thread counts and machines. --timings adds the
+    // wallclock class (host durations, pool steals).
+    let include_wall = args.iter().any(|a| a == "--timings");
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", fz_gpu::trace::metrics::to_json(include_wall));
+    } else {
+        print!("{}", fz_gpu::trace::metrics::exposition(include_wall));
     }
     Ok(())
 }
@@ -220,7 +296,9 @@ fn archive(args: &[String]) -> Result<(), String> {
     let data = read_flat_f32(input)?;
     let eb = eb_of(args)?;
     let mut fz = FzGpu::new(device_of(args)?);
-    let a = Archive::compress(&mut fz, &data, chunk_values, eb);
+    let a = with_unified_trace(args, || {
+        Ok(Archive::compress_profiled(&mut fz, &data, chunk_values, eb))
+    })?;
     std::fs::write(output, a.to_bytes()).map_err(|e| e.to_string())?;
     println!(
         "{} -> {}: {} values in {} chunks, {:.2} MB -> {:.2} MB (ratio {:.1}x)",

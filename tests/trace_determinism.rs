@@ -1,0 +1,174 @@
+//! The observability layer must honor the same schedule-independence
+//! contract as the data path: canonical span trees, deterministic-class
+//! metric expositions, and pool-worker span merges are byte-identical at
+//! any `FZGPU_THREADS` value (the `parallel_determinism` suite holds the
+//! data path itself to this).
+//!
+//! Capture and the metrics registry are process-global, so every test
+//! here serializes on one lock.
+
+use fz_gpu::core::{ErrorBound, FaultPlan, FzGpu};
+use fz_gpu::sim::device::A100;
+use fz_gpu::trace;
+use rayon::prelude::*;
+
+/// Capture windows, the metrics registry, and the pool are all
+/// process-global; tests must not interleave.
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` under thread counts 1, 4, and 3 and assert its result is
+/// byte-identical each time.
+fn invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
+    let _guard = serialized();
+    let mut out = None;
+    for n in [1usize, 4, 3] {
+        rayon::set_num_threads(n);
+        let v = f();
+        rayon::set_num_threads(1);
+        match &out {
+            None => out = Some(v),
+            Some(first) => assert_eq!(first, &v, "result differs at {n} threads"),
+        }
+    }
+    out.unwrap()
+}
+
+fn field() -> Vec<f32> {
+    (0..8 * 32 * 40)
+        .map(|i| {
+            let y = i / 40 % 32;
+            let x = i % 40;
+            (x as f32 * 0.13).sin() * 3.0 + (y as f32 * 0.05).cos()
+        })
+        .collect()
+}
+
+const SHAPE: (usize, usize, usize) = (8, 32, 40);
+
+#[test]
+fn canonical_span_tree_is_thread_count_invariant() {
+    let data = field();
+    let tree = invariant(|| {
+        trace::begin_capture();
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+        fz.decompress(&c).unwrap();
+        trace::end_capture().canonical()
+    });
+    // The tree covers the pipeline stages and device operations.
+    assert!(tree.contains("fz.compress"), "tree:\n{tree}");
+    assert!(tree.contains("fz.decompress"));
+    assert!(tree.contains("  stage.encode"));
+    assert!(tree.contains("gpu.launch"));
+    assert!(tree.contains("gpu.upload"));
+}
+
+#[test]
+fn det_metric_exposition_is_thread_count_invariant() {
+    let data = field();
+    let text = invariant(|| {
+        trace::metrics::reset();
+        let mut fz = FzGpu::new(A100);
+        let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+        fz.decompress(&c).unwrap();
+        trace::metrics::exposition(false)
+    });
+    assert!(text.contains("fzgpu_bytes_in_total"), "exposition:\n{text}");
+    assert!(text.contains("fzgpu_kernel_launches_total"));
+    assert!(text.contains("fzgpu_pool_chunks_total"));
+    // The wallclock class stays out of the deterministic exposition.
+    assert!(!text.contains("fzgpu_host_seconds"));
+    assert!(!text.contains("fzgpu_pool_steals_total"));
+}
+
+#[test]
+fn span_tree_and_metrics_invariant_under_faults_and_retries() {
+    // Seeded launch faults trigger the retry loop: the retry events and
+    // failure counters must land in the same canonical positions at any
+    // thread count.
+    let data = field();
+    let (tree, text, retries) = invariant(|| {
+        trace::metrics::reset();
+        trace::begin_capture();
+        let mut fz = FzGpu::new(A100);
+        fz.enable_faults(FaultPlan::seeded(41).launch_faults(0.4, 2));
+        let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+        fz.decompress(&c).unwrap();
+        (trace::end_capture().canonical(), trace::metrics::exposition(false), fz.total_retries())
+    });
+    assert!(retries > 0, "plan too gentle — no retries fired");
+    assert!(tree.contains("@gpu.retry"), "tree:\n{tree}");
+    assert!(text.contains("fzgpu_launch_retries_total"), "exposition:\n{text}");
+}
+
+#[test]
+fn worker_spans_merge_in_chunk_order() {
+    // Spans emitted inside pool workers surface in item order, not in
+    // completion order, so the canonical tree never shows the schedule.
+    let tree = invariant(|| {
+        trace::begin_capture();
+        let _region = trace::span("region");
+        let out: Vec<u64> = (0..48u64)
+            .into_par_iter()
+            .map(|i| {
+                let _s = trace::span("worker.item").field("i", i);
+                i * 3
+            })
+            .collect();
+        assert_eq!(out[47], 141);
+        drop(_region);
+        trace::end_capture().canonical()
+    });
+    let expect: String = (0..48).fold("region\n".to_string(), |mut s, i| {
+        s.push_str(&format!("  worker.item i={i}\n"));
+        s
+    });
+    assert_eq!(tree, expect);
+}
+
+#[test]
+fn unified_trace_parses_and_carries_both_clock_domains() {
+    let _guard = serialized();
+    let data = field();
+    trace::begin_capture();
+    let mut fz = FzGpu::new(A100);
+    let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+    let host = trace::end_capture();
+    let prof = fz.profile();
+    assert!(c.ratio() > 1.0);
+
+    let json = prof.unified_chrome_trace(&host);
+    let root = trace::json::parse(&json).expect("trace must be valid JSON");
+    let events = root.get("traceEvents").and_then(trace::json::Value::as_array).unwrap();
+    let pid_of = |e: &trace::json::Value| e.get("pid").and_then(trace::json::Value::as_f64);
+    assert!(events.iter().any(|e| pid_of(e) == Some(0.0)), "no modeled-device track");
+    assert!(events.iter().any(|e| pid_of(e) == Some(1.0)), "no host-wallclock track");
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(trace::json::Value::as_str)).collect();
+    assert!(names.contains(&"fz.compress"), "host span missing: {names:?}");
+    assert!(names.contains(&"gpu.upload"));
+    let other = root.get("otherData").unwrap();
+    assert!(other.get("clock_domains").is_some(), "clock-domain convention must be declared");
+}
+
+#[test]
+fn stats_json_matches_exposition_values() {
+    let _guard = serialized();
+    let data = field();
+    trace::metrics::reset();
+    let mut fz = FzGpu::new(A100);
+    let c = fz.compress(&data, SHAPE, ErrorBound::Abs(1e-3));
+    let json = trace::json::parse(&trace::metrics::to_json(false)).expect("valid metrics JSON");
+    let metrics = json.get("metrics").and_then(trace::json::Value::as_array).unwrap();
+    let bytes_out = metrics
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(trace::json::Value::as_str) == Some("fzgpu_bytes_out_total")
+        })
+        .and_then(|m| m.get("value").and_then(trace::json::Value::as_f64))
+        .unwrap();
+    assert_eq!(bytes_out as usize, c.bytes.len());
+}
