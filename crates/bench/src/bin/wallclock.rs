@@ -26,6 +26,11 @@ use fzgpu_sim::device::A100;
 
 struct Sample {
     threads: usize,
+    /// What the pool actually runs with after clamping — can differ from
+    /// the requested count (the shim bounds it to `1..=256`); recorded per
+    /// row so a measurement is never attributed to a thread count the pool
+    /// silently adjusted.
+    effective_threads: usize,
     compress_s: f64,
     decompress_s: f64,
     sim_wall_s: f64,
@@ -62,6 +67,7 @@ fn main() {
     let mut samples = Vec::new();
     for &threads in &counts {
         rayon::set_num_threads(threads);
+        let effective_threads = rayon::current_num_threads();
 
         // FZ-OMP: measured host pipeline. Warm-up once, then best-of-N
         // (minimum discards scheduler noise; every run is checked).
@@ -102,12 +108,13 @@ fn main() {
         }
         assert_eq!(sim.kernel_time(), modeled_kernel_s, "modeled time drifted with thread count");
 
-        samples.push(Sample { threads, compress_s, decompress_s, sim_wall_s });
+        samples.push(Sample { threads, effective_threads, compress_s, decompress_s, sim_wall_s });
     }
     let base = samples[0].compress_s;
 
     let mut t = Table::new(&[
         "threads",
+        "effective",
         "compress s",
         "decompress s",
         "GB/s",
@@ -118,6 +125,7 @@ fn main() {
     for s in &samples {
         t.row(vec![
             s.threads.to_string(),
+            s.effective_threads.to_string(),
             format!("{:.4}", s.compress_s),
             format!("{:.4}", s.decompress_s),
             fmt(input_bytes as f64 / s.compress_s / 1e9),
@@ -151,9 +159,11 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"threads\": {}, \"compress_s\": {:.6}, \"decompress_s\": {:.6}, \
-                 \"compress_gbps\": {:.4}, \"speedup_vs_1\": {:.3}, \"sim_wall_s\": {:.6}}}",
+                "    {{\"threads\": {}, \"effective_threads\": {}, \"compress_s\": {:.6}, \
+                 \"decompress_s\": {:.6}, \"compress_gbps\": {:.4}, \"speedup_vs_1\": {:.3}, \
+                 \"sim_wall_s\": {:.6}}}",
                 s.threads,
+                s.effective_threads,
                 s.compress_s,
                 s.decompress_s,
                 input_bytes as f64 / s.compress_s / 1e9,

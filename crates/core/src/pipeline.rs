@@ -6,7 +6,7 @@
 //! on the [`fzgpu_sim::Gpu`] simulator; the stream bytes are bit-exact
 //! products of the kernels, the kernel times come from the device model.
 
-use fzgpu_sim::{DeviceSpec, Event, FaultPlan, Gpu, GpuBuffer, Profile, RetryPolicy};
+use fzgpu_sim::{DeviceSpec, Event, FaultPlan, Gpu, MemPool, Profile, RetryPolicy};
 use fzgpu_trace::metrics::{self, Class};
 
 use crate::format::{assemble, disassemble, FormatError, Header, VERSION};
@@ -88,6 +88,16 @@ impl FzGpu {
         &mut self.gpu
     }
 
+    /// Attach a device memory pool: every intermediate buffer the pipeline
+    /// allocates is acquired from (and released back to) the pool, so a
+    /// compressor that processes many fields stops paying per-call
+    /// `cudaMalloc`s once the working set is warm. Streams are bit-identical
+    /// with or without a pool (recycled buffers are zeroed on acquire);
+    /// the `mempool_pipeline` proptest suite holds that equivalence.
+    pub fn attach_pool(&mut self, pool: MemPool) {
+        self.gpu.set_pool(pool);
+    }
+
     /// Turn on deterministic fault injection for subsequent pipeline runs
     /// (soft errors in device memory, transient launch failures). Launch
     /// failures are absorbed by the retry policy in [`FzOptions::retry`];
@@ -150,20 +160,30 @@ impl FzGpu {
                 let d_words = {
                     let _s = fzgpu_trace::span("stage.pack");
                     let words = crate::pack::pack_codes(&d_codes.to_vec());
-                    GpuBuffer::from_host(&words)
+                    self.gpu.device_vec(&words)
                 };
+                self.gpu.free(d_codes);
 
                 // Stage 2: fused bitshuffle + zero-block mark.
-                let _s = fzgpu_trace::span("stage.shuffle");
-                bitshuffle_mark(&mut self.gpu, &d_words, self.opts.shuffle)
+                let out = {
+                    let _s = fzgpu_trace::span("stage.shuffle");
+                    bitshuffle_mark(&mut self.gpu, &d_words, self.opts.shuffle)
+                };
+                self.gpu.free(d_words);
+                out
             };
+        self.gpu.free(d_input);
 
         // Stage 3: prefix sum + compaction.
         let d_payload = {
             let _s = fzgpu_trace::span("stage.encode");
             let d_wide = genc::widen_flags(&mut self.gpu, &d_byte_flags);
             let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
-            genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present)
+            self.gpu.free(d_wide);
+            let payload =
+                genc::compact(&mut self.gpu, &d_shuffled, &d_byte_flags, &d_offsets, present);
+            self.gpu.free(d_offsets);
+            payload
         };
 
         let header = Header {
@@ -178,6 +198,10 @@ impl FzGpu {
             let _s = fzgpu_trace::span("stage.assemble");
             assemble(&header, &d_bit_flags.to_vec(), &d_payload.to_vec())
         };
+        self.gpu.free(d_shuffled);
+        self.gpu.free(d_byte_flags);
+        self.gpu.free(d_bit_flags);
+        self.gpu.free(d_payload);
 
         metrics::counter_add(Class::Det, "fzgpu_compress_calls_total", &[], 1);
         metrics::counter_add(Class::Det, "fzgpu_bytes_in_total", &[], (data.len() * 4) as u64);
@@ -216,22 +240,35 @@ impl FzGpu {
             let d_flags = gdec::expand_flags(&mut self.gpu, &d_bits, header.num_blocks);
             let d_wide = genc::widen_flags(&mut self.gpu, &d_flags);
             let (d_offsets, present) = genc::flag_offsets(&mut self.gpu, &d_wide);
+            self.gpu.free(d_wide);
             (d_flags, d_offsets, present)
         };
+        self.gpu.free(d_bits);
         if present * BLOCK_WORDS != header.payload_words {
+            self.gpu.free(d_flags);
+            self.gpu.free(d_offsets);
+            self.gpu.free(d_payload);
             return Err(FormatError::Inconsistent("flag popcount vs payload length"));
         }
         let d_words = {
             let _s = fzgpu_trace::span("stage.unshuffle");
             let d_shuffled = gdec::scatter(&mut self.gpu, &d_payload, &d_flags, &d_offsets);
             debug_assert_eq!(d_shuffled.len() % TILE_WORDS, 0);
-            gdec::bit_unshuffle(&mut self.gpu, &d_shuffled)
+            let words = gdec::bit_unshuffle(&mut self.gpu, &d_shuffled);
+            self.gpu.free(d_shuffled);
+            words
         };
+        self.gpu.free(d_payload);
+        self.gpu.free(d_flags);
+        self.gpu.free(d_offsets);
         let d_out = {
             let _s = fzgpu_trace::span("stage.dequant");
             let d_deltas = gdec::codes_to_deltas(&mut self.gpu, &d_words, header.n_values);
-            gdec::inverse_lorenzo(&mut self.gpu, &d_deltas, header.shape, header.eb)
+            let out = gdec::inverse_lorenzo(&mut self.gpu, &d_deltas, header.shape, header.eb);
+            self.gpu.free(d_deltas);
+            out
         };
+        self.gpu.free(d_words);
         metrics::counter_add(Class::Det, "fzgpu_decompress_calls_total", &[], 1);
         metrics::observe(
             Class::Wall,
@@ -239,7 +276,9 @@ impl FzGpu {
             &[("op", "decompress")],
             t0.elapsed().as_secs_f64(),
         );
-        Ok(d_out.to_vec())
+        let out = d_out.to_vec();
+        self.gpu.free(d_out);
+        Ok(out)
     }
 
     /// Modeled kernel time of the last compress/decompress call, seconds.

@@ -1,0 +1,136 @@
+//! Launch fusion for batched jobs.
+//!
+//! Small requests cannot saturate the device, and every kernel pays a fixed
+//! launch overhead; production GPU services therefore batch small inputs
+//! and launch each pipeline stage once over the whole batch (the same
+//! motivation as FZ-GPU's own kernel fusion, applied across requests).
+//!
+//! The scheduler executes each job *individually* — its stream bytes and
+//! digest are exactly what a solo run produces — and fuses only the modeled
+//! timing: when every job in a batch ran the same kernel sequence (the
+//! batch key pins op, size, and bound, so they do), stage `i` of the fused
+//! launch costs the sum of the members' stage-`i` times minus the `k - 1`
+//! launch overheads the merge eliminates. Jobs with divergent sequences
+//! fall back to plain concatenation (no savings, no error).
+
+use fzgpu_core::ErrorBound;
+
+use crate::workload::{Op, Request};
+
+/// Jobs fuse only when they agree on direction, size, and bound —
+/// guaranteeing identical kernel sequences and a well-defined fused grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Direction.
+    pub op: Op,
+    /// Field length in values.
+    pub n: usize,
+    /// Bound, bit-exact (`f64::to_bits`; rel and abs kept distinct).
+    pub eb_bits: (bool, u64),
+}
+
+impl BatchKey {
+    /// The key of a request.
+    pub fn of(r: &Request) -> Self {
+        let eb_bits = match r.eb {
+            ErrorBound::Abs(e) => (false, e.to_bits()),
+            ErrorBound::RelToRange(e) => (true, e.to_bits()),
+        };
+        Self { op: r.op, n: r.n, eb_bits }
+    }
+}
+
+/// Fuse per-job kernel sequences into one modeled launch sequence.
+///
+/// Returns `(fused, saved_seconds)`. With identical name sequences the
+/// fused stage time is `Σ times − (k−1)·launch_overhead`, floored at
+/// `launch_overhead` (a fused launch still launches); otherwise the
+/// sequences concatenate unchanged and `saved_seconds` is 0.
+pub fn fuse_kernel_sequences(
+    jobs: &[Vec<(String, f64)>],
+    launch_overhead: f64,
+) -> (Vec<(String, f64)>, f64) {
+    if jobs.len() <= 1 {
+        return (jobs.first().cloned().unwrap_or_default(), 0.0);
+    }
+    let same_shape = jobs
+        .windows(2)
+        .all(|w| w[0].len() == w[1].len() && w[0].iter().zip(&w[1]).all(|(a, b)| a.0 == b.0));
+    if !same_shape {
+        return (jobs.iter().flatten().cloned().collect(), 0.0);
+    }
+    let k = jobs.len();
+    let mut fused = Vec::with_capacity(jobs[0].len());
+    let mut saved = 0.0;
+    for i in 0..jobs[0].len() {
+        let sum: f64 = jobs.iter().map(|j| j[i].1).sum();
+        let merged = (sum - (k - 1) as f64 * launch_overhead).max(launch_overhead);
+        saved += sum - merged;
+        fused.push((format!("{} [x{k}]", jobs[0][i].0), merged));
+    }
+    (fused, saved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(times: &[f64]) -> Vec<(String, f64)> {
+        times.iter().enumerate().map(|(i, &t)| (format!("k{i}"), t)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_save_launch_overheads() {
+        let jobs = vec![seq(&[10e-6, 20e-6]), seq(&[10e-6, 20e-6]), seq(&[10e-6, 20e-6])];
+        let (fused, saved) = fuse_kernel_sequences(&jobs, 4e-6);
+        assert_eq!(fused.len(), 2);
+        // Each stage: 3 launches merge into 1, saving 2 overheads.
+        assert!((fused[0].1 - (30e-6 - 8e-6)).abs() < 1e-15);
+        assert!((saved - 16e-6).abs() < 1e-15);
+        assert!(fused[0].0.contains("[x3]"));
+    }
+
+    #[test]
+    fn fused_stage_never_undercuts_one_launch() {
+        // Stages cheaper than the overhead cannot go below one launch cost.
+        let jobs = vec![seq(&[5e-6]), seq(&[5e-6])];
+        let (fused, saved) = fuse_kernel_sequences(&jobs, 4e-6);
+        assert!((fused[0].1 - 6e-6).abs() < 1e-15);
+        assert!((saved - 4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn divergent_sequences_concatenate() {
+        let a = seq(&[10e-6]);
+        let mut b = seq(&[10e-6]);
+        b[0].0 = "other".into();
+        let (fused, saved) = fuse_kernel_sequences(&[a, b], 4e-6);
+        assert_eq!(fused.len(), 2);
+        assert_eq!(saved, 0.0);
+    }
+
+    #[test]
+    fn singleton_passes_through() {
+        let (fused, saved) = fuse_kernel_sequences(&[seq(&[7e-6])], 4e-6);
+        assert_eq!(fused, seq(&[7e-6]));
+        assert_eq!(saved, 0.0);
+    }
+
+    #[test]
+    fn batch_key_separates_ops_sizes_and_bounds() {
+        use crate::workload::FieldKind;
+        let base = Request {
+            arrival: 0.0,
+            op: Op::Compress,
+            n: 1024,
+            eb: ErrorBound::Abs(1e-3),
+            field: FieldKind::Sine,
+            seed: 0,
+        };
+        let k = BatchKey::of(&base);
+        assert_eq!(k, BatchKey::of(&Request { seed: 9, field: FieldKind::Mixed, ..base }));
+        assert_ne!(k, BatchKey::of(&Request { n: 2048, ..base }));
+        assert_ne!(k, BatchKey::of(&Request { op: Op::Decompress, ..base }));
+        assert_ne!(k, BatchKey::of(&Request { eb: ErrorBound::RelToRange(1e-3), ..base }));
+    }
+}

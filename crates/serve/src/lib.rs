@@ -1,0 +1,49 @@
+//! # fzgpu-serve — a concurrent compression service on the simulator
+//!
+//! The paper's headline is end-to-end throughput; a deployed FZ-GPU is a
+//! *service* that keeps the device saturated across many requests. This
+//! crate models that deployment on top of the bit-exact simulator:
+//!
+//! * **Workloads** ([`workload`]): deterministic synthetic request traces —
+//!   arrival schedule, sizes, error bounds, seeded field generators — read
+//!   from JSON. No wallclock and no ambient randomness anywhere, so a
+//!   replay is a pure function of the trace file.
+//! * **Scheduling** ([`service`]): a bounded-queue job scheduler that
+//!   admits compression/decompression jobs, batches small same-shape jobs
+//!   into fused launches ([`batch`]), applies backpressure (reject with a
+//!   retry-after hint, or block the client), and lays the resulting work
+//!   onto simulated CUDA streams ([`fzgpu_sim::StreamSim`]) where H2D/D2H
+//!   copies overlap kernels up to the device's copy-engine budget.
+//! * **Memory reuse**: jobs run against one [`fzgpu_sim::MemPool`], so the
+//!   steady state stops paying modeled `cudaMalloc`s — the pool's
+//!   high-water mark and hit rates land in the metrics registry.
+//!
+//! ## Determinism contract
+//! Jobs execute sequentially on the host (the existing thread pool still
+//! fans out *within* each kernel launch, under the simulator's
+//! block-order-merge contract), and all scheduling runs in modeled time.
+//! Job digests, batch composition, stream timelines, pool counters, and
+//! every Det-class metric are therefore bit-identical at any
+//! `FZGPU_THREADS` value; only Wall-class latencies move. The `service_replay`
+//! test suite and the CI `service` job hold this.
+//!
+//! ```
+//! use fzgpu_serve::{Service, ServeConfig, Workload};
+//!
+//! let json = r#"{"name":"doc","device":"A100","requests":[
+//!     {"arrival_us":0.0,"op":"compress","n":8192,"eb_rel":1e-3,"field":"sine","seed":1},
+//!     {"arrival_us":5.0,"op":"compress","n":8192,"eb_rel":1e-3,"field":"sine","seed":2}
+//! ]}"#;
+//! let workload = Workload::from_json(json).unwrap();
+//! let report = Service::new(ServeConfig::default()).run(&workload);
+//! assert_eq!(report.jobs.len(), 2);
+//! assert!(report.makespan > 0.0);
+//! ```
+
+pub mod batch;
+pub mod service;
+pub mod workload;
+
+pub use batch::{fuse_kernel_sequences, BatchKey};
+pub use service::{Backpressure, JobResult, Rejection, ServeConfig, ServeReport, Service};
+pub use workload::{FieldKind, Op, Request, Workload};

@@ -1,0 +1,827 @@
+//! The bounded-queue job scheduler.
+//!
+//! [`Service::run`] replays a [`Workload`] as a discrete-event simulation
+//! in *modeled* time: requests arrive on the trace's schedule, wait in a
+//! bounded admission queue, and dispatch (possibly batched, see
+//! [`crate::batch`]) onto the stream whose queue drains first. Each
+//! dispatched batch becomes three phases on a [`StreamSim`]: one H2D copy,
+//! the (fused) kernel sequence, one D2H copy — so with ≥ 2 streams the next
+//! batch's copies overlap the current batch's kernels, bounded by the
+//! device's copy-engine count.
+//!
+//! Jobs *execute* host-side, sequentially, through one [`FzGpu`] — their
+//! stream bytes and digests are bit-exact and identical to solo runs —
+//! while their modeled durations are what the scheduler lays onto streams.
+//! A shared [`MemPool`] (when enabled) recycles every intermediate buffer
+//! across jobs; with allocation accounting on, pool hits visibly shrink
+//! the modeled kernel sequences.
+//!
+//! # Backpressure
+//! When a request arrives to a full queue: [`Backpressure::Reject`] records
+//! the job with a `retry_after` hint (the modeled delay until the next
+//! dispatch frees a slot); [`Backpressure::Block`] stalls the client until
+//! a slot frees and admits the job then — nothing is dropped.
+//!
+//! # Determinism
+//! Everything here is a pure function of the workload and config: arrival
+//! order breaks ties, the scheduler inspects only modeled clocks, and jobs
+//! run one at a time. Digests, batch composition, stream schedules, pool
+//! counters, and Det-class metrics are bit-identical at any `FZGPU_THREADS`;
+//! host-wallclock fields (Wall class) are measurements and move freely.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use fzgpu_core::crc::Crc32;
+use fzgpu_core::{crc32, FzGpu};
+use fzgpu_sim::{MemPool, OpClass, PoolStats, StreamSim};
+use fzgpu_trace::json;
+use fzgpu_trace::metrics::{self, Class};
+
+use crate::batch::{fuse_kernel_sequences, BatchKey};
+use crate::workload::{synth_field, Op, Request, Workload};
+
+/// Full-queue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Drop the request, reporting how long the client should wait before
+    /// retrying (load-shedding front end).
+    Reject,
+    /// Stall the client until a queue slot frees (lossless ingest).
+    Block,
+}
+
+impl Backpressure {
+    /// Lower-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backpressure::Reject => "reject",
+            Backpressure::Block => "block",
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Simulated CUDA streams (≥ 1).
+    pub streams: usize,
+    /// Recycle device buffers through a shared [`MemPool`].
+    pub pool: bool,
+    /// Maximum jobs fused into one dispatch (1 = no batching).
+    pub batch_max: usize,
+    /// Only jobs of at most this many values are batched — large inputs
+    /// saturate the device alone and gain nothing from fusion.
+    pub batch_threshold: usize,
+    /// Admission queue capacity (≥ 1).
+    pub queue_depth: usize,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+    /// Charge modeled `cudaMalloc`/memset costs for device allocations
+    /// (see [`fzgpu_sim::Gpu::set_charge_alloc`]). On by default: a serving
+    /// process allocates on the hot path, which is exactly what the pool
+    /// exists to avoid.
+    pub charge_alloc: bool,
+    /// Capture a per-stream Chrome trace of the modeled schedule into
+    /// [`ServeReport::stream_trace`].
+    pub capture_trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            streams: 2,
+            pool: true,
+            batch_max: 1,
+            batch_threshold: 1 << 16,
+            queue_depth: 64,
+            backpressure: Backpressure::Reject,
+            charge_alloc: true,
+            capture_trace: false,
+        }
+    }
+}
+
+/// One completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index of the request in the (arrival-sorted) workload.
+    pub id: usize,
+    /// Direction.
+    pub op: Op,
+    /// Field length in values.
+    pub n: usize,
+    /// Modeled arrival time, seconds.
+    pub arrival: f64,
+    /// Modeled admission time (equals arrival unless the client blocked).
+    pub admitted: f64,
+    /// Modeled dispatch time (left the queue).
+    pub dispatched: f64,
+    /// Modeled completion time (batch's D2H done).
+    pub completed: f64,
+    /// Bytes crossing H2D for this job.
+    pub bytes_in: u64,
+    /// Bytes crossing D2H for this job.
+    pub bytes_out: u64,
+    /// CRC-32 of the job's output (stream bytes or decompressed field).
+    pub digest: u32,
+    /// Stream the batch ran on.
+    pub stream: usize,
+    /// Batch sequence number.
+    pub batch: usize,
+    /// Jobs in the batch.
+    pub batch_size: usize,
+    /// Real host seconds spent executing this job (Wall clock domain —
+    /// excluded from digests and Det metrics).
+    pub host_seconds: f64,
+}
+
+impl JobResult {
+    /// Modeled queueing + service latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.completed - self.arrival
+    }
+}
+
+/// One rejected job.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Request index.
+    pub id: usize,
+    /// Modeled arrival time, seconds.
+    pub arrival: f64,
+    /// Modeled seconds the client should wait before retrying.
+    pub retry_after: f64,
+}
+
+/// Replay results: per-job outcomes plus schedule-level aggregates.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Workload name.
+    pub workload: String,
+    /// Device preset name.
+    pub device: &'static str,
+    /// Config echo (reports must be self-describing).
+    pub config: ServeConfig,
+    /// Completed jobs in dispatch order.
+    pub jobs: Vec<JobResult>,
+    /// Rejected jobs in arrival order (empty under [`Backpressure::Block`]).
+    pub rejected: Vec<Rejection>,
+    /// Modeled end-to-end makespan, seconds.
+    pub makespan: f64,
+    /// Modeled serial time (single synchronous queue), seconds.
+    pub serial_time: f64,
+    /// Busy fraction of the compute engine over the makespan.
+    pub compute_utilization: f64,
+    /// Pool accounting, when pooling was on.
+    pub pool: Option<PoolStats>,
+    /// Dispatched batches.
+    pub batches: usize,
+    /// Modeled seconds saved by launch fusion.
+    pub fused_saved: f64,
+    /// Real host seconds for the whole replay (Wall clock domain).
+    pub host_seconds: f64,
+    /// Per-stream Chrome trace JSON (empty unless
+    /// [`ServeConfig::capture_trace`]).
+    pub stream_trace: String,
+}
+
+/// `q`-th percentile (0 < q ≤ 1) of an unsorted sample, by rank.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeReport {
+    /// Modeled latency percentiles `(p50, p90, p99)` in seconds.
+    pub fn latency_percentiles(&self) -> (f64, f64, f64) {
+        let lat: Vec<f64> = self.jobs.iter().map(JobResult::latency).collect();
+        (percentile(&lat, 0.50), percentile(&lat, 0.90), percentile(&lat, 0.99))
+    }
+
+    /// Host-wallclock per-job percentiles `(p50, p90, p99)` in seconds
+    /// (Wall domain — varies run to run).
+    pub fn host_percentiles(&self) -> (f64, f64, f64) {
+        let w: Vec<f64> = self.jobs.iter().map(|j| j.host_seconds).collect();
+        (percentile(&w, 0.50), percentile(&w, 0.90), percentile(&w, 0.99))
+    }
+
+    /// Input bytes served per modeled second (GB/s).
+    pub fn throughput_gbs(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.bytes_in).sum::<u64>() as f64 / self.makespan / 1e9
+    }
+
+    /// One CRC-32 over every job's `(id, digest)` and every rejection's id
+    /// — the replay's determinism fingerprint. Pairs are folded in id
+    /// order, not completion order, so the digest is a pure function of
+    /// the job *outputs*: any two configurations serving the same
+    /// workload (different streams, pool, batch size, thread count) must
+    /// agree on it.
+    pub fn digest(&self) -> u32 {
+        let mut pairs: Vec<(usize, u32)> = self.jobs.iter().map(|j| (j.id, j.digest)).collect();
+        pairs.sort_unstable();
+        let mut c = Crc32::new();
+        for (id, digest) in pairs {
+            c.update(&(id as u64).to_le_bytes());
+            c.update(&digest.to_le_bytes());
+        }
+        let mut rejected: Vec<usize> = self.rejected.iter().map(|r| r.id).collect();
+        rejected.sort_unstable();
+        for id in rejected {
+            c.update(&(id as u64).to_le_bytes());
+        }
+        c.finalize()
+    }
+
+    /// Aligned text summary. `include_wall` adds host-wallclock lines
+    /// (excluded by default so output is byte-identical across runs).
+    pub fn text_report(&self, include_wall: bool) -> String {
+        let (p50, p90, p99) = self.latency_percentiles();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workload {} on {}: {} jobs done, {} rejected, {} batches\n",
+            self.workload,
+            self.device,
+            self.jobs.len(),
+            self.rejected.len(),
+            self.batches
+        ));
+        out.push_str(&format!(
+            "config: streams={} pool={} batch_max={} queue_depth={} backpressure={}\n",
+            self.config.streams,
+            if self.config.pool { "on" } else { "off" },
+            self.config.batch_max,
+            self.config.queue_depth,
+            self.config.backpressure.label()
+        ));
+        out.push_str(&format!(
+            "modeled: makespan {:.2} us (serial {:.2} us, overlap saves {:.1}%), compute util {:.0}%\n",
+            self.makespan * 1e6,
+            self.serial_time * 1e6,
+            (1.0 - self.makespan / self.serial_time.max(1e-30)) * 100.0,
+            self.compute_utilization * 100.0
+        ));
+        out.push_str(&format!(
+            "modeled latency us: p50 {:.2}  p90 {:.2}  p99 {:.2}; throughput {:.2} GB/s; fusion saved {:.2} us\n",
+            p50 * 1e6,
+            p90 * 1e6,
+            p99 * 1e6,
+            self.throughput_gbs(),
+            self.fused_saved * 1e6
+        ));
+        if let Some(p) = &self.pool {
+            out.push_str(&format!(
+                "pool: {} hits / {} misses ({:.0}% hit rate, {} frag), high water {} B\n",
+                p.hits,
+                p.misses,
+                p.hit_rate() * 100.0,
+                p.fragmentation_misses,
+                p.high_water_bytes
+            ));
+        }
+        out.push_str(&format!("digest: 0x{:08x}\n", self.digest()));
+        if include_wall {
+            let (h50, h90, h99) = self.host_percentiles();
+            out.push_str(&format!(
+                "host wall: total {:.3} s; per-job ms: p50 {:.3}  p90 {:.3}  p99 {:.3}\n",
+                self.host_seconds,
+                h50 * 1e3,
+                h90 * 1e3,
+                h99 * 1e3
+            ));
+        }
+        out
+    }
+
+    /// Render the report as JSON. Wall-domain fields appear only with
+    /// `include_wall` so the default document is deterministic.
+    pub fn to_json(&self, include_wall: bool) -> String {
+        let (p50, p90, p99) = self.latency_percentiles();
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for j in &self.jobs {
+            let mut row = format!(
+                "{{\"id\":{},\"op\":{},\"n\":{},\"arrival_us\":{},\"admitted_us\":{},\"dispatched_us\":{},\"completed_us\":{},\"latency_us\":{},\"bytes_in\":{},\"bytes_out\":{},\"digest\":\"0x{:08x}\",\"stream\":{},\"batch\":{},\"batch_size\":{}",
+                j.id,
+                json::escape(j.op.label()),
+                j.n,
+                json::num(j.arrival * 1e6),
+                json::num(j.admitted * 1e6),
+                json::num(j.dispatched * 1e6),
+                json::num(j.completed * 1e6),
+                json::num(j.latency() * 1e6),
+                j.bytes_in,
+                j.bytes_out,
+                j.digest,
+                j.stream,
+                j.batch,
+                j.batch_size,
+            );
+            if include_wall {
+                row.push_str(&format!(",\"host_us\":{}", json::num(j.host_seconds * 1e6)));
+            }
+            row.push('}');
+            jobs.push(row);
+        }
+        let rejected: Vec<String> = self
+            .rejected
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"id\":{},\"arrival_us\":{},\"retry_after_us\":{}}}",
+                    r.id,
+                    json::num(r.arrival * 1e6),
+                    json::num(r.retry_after * 1e6)
+                )
+            })
+            .collect();
+        let pool = match &self.pool {
+            Some(p) => format!(
+                "{{\"hits\":{},\"misses\":{},\"frag_misses\":{},\"releases\":{},\"high_water_bytes\":{},\"hit_rate\":{}}}",
+                p.hits,
+                p.misses,
+                p.fragmentation_misses,
+                p.releases,
+                p.high_water_bytes,
+                json::num(p.hit_rate())
+            ),
+            None => "null".to_string(),
+        };
+        let mut doc = format!(
+            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"jobs\":[{}],\"rejected\":[{}],\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
+            json::escape(&self.workload),
+            json::escape(self.device),
+            self.config.streams,
+            self.config.pool,
+            self.config.batch_max,
+            self.config.queue_depth,
+            json::escape(self.config.backpressure.label()),
+            jobs.join(","),
+            rejected.join(","),
+            json::num(self.makespan * 1e6),
+            json::num(self.serial_time * 1e6),
+            json::num(self.compute_utilization),
+            json::num(self.throughput_gbs()),
+            json::num(p50 * 1e6),
+            json::num(p90 * 1e6),
+            json::num(p99 * 1e6),
+            self.batches,
+            json::num(self.fused_saved * 1e6),
+            pool,
+            self.digest(),
+        );
+        if include_wall {
+            let (h50, h90, h99) = self.host_percentiles();
+            doc.push_str(&format!(
+                ",\"host_seconds\":{},\"host_job_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json::num(self.host_seconds),
+                json::num(h50 * 1e6),
+                json::num(h90 * 1e6),
+                json::num(h99 * 1e6)
+            ));
+        }
+        doc.push('}');
+        doc
+    }
+}
+
+/// Host-side result of executing one job (bit-exact work).
+struct Exec {
+    bytes_in: u64,
+    bytes_out: u64,
+    digest: u32,
+    kernels: Vec<(String, f64)>,
+    host_s: f64,
+}
+
+fn execute_job(fz: &mut FzGpu, r: &Request, prepared: Option<&[u8]>) -> Exec {
+    let t0 = Instant::now();
+    match r.op {
+        Op::Compress => {
+            let data = synth_field(r.field, r.n, r.seed);
+            let c = fz.compress(&data, (1, 1, r.n), r.eb);
+            Exec {
+                bytes_in: (r.n * 4) as u64,
+                bytes_out: c.bytes.len() as u64,
+                digest: crc32(&c.bytes),
+                kernels: fz.kernel_breakdown(),
+                host_s: t0.elapsed().as_secs_f64(),
+            }
+        }
+        Op::Decompress => {
+            let stream = prepared.expect("decompress job without a prepared stream");
+            let out = fz.decompress_bytes(stream).expect("self-produced stream must decompress");
+            let mut bytes = Vec::with_capacity(out.len() * 4);
+            for v in &out {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Exec {
+                bytes_in: stream.len() as u64,
+                bytes_out: (r.n * 4) as u64,
+                digest: crc32(&bytes),
+                kernels: fz.kernel_breakdown(),
+                host_s: t0.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}
+
+/// Mutable scheduler state threaded through the replay.
+struct Runner<'a> {
+    cfg: ServeConfig,
+    workload: &'a Workload,
+    prepared: Vec<Option<Vec<u8>>>,
+    fz: FzGpu,
+    sim: StreamSim,
+    /// Admitted jobs: `(request index, admission time)`.
+    queue: VecDeque<(usize, f64)>,
+    jobs: Vec<JobResult>,
+    batches: usize,
+    fused_saved: f64,
+}
+
+impl Runner<'_> {
+    /// Modeled time of the next dispatch: the earliest-free stream, but
+    /// never before the front job was admitted.
+    fn next_dispatch_time(&self) -> f64 {
+        let (_, ready) = self.sim.earliest_stream();
+        ready.max(self.queue.front().expect("queue non-empty").1)
+    }
+
+    /// Dispatch one batch from the queue front. Returns the dispatch time
+    /// (when the queue slots freed).
+    fn dispatch(&mut self) -> f64 {
+        let (stream, ready) = self.sim.earliest_stream();
+        let (front, admit) = self.queue.pop_front().expect("dispatch on empty queue");
+        let t = ready.max(admit);
+
+        // Greedily batch same-key small jobs already admitted by `t`.
+        let key = BatchKey::of(&self.workload.requests[front]);
+        let mut members = vec![(front, admit)];
+        if self.cfg.batch_max > 1 && self.workload.requests[front].n <= self.cfg.batch_threshold {
+            let mut kept = VecDeque::with_capacity(self.queue.len());
+            while let Some((idx, adm)) = self.queue.pop_front() {
+                if members.len() < self.cfg.batch_max
+                    && adm <= t
+                    && BatchKey::of(&self.workload.requests[idx]) == key
+                {
+                    members.push((idx, adm));
+                } else {
+                    kept.push_back((idx, adm));
+                }
+            }
+            self.queue = kept;
+        }
+
+        // Bit-exact execution, one job at a time (see the module docs).
+        let execs: Vec<Exec> = members
+            .iter()
+            .map(|&(idx, _)| {
+                execute_job(
+                    &mut self.fz,
+                    &self.workload.requests[idx],
+                    self.prepared[idx].as_deref(),
+                )
+            })
+            .collect();
+
+        // Modeled schedule: copy in, fused kernels, copy out.
+        let spec = self.workload.device;
+        let seqs: Vec<Vec<(String, f64)>> = execs.iter().map(|e| e.kernels.clone()).collect();
+        let (fused, saved) = fuse_kernel_sequences(&seqs, spec.launch_overhead);
+        self.fused_saved += saved;
+        let b = self.batches;
+        self.batches += 1;
+        let h2d: u64 = execs.iter().map(|e| e.bytes_in).sum();
+        let d2h: u64 = execs.iter().map(|e| e.bytes_out).sum();
+        self.sim.enqueue(
+            stream,
+            OpClass::CopyH2D,
+            &format!("b{b}.h2d"),
+            h2d as f64 / spec.pcie_peak,
+            t,
+        );
+        for (name, dur) in &fused {
+            self.sim.enqueue(stream, OpClass::Compute, &format!("b{b}.{name}"), *dur, t);
+        }
+        let end = self.sim.enqueue(
+            stream,
+            OpClass::CopyD2H,
+            &format!("b{b}.d2h"),
+            d2h as f64 / spec.pcie_peak,
+            t,
+        );
+
+        let batch_size = members.len();
+        metrics::counter_add(Class::Det, "fzgpu_serve_batches_total", &[], 1);
+        for ((idx, admit), e) in members.into_iter().zip(execs) {
+            let r = &self.workload.requests[idx];
+            metrics::counter_add(Class::Det, "fzgpu_serve_jobs_total", &[("op", r.op.label())], 1);
+            self.jobs.push(JobResult {
+                id: idx,
+                op: r.op,
+                n: r.n,
+                arrival: r.arrival,
+                admitted: admit,
+                dispatched: t,
+                completed: end,
+                bytes_in: e.bytes_in,
+                bytes_out: e.bytes_out,
+                digest: e.digest,
+                stream,
+                batch: b,
+                batch_size,
+                host_seconds: e.host_s,
+            });
+        }
+        t
+    }
+}
+
+/// The serving facade: build with a config, replay workloads.
+pub struct Service {
+    config: ServeConfig,
+}
+
+impl Service {
+    /// New service.
+    ///
+    /// # Panics
+    /// Panics when `streams`, `queue_depth`, or `batch_max` is zero.
+    pub fn new(config: ServeConfig) -> Self {
+        assert!(config.streams >= 1, "need at least one stream");
+        assert!(config.queue_depth >= 1, "need a queue slot");
+        assert!(config.batch_max >= 1, "batch_max counts the job itself");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Replay `workload` to completion and report.
+    pub fn run(&self, workload: &Workload) -> ServeReport {
+        let t0 = Instant::now();
+        let _span = fzgpu_trace::span("serve.run")
+            .field("workload", workload.name.as_str())
+            .field("requests", workload.requests.len());
+
+        // Out-of-band prep: build the streams decompress jobs will consume
+        // (untimed — the client already holds compressed data).
+        let mut prep = FzGpu::new(workload.device);
+        let prepared: Vec<Option<Vec<u8>>> = workload
+            .requests
+            .iter()
+            .map(|r| match r.op {
+                Op::Decompress => {
+                    let data = synth_field(r.field, r.n, r.seed);
+                    Some(prep.compress(&data, (1, 1, r.n), r.eb).bytes)
+                }
+                Op::Compress => None,
+            })
+            .collect();
+        drop(prep);
+
+        let mut fz = FzGpu::new(workload.device);
+        let pool = self.config.pool.then(MemPool::new);
+        if let Some(p) = &pool {
+            fz.attach_pool(p.clone());
+        }
+        fz.gpu_mut().set_charge_alloc(self.config.charge_alloc);
+
+        let mut run = Runner {
+            cfg: self.config,
+            workload,
+            prepared,
+            fz,
+            sim: StreamSim::new(&workload.device, self.config.streams),
+            queue: VecDeque::new(),
+            jobs: Vec::new(),
+            batches: 0,
+            fused_saved: 0.0,
+        };
+        let mut rejected: Vec<Rejection> = Vec::new();
+
+        for (i, r) in workload.requests.iter().enumerate() {
+            // Catch up: dispatches that happen before this arrival.
+            while !run.queue.is_empty() && run.next_dispatch_time() <= r.arrival {
+                run.dispatch();
+            }
+            if run.queue.len() < self.config.queue_depth {
+                run.queue.push_back((i, r.arrival));
+            } else {
+                match self.config.backpressure {
+                    Backpressure::Reject => {
+                        let retry_after = (run.next_dispatch_time() - r.arrival).max(0.0);
+                        metrics::counter_add(Class::Det, "fzgpu_serve_rejected_total", &[], 1);
+                        rejected.push(Rejection { id: i, arrival: r.arrival, retry_after });
+                    }
+                    Backpressure::Block => {
+                        // The client stalls; the next dispatch frees slots
+                        // and admission happens then.
+                        let freed_at = run.dispatch();
+                        run.queue.push_back((i, r.arrival.max(freed_at)));
+                    }
+                }
+            }
+        }
+        while !run.queue.is_empty() {
+            run.dispatch();
+        }
+
+        let makespan = run.sim.makespan();
+        metrics::gauge_set(Class::Det, "fzgpu_serve_makespan_seconds", &[], makespan);
+        metrics::gauge_set(Class::Det, "fzgpu_serve_fused_saved_seconds", &[], run.fused_saved);
+        let host_seconds = t0.elapsed().as_secs_f64();
+        metrics::observe(Class::Wall, "fzgpu_serve_host_seconds", &[], host_seconds);
+
+        ServeReport {
+            workload: workload.name.clone(),
+            device: workload.device.name,
+            config: self.config,
+            jobs: run.jobs,
+            rejected,
+            makespan,
+            serial_time: run.sim.serial_time(),
+            compute_utilization: run.sim.compute_utilization(),
+            pool: pool.map(|p| p.stats()),
+            batches: run.batches,
+            fused_saved: run.fused_saved,
+            host_seconds,
+            stream_trace: if self.config.capture_trace {
+                run.sim.chrome_trace_json()
+            } else {
+                String::new()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FieldKind;
+    use fzgpu_core::ErrorBound;
+    use fzgpu_sim::device::A100;
+
+    /// `count` same-size compress jobs, `gap_us` apart.
+    fn uniform_workload(count: usize, n: usize, gap_us: f64) -> Workload {
+        let requests = (0..count)
+            .map(|i| Request {
+                arrival: i as f64 * gap_us * 1e-6,
+                op: Op::Compress,
+                n,
+                eb: ErrorBound::Abs(1e-3),
+                field: FieldKind::Sine,
+                seed: i as u64,
+            })
+            .collect();
+        Workload { name: "uniform".into(), device: A100, requests }
+    }
+
+    #[test]
+    fn all_jobs_complete_and_latency_orders_hold() {
+        let w = uniform_workload(6, 4096, 5.0);
+        let rep = Service::new(ServeConfig::default()).run(&w);
+        assert_eq!(rep.jobs.len(), 6);
+        assert!(rep.rejected.is_empty());
+        for j in &rep.jobs {
+            assert!(j.arrival <= j.admitted);
+            assert!(j.admitted <= j.dispatched);
+            assert!(j.dispatched < j.completed);
+        }
+        assert!(rep.makespan > 0.0 && rep.makespan <= rep.serial_time + 1e-15);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let w = uniform_workload(5, 4096, 3.0);
+        let svc = Service::new(ServeConfig::default());
+        let a = svc.run(&w);
+        let b = svc.run(&w);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.to_json(false), b.to_json(false));
+    }
+
+    #[test]
+    fn two_streams_beat_one_on_makespan() {
+        let w = uniform_workload(8, 16384, 1.0);
+        let one = Service::new(ServeConfig { streams: 1, ..ServeConfig::default() }).run(&w);
+        let two = Service::new(ServeConfig { streams: 2, ..ServeConfig::default() }).run(&w);
+        assert_eq!(one.digest(), two.digest(), "stream count must not change results");
+        assert!(
+            two.makespan < one.makespan,
+            "overlap must shorten the schedule: {} vs {}",
+            two.makespan,
+            one.makespan
+        );
+    }
+
+    #[test]
+    fn pool_cuts_modeled_time_and_allocs() {
+        let w = uniform_workload(6, 8192, 1.0);
+        let off = Service::new(ServeConfig { pool: false, ..ServeConfig::default() }).run(&w);
+        let on = Service::new(ServeConfig { pool: true, ..ServeConfig::default() }).run(&w);
+        assert_eq!(off.digest(), on.digest(), "pooling must not change results");
+        assert!(on.makespan < off.makespan, "{} vs {}", on.makespan, off.makespan);
+        let stats = on.pool.expect("pool stats present");
+        assert!(stats.hits > 0, "steady state must hit the free lists");
+        assert_eq!(stats.live_bytes, 0, "no leaked buffers after drain");
+    }
+
+    #[test]
+    fn batching_fuses_launches() {
+        let w = uniform_workload(8, 2048, 0.0);
+        let solo = Service::new(ServeConfig { batch_max: 1, ..ServeConfig::default() }).run(&w);
+        let batched = Service::new(ServeConfig { batch_max: 4, ..ServeConfig::default() }).run(&w);
+        assert_eq!(solo.digest(), batched.digest(), "batching must not change results");
+        assert!(batched.batches < solo.batches);
+        assert!(batched.fused_saved > 0.0);
+        assert!(batched.jobs.iter().any(|j| j.batch_size > 1));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let w = uniform_workload(5, 4096, 0.0);
+        let cfg = ServeConfig {
+            queue_depth: 2,
+            streams: 1,
+            backpressure: Backpressure::Reject,
+            ..ServeConfig::default()
+        };
+        let rep = Service::new(cfg).run(&w);
+        assert!(!rep.rejected.is_empty(), "burst into a depth-2 queue must shed load");
+        assert_eq!(rep.jobs.len() + rep.rejected.len(), 5);
+        assert!(rep.rejected.iter().all(|r| r.retry_after >= 0.0));
+    }
+
+    #[test]
+    fn blocking_backpressure_loses_nothing() {
+        let w = uniform_workload(5, 4096, 0.0);
+        let cfg = ServeConfig {
+            queue_depth: 2,
+            streams: 1,
+            backpressure: Backpressure::Block,
+            ..ServeConfig::default()
+        };
+        let rep = Service::new(cfg).run(&w);
+        assert_eq!(rep.jobs.len(), 5);
+        assert!(rep.rejected.is_empty());
+        // Blocked jobs were admitted strictly after arrival.
+        assert!(rep.jobs.iter().any(|j| j.admitted > j.arrival));
+    }
+
+    #[test]
+    fn decompress_jobs_round_trip() {
+        let requests = vec![
+            Request {
+                arrival: 0.0,
+                op: Op::Decompress,
+                n: 4096,
+                eb: ErrorBound::Abs(1e-3),
+                field: FieldKind::Ramp,
+                seed: 1,
+            },
+            Request {
+                arrival: 2e-6,
+                op: Op::Compress,
+                n: 4096,
+                eb: ErrorBound::Abs(1e-3),
+                field: FieldKind::Ramp,
+                seed: 1,
+            },
+        ];
+        let w = Workload { name: "mix".into(), device: A100, requests };
+        let rep = Service::new(ServeConfig::default()).run(&w);
+        assert_eq!(rep.jobs.len(), 2);
+        let dec = rep.jobs.iter().find(|j| j.op == Op::Decompress).unwrap();
+        assert_eq!(dec.bytes_out, 4096 * 4);
+        assert!(dec.bytes_in < dec.bytes_out, "stream must be smaller than the field");
+    }
+
+    #[test]
+    fn report_serializes_and_parses_back() {
+        use fzgpu_trace::json::{parse, Value};
+        let w = uniform_workload(3, 2048, 1.0);
+        let rep =
+            Service::new(ServeConfig { capture_trace: true, ..ServeConfig::default() }).run(&w);
+        let doc = parse(&rep.to_json(true)).expect("valid JSON");
+        let jobs = doc.get("jobs").and_then(Value::as_array).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert!(doc.get("digest").and_then(Value::as_str).unwrap().starts_with("0x"));
+        assert!(doc.get("host_seconds").is_some());
+        assert!(parse(&rep.to_json(false)).unwrap().get("host_seconds").is_none());
+        assert!(parse(&rep.stream_trace).is_ok(), "stream trace must be valid JSON");
+        let text = rep.text_report(false);
+        assert!(text.contains("digest: 0x") && text.contains("modeled latency"));
+    }
+}

@@ -51,6 +51,15 @@ pub struct DeviceSpec {
     /// Congested per-GPU PCIe bandwidth when all four GPUs of the paper's
     /// node transfer simultaneously (measured 11.4 GB/s in the paper).
     pub pcie_congested: f64,
+    /// Asynchronous copy (DMA) engines: the number of host<->device
+    /// transfers the device can drive concurrently with compute. Bounds
+    /// copy/compute overlap in [`crate::stream::StreamSim`].
+    pub copy_engines: u32,
+    /// Fixed cost of one `cudaMalloc` in seconds. Device allocation takes
+    /// an implicit device synchronization plus driver bookkeeping; reusing
+    /// buffers through [`crate::mempool::MemPool`] avoids it. Only charged
+    /// when a [`crate::grid::Gpu`] opts into allocation accounting.
+    pub alloc_overhead: f64,
 }
 
 impl DeviceSpec {
@@ -77,6 +86,9 @@ pub const A100: DeviceSpec = DeviceSpec {
     mem_capacity: 40 * 1024 * 1024 * 1024,
     pcie_peak: 32.0e9,
     pcie_congested: 11.4e9,
+    // GA100 exposes 5 async copy engines.
+    copy_engines: 5,
+    alloc_overhead: 10.0e-6,
 };
 
 /// NVIDIA RTX A4000 as used in the paper's in-house workstation
@@ -94,6 +106,9 @@ pub const A4000: DeviceSpec = DeviceSpec {
     mem_capacity: 16 * 1024 * 1024 * 1024,
     pcie_peak: 32.0e9,
     pcie_congested: 11.4e9,
+    // GA104 workstation parts expose 2 async copy engines.
+    copy_engines: 2,
+    alloc_overhead: 10.0e-6,
 };
 
 /// Look a device preset up by case-insensitive name (`"a100"`, `"a4000"`).
@@ -128,6 +143,16 @@ mod tests {
     fn effective_bandwidth_is_derated() {
         assert!(A100.effective_bandwidth() < A100.mem_bandwidth);
         assert!(A100.effective_bandwidth() > 0.5 * A100.mem_bandwidth);
+    }
+
+    #[test]
+    fn copy_engines_are_positive_everywhere() {
+        for spec in [A100, A4000] {
+            assert!(spec.copy_engines >= 1, "{}", spec.name);
+            assert!(spec.alloc_overhead > 0.0, "{}", spec.name);
+        }
+        let (a100, a4000) = (A100.copy_engines, A4000.copy_engines);
+        assert!(a100 > a4000, "A100 has more DMA engines than A4000: {a100} vs {a4000}");
     }
 
     #[test]

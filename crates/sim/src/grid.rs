@@ -27,6 +27,7 @@ use crate::block::{BlockCtx, Dim3};
 use crate::device::DeviceSpec;
 use crate::fault::{BlockFault, FaultInjector, FaultPlan, RetryPolicy};
 use crate::memory::GpuBuffer;
+use crate::mempool::MemPool;
 use crate::perf::{KernelRecord, KernelStats, TimeBreakdown, TransferRecord};
 use crate::pod::Pod;
 
@@ -78,6 +79,8 @@ pub struct Gpu {
     retry_policy: RetryPolicy,
     launch_index: u64,
     total_retries: u64,
+    pool: Option<MemPool>,
+    charge_alloc: bool,
 }
 
 impl Gpu {
@@ -93,7 +96,39 @@ impl Gpu {
             retry_policy: RetryPolicy::default(),
             launch_index: 0,
             total_retries: 0,
+            pool: None,
+            charge_alloc: false,
         }
+    }
+
+    /// Attach a [`MemPool`]: subsequent [`Gpu::alloc`] calls are served
+    /// from its free lists and [`Gpu::free`] recycles into them. The
+    /// handle is shared — clones observe the same free lists and stats.
+    /// Pooling never changes buffer contents (recycled buffers come back
+    /// zeroed), so results stay bit-identical with or without a pool.
+    pub fn set_pool(&mut self, pool: MemPool) {
+        self.pool = Some(pool);
+    }
+
+    /// Detach the pool (parked buffers stay inside it), returning it.
+    pub fn clear_pool(&mut self) -> Option<MemPool> {
+        self.pool.take()
+    }
+
+    /// The attached pool, if any.
+    pub fn pool(&self) -> Option<&MemPool> {
+        self.pool.as_ref()
+    }
+
+    /// Opt into allocation-cost accounting: each [`Gpu::alloc`] (and
+    /// [`Gpu::device_vec`]) appends an analytic record to the timeline —
+    /// [`crate::device::DeviceSpec::alloc_overhead`] plus a memset at
+    /// effective bandwidth for a fresh allocation, the memset alone for a
+    /// pool hit. Off by default so existing pipelines' modeled times are
+    /// unchanged; the serving layer turns it on to make malloc pressure
+    /// visible.
+    pub fn set_charge_alloc(&mut self, on: bool) {
+        self.charge_alloc = on;
     }
 
     /// Install a deterministic fault injector: subsequent uploads receive
@@ -154,9 +189,47 @@ impl Gpu {
         &self.spec
     }
 
-    /// Allocate a zeroed device buffer (`cudaMalloc` + `cudaMemset`).
-    pub fn alloc<T: Pod>(&self, len: usize) -> GpuBuffer<T> {
-        GpuBuffer::zeroed(len)
+    /// Allocate a zeroed device buffer (`cudaMalloc` + `cudaMemset`),
+    /// served from the attached [`MemPool`] when one is installed. With
+    /// allocation accounting on (see [`Gpu::set_charge_alloc`]) the cost
+    /// lands on the timeline; by default allocation is free, as it
+    /// effectively is for a one-shot pipeline that allocates up front.
+    pub fn alloc<T: Pod>(&mut self, len: usize) -> GpuBuffer<T> {
+        let (buf, hit) = match &self.pool {
+            Some(pool) => pool.acquire::<T>(len),
+            None => (GpuBuffer::zeroed(len), false),
+        };
+        if self.charge_alloc {
+            let bytes = (len * T::BYTES) as u64;
+            let memset = bytes as f64 / self.spec.effective_bandwidth();
+            // One record name for both outcomes so identical jobs keep
+            // identical kernel sequences whether they hit the pool or not
+            // (the batching fuser matches stages by name); only the charged
+            // time differs. Hit/miss observability lives in the pool stats.
+            let cost = if hit { memset } else { self.spec.alloc_overhead + memset };
+            self.record_kernel("cudaMallocAsync", cost, KernelStats::default());
+        }
+        buf
+    }
+
+    /// Return a buffer to the attached pool for reuse, or just drop it when
+    /// no pool is installed (`cudaFree` — modeled as free either way).
+    pub fn free<T: Pod>(&mut self, buf: GpuBuffer<T>) {
+        match &self.pool {
+            Some(pool) => pool.release(buf),
+            None => drop(buf),
+        }
+    }
+
+    /// Materialize host data in a device buffer **without charging a PCIe
+    /// transfer** — the modeled equivalent of building a device-side vector
+    /// in place (the pack stage reinterprets already-resident words).
+    /// Pool-served and alloc-charged exactly like [`Gpu::alloc`]; use
+    /// [`Gpu::upload`] when the data genuinely crosses the bus.
+    pub fn device_vec<T: Pod>(&mut self, data: &[T]) -> GpuBuffer<T> {
+        let mut buf = self.alloc::<T>(data.len());
+        buf.copy_from_host(data);
+        buf
     }
 
     /// Copy host data to a fresh device buffer, charging H2D transfer time
@@ -168,7 +241,34 @@ impl Gpu {
         metrics::counter_add(Class::Det, "fzgpu_h2d_bytes_total", &[], bytes);
         metrics::gauge_add(Class::Det, "fzgpu_modeled_transfer_seconds_total", &[], time);
         self.timeline.push(Event::Transfer(TransferRecord { direction: "H2D", bytes, time }));
-        let buf = GpuBuffer::from_host(data);
+        // The copy's destination buffer comes from the pool when one is
+        // attached (the input buffer is usually the largest allocation a
+        // pipeline makes). No memset is owed — the copy overwrites it all —
+        // so with accounting on, only a fresh allocation costs anything.
+        let buf = match &self.pool {
+            Some(pool) => {
+                let (mut b, hit) = pool.acquire::<T>(data.len());
+                if self.charge_alloc {
+                    // Same record name on hit and miss (see `alloc`); a hit
+                    // costs nothing but still occupies a timeline slot so
+                    // per-job kernel sequences stay congruent for batching.
+                    let cost = if hit { 0.0 } else { self.spec.alloc_overhead };
+                    self.record_kernel("cudaMallocAsync", cost, KernelStats::default());
+                }
+                b.copy_from_host(data);
+                b
+            }
+            None => {
+                if self.charge_alloc {
+                    self.record_kernel(
+                        "cudaMallocAsync",
+                        self.spec.alloc_overhead,
+                        KernelStats::default(),
+                    );
+                }
+                GpuBuffer::from_host(data)
+            }
+        };
         if let Some(injector) = &mut self.fault {
             injector.corrupt_buffer(&buf);
         }
@@ -687,6 +787,55 @@ mod tests {
         let (t1, d1) = run(Some(FaultPlan::disabled()));
         assert_eq!(t0, t1);
         assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn pooled_alloc_recycles_and_stays_zeroed() {
+        use crate::mempool::MemPool;
+        let mut gpu = Gpu::new(A100);
+        gpu.set_pool(MemPool::new());
+        let buf: GpuBuffer<u32> = gpu.alloc(512);
+        gpu.launch("fill", 2u32, 256u32, |blk| {
+            let base = blk.block_linear() * 256;
+            blk.warps(|w| {
+                w.store(&buf, |l| Some((base + l.ltid, 7)));
+            });
+        });
+        gpu.free(buf);
+        let again: GpuBuffer<u32> = gpu.alloc(512);
+        assert!(again.to_vec().iter().all(|&v| v == 0), "recycled buffer must be zeroed");
+        let stats = gpu.pool().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn alloc_charging_is_opt_in_and_pool_hits_are_cheaper() {
+        let mut gpu = Gpu::new(A100);
+        let _: GpuBuffer<u32> = gpu.alloc(1 << 16);
+        assert!(gpu.timeline().is_empty(), "alloc must be free by default");
+
+        gpu.set_pool(crate::mempool::MemPool::new());
+        gpu.set_charge_alloc(true);
+        let b: GpuBuffer<u32> = gpu.alloc(1 << 16);
+        let miss_cost = gpu.total_time();
+        assert!(miss_cost >= A100.alloc_overhead);
+        gpu.free(b);
+        gpu.reset_timeline();
+        let _: GpuBuffer<u32> = gpu.alloc(1 << 16);
+        let hit_cost = gpu.total_time();
+        assert!(
+            (miss_cost - hit_cost - A100.alloc_overhead).abs() < 1e-12,
+            "a pool hit saves exactly the malloc overhead: miss {miss_cost} hit {hit_cost}"
+        );
+    }
+
+    #[test]
+    fn device_vec_charges_no_transfer() {
+        let mut gpu = Gpu::new(A100);
+        let data: Vec<u32> = (0..256).collect();
+        let buf = gpu.device_vec(&data);
+        assert_eq!(buf.to_vec(), data);
+        assert!(gpu.timeline().is_empty(), "device_vec must not charge PCIe time");
     }
 
     #[test]

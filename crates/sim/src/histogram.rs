@@ -103,6 +103,7 @@ pub fn histogram_u16(
             });
         });
     });
+    gpu.free(partials);
     out
 }
 

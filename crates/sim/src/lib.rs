@@ -47,12 +47,14 @@ pub mod fault;
 pub mod grid;
 pub mod histogram;
 pub mod memory;
+pub mod mempool;
 pub mod perf;
 pub mod pod;
 pub mod profile;
 pub mod reduce;
 pub mod scan;
 pub mod shared;
+pub mod stream;
 pub mod warp;
 
 pub use block::{BlockCtx, Dim3};
@@ -62,8 +64,10 @@ pub use device::{DeviceSpec, SECTOR_BYTES, SMEM_BANKS, WARP_SIZE};
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
 pub use grid::{Event, Gpu};
 pub use memory::GpuBuffer;
+pub use mempool::{MemPool, PoolStats};
 pub use perf::{estimate_time, BoundBy, KernelRecord, KernelStats, TimeBreakdown, TransferRecord};
 pub use pod::Pod;
 pub use profile::{Profile, ProfileEvent};
 pub use shared::{conflict_cycles, Shared};
+pub use stream::{EventId, OpClass, StreamOp, StreamSim};
 pub use warp::{Lane, WarpCtx};

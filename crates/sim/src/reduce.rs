@@ -24,11 +24,17 @@ pub fn reduce_sum_u32(gpu: &mut Gpu, input: &GpuBuffer<u32>, n: usize) -> u64 {
             let src: &GpuBuffer<u32> = current.as_ref().unwrap_or(input);
             launch_sum_tiles(gpu, src, &partials, len);
         }
-        current = Some(partials);
+        if let Some(spent) = current.replace(partials) {
+            gpu.free(spent);
+        }
         len = ntiles;
     }
     match current {
-        Some(buf) => buf.host_read(0) as u64,
+        Some(buf) => {
+            let total = buf.host_read(0) as u64;
+            gpu.free(buf);
+            total
+        }
         None => input.host_read(0) as u64,
     }
 }
@@ -128,6 +134,8 @@ pub fn minmax_f32(gpu: &mut Gpu, input: &GpuBuffer<f32>, n: usize) -> (f32, f32)
     // of partials.
     let lo = mins.to_vec().into_iter().fold(f32::INFINITY, f32::min);
     let hi = maxs.to_vec().into_iter().fold(f32::NEG_INFINITY, f32::max);
+    gpu.free(mins);
+    gpu.free(maxs);
     (lo, hi)
 }
 

@@ -40,6 +40,7 @@ pub fn exclusive_sum(
 
     if ntiles == 1 {
         let total = tile_totals.host_read(0) as u64;
+        gpu.free(tile_totals);
         return total;
     }
 
@@ -47,6 +48,8 @@ pub fn exclusive_sum(
     let tile_offsets: GpuBuffer<u32> = gpu.alloc(ntiles);
     let total = exclusive_sum(gpu, &tile_totals, &tile_offsets, ntiles);
     add_tile_offsets(gpu, output, &tile_offsets, n);
+    gpu.free(tile_totals);
+    gpu.free(tile_offsets);
     total
 }
 

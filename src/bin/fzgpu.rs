@@ -23,9 +23,14 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
+            // One line on stderr, nonzero exit — uniform across subcommands
+            // so scripts can match on `error:`. The full usage text only
+            // helps when the subcommand itself was wrong or absent.
             eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            if msg.contains("subcommand") {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -45,7 +50,10 @@ const USAGE: &str = "usage:
   fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--eb 1e-3] [--abs] [--device ...]
                    [--trace out.json]
   fzgpu verify     <input.fz|input.fzar>
-  fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]";
+  fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]
+  fzgpu serve      --replay <workload.json> [--streams N] [--no-pool] [--batch N]
+                   [--queue-depth N] [--backpressure reject|block] [--timings] [--json]
+                   [--trace out.json]";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -83,6 +91,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "archive" => archive(&args[1..]),
         "verify" => verify(&args[1..]),
         "extract" => extract(&args[1..]),
+        "serve" => serve(&args[1..]),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -210,14 +219,17 @@ fn profile(args: &[String]) -> Result<(), String> {
     let host = if tracing { fz_gpu::trace::end_capture() } else { fz_gpu::trace::Trace::default() };
 
     if args.iter().any(|a| a == "--json") {
+        let spec = fz.gpu().spec();
         println!(
             "{{\"dataset\": {}, \"field\": {}, \"dims\": {}, \"eb\": {}, \"ratio\": {}, \
-             \"profile\": {}}}",
+             \"device\": {{\"name\": {}, \"copy_engines\": {}}}, \"profile\": {}}}",
             fz_gpu::trace::json::escape(field.dataset),
             fz_gpu::trace::json::escape(&field.name),
             fz_gpu::trace::json::escape(&field.dims.to_string_paper()),
             fz_gpu::trace::json::num(c.header.eb),
             fz_gpu::trace::json::num(c.ratio()),
+            fz_gpu::trace::json::escape(spec.name),
+            spec.copy_engines,
             prof.to_json(),
         );
     } else {
@@ -229,6 +241,15 @@ fn profile(args: &[String]) -> Result<(), String> {
             field.size_bytes() as f64 / 1e6,
             c.header.eb,
             c.ratio(),
+        );
+        let spec = fz.gpu().spec();
+        println!(
+            "device: {} — {} SMs, {:.0} GB/s HBM, {} copy engine(s), {:.1} GB/s PCIe",
+            spec.name,
+            spec.sm_count,
+            spec.mem_bandwidth / 1e9,
+            spec.copy_engines,
+            spec.pcie_peak / 1e9,
         );
         println!();
         let report = prof.text_report();
@@ -403,5 +424,60 @@ fn bench(args: &[String]) -> Result<(), String> {
     println!("decompress:      {:.3} ms  ({:.1} GB/s modeled)", t_d * 1e3, bytes / t_d / 1e9);
     println!("max error:       {:.3e}", max_abs_error(&field.data, &restored));
     println!("PSNR:            {:.2} dB", psnr(&field.data, &restored));
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    use fz_gpu::serve::{Backpressure, ServeConfig, Service, Workload};
+
+    let path = flag_value(args, "--replay").ok_or("missing --replay <workload.json>")?;
+    let workload = Workload::from_file(path)?;
+
+    let mut cfg = ServeConfig::default();
+    if let Some(s) = flag_value(args, "--streams") {
+        cfg.streams = s.parse().map_err(|_| "bad --streams value".to_string())?;
+        if cfg.streams == 0 {
+            return Err("--streams must be at least 1".into());
+        }
+    }
+    if args.iter().any(|a| a == "--no-pool") {
+        cfg.pool = false;
+    }
+    if let Some(b) = flag_value(args, "--batch") {
+        cfg.batch_max = b.parse().map_err(|_| "bad --batch value".to_string())?;
+        if cfg.batch_max == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+    }
+    if let Some(q) = flag_value(args, "--queue-depth") {
+        cfg.queue_depth = q.parse().map_err(|_| "bad --queue-depth value".to_string())?;
+        if cfg.queue_depth == 0 {
+            return Err("--queue-depth must be at least 1".into());
+        }
+    }
+    if let Some(bp) = flag_value(args, "--backpressure") {
+        cfg.backpressure = match bp {
+            "reject" => Backpressure::Reject,
+            "block" => Backpressure::Block,
+            other => return Err(format!("bad --backpressure '{other}' (expected reject|block)")),
+        };
+    }
+    cfg.capture_trace = flag_value(args, "--trace").is_some();
+
+    let report = Service::new(cfg).run(&workload);
+
+    // Wallclock timings are off by default so the output is byte-identical
+    // across machines and FZGPU_THREADS settings (the replay determinism
+    // contract); --timings adds the host clock domain.
+    let include_wall = args.iter().any(|a| a == "--timings");
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json(include_wall));
+    } else {
+        print!("{}", report.text_report(include_wall));
+    }
+    if let Some(out) = flag_value(args, "--trace") {
+        std::fs::write(out, &report.stream_trace).map_err(|e| e.to_string())?;
+        println!("wrote stream timeline trace to {out} (open in chrome://tracing or Perfetto)");
+    }
     Ok(())
 }

@@ -9,5 +9,6 @@ pub use fzgpu_codecs as codecs;
 pub use fzgpu_core as core;
 pub use fzgpu_data as data;
 pub use fzgpu_metrics as metrics;
+pub use fzgpu_serve as serve;
 pub use fzgpu_sim as sim;
 pub use fzgpu_trace as trace;

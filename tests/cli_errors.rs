@@ -1,0 +1,77 @@
+//! CLI error-path contract: every failing invocation exits nonzero with
+//! a one-line `error: ...` message on stderr, and healthy invocations
+//! exit zero. Runs the real `fzgpu` binary.
+
+use std::process::{Command, Output};
+
+fn fzgpu(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fzgpu"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn fzgpu")
+}
+
+fn assert_cli_error(args: &[&str], expect_in_msg: &str) {
+    let out = fzgpu(args);
+    assert!(!out.status.success(), "`fzgpu {}` should exit nonzero", args.join(" "));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let first = stderr.lines().next().unwrap_or("");
+    assert!(
+        first.starts_with("error: "),
+        "`fzgpu {}` stderr must start with `error: `, got: {first:?}",
+        args.join(" ")
+    );
+    assert!(
+        first.contains(expect_in_msg),
+        "`fzgpu {}` error should mention {expect_in_msg:?}, got: {first:?}",
+        args.join(" ")
+    );
+}
+
+#[test]
+fn failures_exit_nonzero_with_one_line_error() {
+    assert_cli_error(&[], "missing subcommand");
+    assert_cli_error(&["frobnicate"], "unknown subcommand");
+    assert_cli_error(&["compress"], "missing input path");
+    assert_cli_error(&["decompress", "/nonexistent.fz", "/tmp/out.f32"], "No such file");
+    assert_cli_error(&["info"], "missing input path");
+    assert_cli_error(&["serve"], "missing --replay");
+    assert_cli_error(&["serve", "--replay", "/nonexistent.json"], "cannot read");
+    assert_cli_error(&["serve", "--replay", "workloads/smoke.json", "--streams", "0"], "--streams");
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--backpressure", "maybe"],
+        "--backpressure",
+    );
+    assert_cli_error(&["profile", "--synthetic", "NotADataset"], "unknown synthetic dataset");
+    assert_cli_error(&["bench"], "missing input path");
+    assert_cli_error(&["archive"], "missing input path");
+    assert_cli_error(&["verify", "/nonexistent.fz"], "No such file");
+    assert_cli_error(&["extract"], "missing input path");
+}
+
+#[test]
+fn usage_only_shown_for_subcommand_errors() {
+    // Wrong/missing subcommand: full usage helps.
+    let out = fzgpu(&["frobnicate"]);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    // Argument-level error inside a known subcommand: one line, no wall
+    // of usage text.
+    let out = fzgpu(&["serve"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("usage:"), "argument errors should stay one-line, got: {stderr}");
+    assert_eq!(stderr.lines().count(), 1);
+}
+
+#[test]
+fn serve_replay_succeeds_and_is_deterministic() {
+    let run = || {
+        let out = fzgpu(&["serve", "--replay", "workloads/smoke.json"]);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8 report")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "default serve output must be byte-identical run to run");
+    assert!(a.contains("digest: 0x"), "report carries the replay digest: {a}");
+}
