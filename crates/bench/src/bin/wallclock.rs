@@ -1,25 +1,38 @@
-//! Wall-clock benchmark: *real* elapsed time across host thread counts.
+//! Wall-clock benchmark: *real* elapsed time across host thread counts
+//! and pipeline paths.
 //!
 //! Every figure bin reports the simulator's modeled device time; this one
-//! measures what actually elapses on the host — the FZ-OMP CPU pipeline
-//! end to end, and the simulated FZ-GPU pipeline (whose wall time is
-//! simulation cost, reported alongside its modeled kernel time so the two
-//! are never conflated). The sweep runs thread counts 1/2/4/N in one
-//! process via `rayon::set_num_threads` and asserts the determinism
-//! contract as it goes: every compressed stream must be byte-identical to
+//! measures what actually elapses on the host — the FZ-OMP CPU pipeline,
+//! the native fast path ([`fzgpu_core::fastpath`], straight word-level
+//! Rust, byte-identical streams), and the simulated FZ-GPU pipeline
+//! (whose wall time is simulation cost, reported alongside its modeled
+//! kernel time so the two are never conflated). The sweep runs thread
+//! counts 1/2/4/N in one process via `rayon::set_num_threads` and asserts
+//! the determinism contract as it goes: every compressed stream — FZ-OMP,
+//! native, simulated, at every thread count — must be byte-identical to
 //! the single-threaded reference.
+//!
+//! Methodology: each measurement pins one warm-up iteration (populating
+//! scratch buffers and the page cache) and then reports the **median of
+//! five** timed iterations — the median is stable against scheduler
+//! noise in both directions, where best-of-N hides one-sided jitter.
 //!
 //! Outputs `results/wallclock.txt` (human table) and `BENCH_wallclock.json`
 //! (machine-readable, seeds the perf trajectory) at the repo root.
 //!
-//! `--smoke`: one tiny field, one iteration — a CI deadlock/consistency
-//! canary, not a measurement. `--scale full` measures paper-size fields.
+//! `--smoke`: one tiny field, one timed iteration — a CI deadlock and
+//! consistency canary, not a measurement. Even in smoke mode the bench
+//! asserts the native path beats the simulated path's wall time by >= 5x:
+//! the fast path exists to be fast, and that floor holds on any host
+//! because both sides do the same pipeline work per value.
+//! `--scale full` measures paper-size fields.
 
 use std::time::Instant;
 
 use fzgpu_bench::{arg_flag, fmt, scale_from_args, shape_of, Table};
 use fzgpu_core::cpu::FzOmp;
-use fzgpu_core::pipeline::FzGpu;
+use fzgpu_core::fastpath::PipelinePath;
+use fzgpu_core::pipeline::{FzGpu, FzOptions};
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_data::dataset;
 use fzgpu_sim::device::A100;
@@ -31,9 +44,32 @@ struct Sample {
     /// row so a measurement is never attributed to a thread count the pool
     /// silently adjusted.
     effective_threads: usize,
-    compress_s: f64,
-    decompress_s: f64,
+    omp_compress_s: f64,
+    omp_decompress_s: f64,
+    native_compress_s: f64,
+    native_decompress_s: f64,
     sim_wall_s: f64,
+}
+
+/// Median of already-collected timings. Five samples make the median the
+/// third-fastest run: robust to a slow outlier *and* to one anomalously
+/// fast run, unlike min.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// One warm-up (discarded) then `iters` timed runs of `f`; returns the
+/// median elapsed seconds and the last return value.
+fn timed<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = f(); // pinned warm-up
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        out = f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    (median(times), out)
 }
 
 fn main() {
@@ -52,7 +88,7 @@ fn main() {
     };
     let data = &field.data[..];
     let input_bytes = std::mem::size_of_val(data);
-    let iters = if smoke { 1 } else { 3 };
+    let iters = if smoke { 1 } else { 5 };
 
     let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut counts = vec![1, 2, 4, host_cores];
@@ -62,6 +98,8 @@ fn main() {
     println!("wallclock: {label}, {} values, rel eb 1e-3, host cores {host_cores}", data.len());
 
     let fz = FzOmp;
+    let mut native =
+        FzGpu::with_options(A100, FzOptions { path: PipelinePath::Native, ..FzOptions::default() });
     let mut reference: Option<Vec<u8>> = None;
     let mut modeled_kernel_s = 0.0;
     let mut samples = Vec::new();
@@ -69,29 +107,24 @@ fn main() {
         rayon::set_num_threads(threads);
         let effective_threads = rayon::current_num_threads();
 
-        // FZ-OMP: measured host pipeline. Warm-up once, then best-of-N
-        // (minimum discards scheduler noise; every run is checked).
-        let mut compress_s = f64::INFINITY;
-        let mut decompress_s = f64::INFINITY;
-        let mut stream = Vec::new();
-        for i in 0..=iters {
-            let t0 = Instant::now();
-            let c = fz.compress(data, shape, eb);
-            let tc = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let back = fz.decompress(&c).expect("roundtrip");
-            let td = t1.elapsed().as_secs_f64();
-            assert_eq!(back.len(), data.len());
-            if i > 0 || iters == 1 {
-                compress_s = compress_s.min(tc);
-                decompress_s = decompress_s.min(td);
-            }
-            stream = c.bytes;
-        }
+        // FZ-OMP: measured host pipeline (the paper's CPU baseline).
+        let (omp_compress_s, c) = timed(iters, || fz.compress(data, shape, eb));
+        let (omp_decompress_s, back) = timed(iters, || fz.decompress(&c).expect("roundtrip"));
+        assert_eq!(back.len(), data.len());
+        let stream = c.bytes;
+
+        // Native fast path: same stream bytes, reusable scratch buffers,
+        // no modeled timeline. This is the row the ratio gate watches.
+        let (native_compress_s, nc) = timed(iters, || native.compress(data, shape, eb));
+        assert_eq!(nc.bytes, stream, "native/CPU stream divergence at {threads} threads");
+        let (native_decompress_s, nback) =
+            timed(iters, || native.decompress(&nc).expect("native roundtrip"));
+        assert_eq!(nback.len(), data.len());
 
         // FZ-GPU under simulation: wall time is what the simulator costs
         // on the host (it parallelizes over blocks too); kernel time is
-        // the modeled device time and must not vary with threads.
+        // the modeled device time and must not vary with threads. One
+        // timed run — simulation wall is a cost figure, not a contest.
         let mut sim = FzGpu::new(A100);
         let t0 = Instant::now();
         let g = sim.compress(data, shape, eb);
@@ -108,16 +141,41 @@ fn main() {
         }
         assert_eq!(sim.kernel_time(), modeled_kernel_s, "modeled time drifted with thread count");
 
-        samples.push(Sample { threads, effective_threads, compress_s, decompress_s, sim_wall_s });
+        samples.push(Sample {
+            threads,
+            effective_threads,
+            omp_compress_s,
+            omp_decompress_s,
+            native_compress_s,
+            native_decompress_s,
+            sim_wall_s,
+        });
     }
-    let base = samples[0].compress_s;
+    let base = samples[0].omp_compress_s;
+
+    // The fast path's reason to exist: it must beat the simulated
+    // pipeline's host wall comfortably at every thread count. Gate in
+    // smoke mode too — a 5x floor survives CI noise because the two sides
+    // differ by orders of magnitude when healthy.
+    for s in &samples {
+        assert!(
+            s.native_compress_s * 5.0 <= s.sim_wall_s,
+            "native compress ({:.4}s) is not >=5x faster than simulated wall ({:.4}s) \
+             at {} threads",
+            s.native_compress_s,
+            s.sim_wall_s,
+            s.threads,
+        );
+    }
 
     let mut t = Table::new(&[
         "threads",
         "effective",
-        "compress s",
-        "decompress s",
-        "GB/s",
+        "omp c s",
+        "omp d s",
+        "native c s",
+        "native d s",
+        "native GB/s",
         "speedup",
         "sim wall s",
         "modeled s",
@@ -126,17 +184,19 @@ fn main() {
         t.row(vec![
             s.threads.to_string(),
             s.effective_threads.to_string(),
-            format!("{:.4}", s.compress_s),
-            format!("{:.4}", s.decompress_s),
-            fmt(input_bytes as f64 / s.compress_s / 1e9),
-            fmt(base / s.compress_s),
+            format!("{:.4}", s.omp_compress_s),
+            format!("{:.4}", s.omp_decompress_s),
+            format!("{:.4}", s.native_compress_s),
+            format!("{:.4}", s.native_decompress_s),
+            fmt(input_bytes as f64 / s.native_compress_s / 1e9),
+            fmt(base / s.omp_compress_s),
             format!("{:.4}", s.sim_wall_s),
             format!("{:.6}", modeled_kernel_s),
         ]);
     }
     let table = t.render();
     print!("{table}");
-    println!("\nstreams byte-identical across all thread counts: yes");
+    println!("\nstreams byte-identical across all paths and thread counts: yes");
     if host_cores == 1 {
         println!("note: single-core host — speedups are bounded by hardware, not the pool");
     }
@@ -145,13 +205,15 @@ fn main() {
     // two levels up from its manifest.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut txt = format!(
-        "wallclock bench: {label}, {} values ({} MB), rel eb 1e-3\nhost cores: {host_cores}{}\n\n",
+        "wallclock bench: {label}, {} values ({} MB), rel eb 1e-3\n\
+         host cores: {host_cores}{}\n\
+         method: 1 pinned warm-up, median of {iters} timed iteration(s)\n\n",
         data.len(),
         input_bytes / (1 << 20),
         if smoke { " [smoke]" } else { "" },
     );
     txt.push_str(&table);
-    txt.push_str("\nstreams byte-identical across all thread counts: yes\n");
+    txt.push_str("\nstreams byte-identical across all paths and thread counts: yes\n");
     std::fs::create_dir_all(root.join("results")).expect("results dir");
     std::fs::write(root.join("results/wallclock.txt"), txt).expect("write results/wallclock.txt");
 
@@ -161,13 +223,19 @@ fn main() {
             format!(
                 "    {{\"threads\": {}, \"effective_threads\": {}, \"compress_s\": {:.6}, \
                  \"decompress_s\": {:.6}, \"compress_gbps\": {:.4}, \"speedup_vs_1\": {:.3}, \
+                 \"native_compress_s\": {:.6}, \"native_decompress_s\": {:.6}, \
+                 \"native_compress_gbps\": {:.4}, \"native_vs_sim_wall\": {:.2}, \
                  \"sim_wall_s\": {:.6}}}",
                 s.threads,
                 s.effective_threads,
-                s.compress_s,
-                s.decompress_s,
-                input_bytes as f64 / s.compress_s / 1e9,
-                base / s.compress_s,
+                s.omp_compress_s,
+                s.omp_decompress_s,
+                input_bytes as f64 / s.omp_compress_s / 1e9,
+                base / s.omp_compress_s,
+                s.native_compress_s,
+                s.native_decompress_s,
+                input_bytes as f64 / s.native_compress_s / 1e9,
+                s.sim_wall_s / s.native_compress_s,
                 s.sim_wall_s,
             )
         })
@@ -175,6 +243,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"wallclock\",\n  \"dataset\": {},\n  \"n_values\": {},\n  \
          \"input_bytes\": {input_bytes},\n  \"host_cores\": {host_cores},\n  \"smoke\": {smoke},\n  \
+         \"iters\": {iters},\n  \"warmup\": 1,\n  \"stat\": \"median\",\n  \
          \"modeled_kernel_s\": {modeled_kernel_s:.6},\n  \"identical_streams\": true,\n  \
          \"threads\": [\n{}\n  ]\n}}\n",
         fzgpu_trace::json::escape(label),

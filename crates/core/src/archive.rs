@@ -160,7 +160,8 @@ impl Archive {
         assert!(chunk_values > 0);
         let _root = fzgpu_trace::span("archive.compress")
             .field("values", data.len())
-            .field("chunk_values", chunk_values);
+            .field("chunk_values", chunk_values)
+            .field("path", fz.path().label());
         // Resolve a relative bound against the *whole* field so chunks
         // share one absolute bound (otherwise chunk-local ranges would
         // change the error semantics of the archive).
@@ -172,6 +173,9 @@ impl Archive {
                 eb.to_abs((hi - lo) as f64)
             }
         };
+        // On the native path the device timeline stays empty — skip the
+        // per-chunk Profile captures instead of appending empty snapshots.
+        let capture = !matches!(fz.path(), crate::fastpath::PipelinePath::Native);
         let mut profile: Option<fzgpu_sim::Profile> = None;
         let chunks = data
             .chunks(chunk_values)
@@ -179,9 +183,11 @@ impl Archive {
             .map(|(i, chunk)| {
                 let _c = fzgpu_trace::span("archive.chunk").field("index", i);
                 let bytes = fz.compress(chunk, (1, 1, chunk.len()), ErrorBound::Abs(eb_abs)).bytes;
-                match &mut profile {
-                    Some(p) => p.append(&fz.profile()),
-                    None => profile = Some(fz.profile()),
+                if capture {
+                    match &mut profile {
+                        Some(p) => p.append(&fz.profile()),
+                        None => profile = Some(fz.profile()),
+                    }
                 }
                 bytes
             })
@@ -430,6 +436,25 @@ mod tests {
         for (&x, &y) in d.iter().zip(&back) {
             assert!((x - y).abs() <= 1.1e-3);
         }
+    }
+
+    #[test]
+    fn native_path_archives_are_byte_identical() {
+        use crate::fastpath::PipelinePath;
+        use crate::pipeline::FzOptions;
+        let d = data(9000);
+        let mut sim = FzGpu::new(A100);
+        let mut nat = FzGpu::with_options(
+            A100,
+            FzOptions { path: PipelinePath::Native, ..FzOptions::default() },
+        );
+        let a = Archive::compress(&mut sim, &d, 2500, ErrorBound::RelToRange(1e-3));
+        let b = Archive::compress(&mut nat, &d, 2500, ErrorBound::RelToRange(1e-3));
+        assert_eq!(a.to_bytes(), b.to_bytes(), "archives must not depend on the path");
+        // Decode parity in both directions (native decodes sim's archive).
+        let x = a.decompress(&mut nat).unwrap();
+        let y = b.decompress(&mut sim).unwrap();
+        assert!(x.iter().zip(&y).all(|(p, q)| p.to_bits() == q.to_bits()));
     }
 
     #[test]

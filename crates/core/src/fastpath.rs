@@ -1,0 +1,482 @@
+//! The native fast path: the same pipeline, straight-line Rust.
+//!
+//! [`FzNative`] is a word-level implementation of the full FZ-GPU
+//! compress/decompress pipeline — prequantization fused with integer
+//! Lorenzo prediction, the 32x32 bitshuffle transpose, and zero-block
+//! encoding with a 64-bit zero scan — that emits **byte-identical**
+//! format-v2 streams to the kernel-simulated [`crate::pipeline::FzGpu`]
+//! path. The simulated path remains the model of record for *modeled*
+//! timing; this path exists for real wall-clock throughput.
+//!
+//! Byte identity is by construction where it matters: every float or bit
+//! operation goes through the same scalar helpers the reference pipeline
+//! uses ([`crate::quant`], [`crate::bitshuffle`]), and the integer Lorenzo
+//! arithmetic reproduces the reference's i64-accumulate-then-truncate
+//! semantics exactly. The `tests/fastpath_conformance.rs` differential
+//! suite holds the equivalence over random shapes, bounds, and data
+//! distributions plus every catalog dataset.
+//!
+//! Unlike the per-call-allocating reference, a [`FzNative`] value owns
+//! reusable scratch buffers: compressing many fields through one instance
+//! allocates nothing beyond the returned stream itself.
+
+use rayon::prelude::*;
+
+use crate::bitshuffle::{shuffle_tile, unshuffle_tile};
+use crate::format::{assemble, verify, FormatError, Header, VERSION};
+use crate::lorenzo::{integrate, rank_of, Shape};
+use crate::pack::TILE_WORDS;
+use crate::pipeline::Compressed;
+use crate::quant::{code_to_delta, delta_to_code, dequantize, prequantize, ErrorBound};
+use crate::zeroblock::BLOCK_WORDS;
+
+/// Which implementation executes compress/decompress calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelinePath {
+    /// The kernel-simulated pipeline (model of record: produces modeled
+    /// kernel timings alongside the stream bytes).
+    #[default]
+    Simulated,
+    /// The native fast path: identical bytes, real speed, no modeled time.
+    Native,
+    /// Run *both* and assert the streams/fields are byte-identical, then
+    /// return the simulated result (timings included). A continuous
+    /// conformance check; panics on the first diverging byte.
+    Both,
+}
+
+impl PipelinePath {
+    /// Parse a selector string (CLI `--path`, `FZGPU_NATIVE` env).
+    /// Accepts `sim`/`simulated`/`0`/`false`/`off`, `native`/`1`/`true`/
+    /// `on`, and `both`/`check`; case-insensitive.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" | "simulated" | "0" | "false" | "off" => Some(PipelinePath::Simulated),
+            "native" | "1" | "true" | "on" => Some(PipelinePath::Native),
+            "both" | "check" => Some(PipelinePath::Both),
+            _ => None,
+        }
+    }
+
+    /// Resolve the default path from the `FZGPU_NATIVE` environment
+    /// variable: unset, empty, or unparseable means
+    /// [`PipelinePath::Simulated`].
+    pub fn from_env() -> Self {
+        match std::env::var("FZGPU_NATIVE") {
+            Ok(v) => Self::parse(&v).unwrap_or(PipelinePath::Simulated),
+            Err(_) => PipelinePath::Simulated,
+        }
+    }
+
+    /// Lower-case label for reports and trace spans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PipelinePath::Simulated => "sim",
+            PipelinePath::Native => "native",
+            PipelinePath::Both => "both",
+        }
+    }
+}
+
+/// Reset a scratch buffer to `n` zeroed elements, reusing its allocation.
+#[inline]
+fn reset<T: Copy + Default>(buf: &mut Vec<T>, n: usize) {
+    buf.clear();
+    buf.resize(n, T::default());
+}
+
+/// The native compressor. Holds scratch buffers so repeated calls through
+/// one instance allocate nothing but the returned stream/field.
+#[derive(Debug, Default, Clone)]
+pub struct FzNative {
+    /// Prequantized integers (compress stage 1).
+    q: Vec<i32>,
+    /// Sign-magnitude Lorenzo codes.
+    codes: Vec<u16>,
+    /// Packed code words, tile-padded.
+    words: Vec<u32>,
+    /// Bit-transposed words.
+    shuffled: Vec<u32>,
+    /// Zero-block flag bitmap.
+    bit_flags: Vec<u32>,
+    /// Compacted non-zero blocks.
+    payload: Vec<u32>,
+    /// Decoded Lorenzo deltas (decompress).
+    deltas: Vec<i32>,
+}
+
+// --- Lorenzo row kernels ---------------------------------------------------
+//
+// All predictor neighbors are reads of the prequantized array, never of
+// the output, so rows (and planes) encode independently. The reference
+// accumulates neighbor sums in i64 and truncates the delta `as i32` (see
+// `lorenzo::forward`); these kernels reproduce that exactly while carrying
+// west-side neighbors in running scalars instead of re-indexing.
+
+/// 1D / first-row kernel: `pred = W`, seeded with `prev0` (the value west
+/// of this span; 0 at the domain boundary).
+#[inline]
+fn row_w(cur: &[i32], prev0: i64, out: &mut [u16]) {
+    let mut w = prev0;
+    for (o, &c) in out.iter_mut().zip(cur) {
+        let c = c as i64;
+        *o = delta_to_code((c - w) as i32);
+        w = c;
+    }
+}
+
+/// 2D interior row: `pred = W + N - NW`.
+#[inline]
+fn row_wn(cur: &[i32], north: &[i32], out: &mut [u16]) {
+    let (mut w, mut nw) = (0i64, 0i64);
+    for ((o, &c), &n) in out.iter_mut().zip(cur).zip(north) {
+        let (c, n) = (c as i64, n as i64);
+        *o = delta_to_code((c - (w + n - nw)) as i32);
+        w = c;
+        nw = n;
+    }
+}
+
+/// 3D first row of an interior plane: `pred = W + B - BW`.
+#[inline]
+fn row_wb(cur: &[i32], back: &[i32], out: &mut [u16]) {
+    let (mut w, mut bw) = (0i64, 0i64);
+    for ((o, &c), &b) in out.iter_mut().zip(cur).zip(back) {
+        let (c, b) = (c as i64, b as i64);
+        *o = delta_to_code((c - (w + b - bw)) as i32);
+        w = c;
+        bw = b;
+    }
+}
+
+/// 3D interior row: the full 7-neighbor Lorenzo predictor.
+#[inline]
+fn row_full(cur: &[i32], north: &[i32], back: &[i32], back_north: &[i32], out: &mut [u16]) {
+    let (mut w, mut nw, mut bw, mut bnw) = (0i64, 0i64, 0i64, 0i64);
+    for i in 0..out.len() {
+        let c = cur[i] as i64;
+        let n = north[i] as i64;
+        let b = back[i] as i64;
+        let bn = back_north[i] as i64;
+        let pred = w + n + b - nw - bw - bn + bnw;
+        out[i] = delta_to_code((c - pred) as i32);
+        w = c;
+        nw = n;
+        bw = b;
+        bnw = bn;
+    }
+}
+
+/// Encode one plane of codes from its quantized values and the previous
+/// plane (`None` at z == 0, where back-neighbors read as 0).
+fn encode_plane(plane_q: &[i32], back: Option<&[i32]>, nx: usize, out: &mut [u16]) {
+    for (y, row_out) in out.chunks_mut(nx).enumerate() {
+        let cur = &plane_q[y * nx..y * nx + nx];
+        let north = (y > 0).then(|| &plane_q[(y - 1) * nx..y * nx]);
+        match (north, back) {
+            (None, None) => row_w(cur, 0, row_out),
+            (Some(n), None) => row_wn(cur, n, row_out),
+            (None, Some(b)) => row_wb(cur, &b[..nx], row_out),
+            (Some(n), Some(b)) => {
+                row_full(cur, n, &b[y * nx..y * nx + nx], &b[(y - 1) * nx..y * nx], row_out)
+            }
+        }
+    }
+}
+
+impl FzNative {
+    /// Fresh instance (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compress; byte-identical stream to [`crate::pipeline::FzGpu`] and
+    /// [`crate::cpu::FzOmp`].
+    ///
+    /// # Panics
+    /// Panics when `data.len()` disagrees with `shape` or the resolved
+    /// absolute bound is not positive — same contract as the reference.
+    pub fn compress(&mut self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
+        let (nz, ny, nx) = shape;
+        assert_eq!(data.len(), nz * ny * nx, "shape/data mismatch");
+        // Range-relative bounds resolve with the same sequential fold the
+        // simulated path uses (`FzGpu::compress`) — NaN handling included.
+        let eb_abs = match eb {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::RelToRange(_) => {
+                let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                eb.to_abs((hi - lo) as f64)
+            }
+        };
+        assert!(eb_abs > 0.0, "error bound must be positive");
+        let n = data.len();
+
+        // Stage 1a: prequantize (parallel, element-wise).
+        let ebx2_inv = 1.0 / (2.0 * eb_abs);
+        reset(&mut self.q, n);
+        self.q.par_chunks_mut(1 << 13).zip(data.par_chunks(1 << 13)).for_each(|(qs, ds)| {
+            for (q, &d) in qs.iter_mut().zip(ds) {
+                *q = prequantize(d, ebx2_inv);
+            }
+        });
+
+        // Stage 1b: integer Lorenzo prediction + sign-magnitude codes.
+        // Rows/planes read only `q`, so the decomposition below is free to
+        // differ from the reference's — integer arithmetic is exact, the
+        // codes are identical regardless of scheduling.
+        reset(&mut self.codes, n);
+        let q = &self.q;
+        match rank_of(shape) {
+            1 => {
+                // 1D: chunk freely; a chunk starting at `s` seeds its
+                // west-neighbor from q[s-1].
+                self.codes.par_chunks_mut(1 << 13).enumerate().for_each(|(ci, out)| {
+                    let s = ci * (1 << 13);
+                    let prev0 = if s == 0 { 0 } else { q[s - 1] as i64 };
+                    row_w(&q[s..s + out.len()], prev0, out);
+                });
+            }
+            2 => {
+                // 2D: parallel over rows; row y reads q rows y-1 and y.
+                self.codes.par_chunks_mut(nx).enumerate().for_each(|(y, out)| {
+                    let cur = &q[y * nx..y * nx + nx];
+                    if y == 0 {
+                        row_w(cur, 0, out);
+                    } else {
+                        row_wn(cur, &q[(y - 1) * nx..y * nx], out);
+                    }
+                });
+            }
+            _ => {
+                // 3D: parallel over planes; plane z reads q planes z-1, z.
+                let plane = ny * nx;
+                self.codes.par_chunks_mut(plane).enumerate().for_each(|(z, out)| {
+                    let plane_q = &q[z * plane..(z + 1) * plane];
+                    let back = (z > 0).then(|| &q[(z - 1) * plane..z * plane]);
+                    encode_plane(plane_q, back, nx, out);
+                });
+            }
+        }
+
+        // Stage 1c: pack codes two per word, zero-padded to whole tiles.
+        let nwords_data = n.div_ceil(2);
+        let nwords = nwords_data.div_ceil(TILE_WORDS).max(1) * TILE_WORDS;
+        reset(&mut self.words, nwords);
+        let codes = &self.codes;
+        self.words[..nwords_data].par_chunks_mut(1 << 12).enumerate().for_each(|(ci, out)| {
+            let wbase = ci * (1 << 12);
+            for (j, w) in out.iter_mut().enumerate() {
+                let i = (wbase + j) * 2;
+                let lo = codes[i] as u32;
+                let hi = if i + 1 < n { codes[i + 1] as u32 } else { 0 };
+                *w = lo | (hi << 16);
+            }
+        });
+
+        // Stage 2: bitshuffle, parallel over tiles (shared tile kernel).
+        reset(&mut self.shuffled, nwords);
+        self.words
+            .par_chunks_exact(TILE_WORDS)
+            .zip(self.shuffled.par_chunks_exact_mut(TILE_WORDS))
+            .for_each(|(tin, tout)| {
+                shuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap())
+            });
+
+        // Stage 3: zero-block encode with a 64-bit zero scan. Blocks are 4
+        // words = 16 bytes; OR-fold each block into two u64 lanes and test
+        // once. A flag word covers 32 blocks = 128 words, and tiles are
+        // 1024 words, so every flag word is full.
+        let num_blocks = nwords / BLOCK_WORDS;
+        reset(&mut self.bit_flags, num_blocks.div_ceil(32));
+        self.payload.clear();
+        for (fw, group) in self.shuffled.chunks_exact(BLOCK_WORDS * 32).enumerate() {
+            let mut mask = 0u32;
+            for (b, blk) in group.chunks_exact(BLOCK_WORDS).enumerate() {
+                let lo = blk[0] as u64 | (blk[1] as u64) << 32;
+                let hi = blk[2] as u64 | (blk[3] as u64) << 32;
+                if lo | hi != 0 {
+                    mask |= 1 << b;
+                    self.payload.extend_from_slice(blk);
+                }
+            }
+            self.bit_flags[fw] = mask;
+        }
+
+        let header = Header {
+            version: VERSION,
+            shape,
+            eb: eb_abs,
+            n_values: n,
+            num_blocks,
+            payload_words: self.payload.len(),
+        };
+        Compressed { bytes: assemble(&header, &self.bit_flags, &self.payload), header }
+    }
+
+    /// Decompress a stream produced by any path.
+    pub fn decompress(&mut self, compressed: &Compressed) -> Result<Vec<f32>, FormatError> {
+        self.decompress_bytes(&compressed.bytes)
+    }
+
+    /// Decompress from raw stream bytes (checksums verified first).
+    /// Bit-identical output to the simulated decoder.
+    pub fn decompress_bytes(&mut self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
+        let header = verify(bytes)?;
+        let hb = header.header_bytes();
+        let nbf = header.bitflag_words();
+        let flag_bytes = &bytes[hb..hb + nbf * 4];
+        let payload_bytes = &bytes[hb + nbf * 4..hb + (nbf + header.payload_words) * 4];
+
+        // The flag popcount must account for every payload block.
+        let present: usize = flag_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()).count_ones() as usize)
+            .sum();
+        if present * BLOCK_WORDS != header.payload_words {
+            return Err(FormatError::Inconsistent("flag popcount vs payload length"));
+        }
+
+        // Scatter payload blocks to their slots (single cursor pass at
+        // near-memcpy speed); absent blocks stay zero.
+        reset(&mut self.shuffled, header.num_blocks * BLOCK_WORDS);
+        let mut src = 0usize;
+        for (fw, fword) in flag_bytes.chunks_exact(4).enumerate() {
+            let mut mask = u32::from_le_bytes(fword.try_into().unwrap());
+            while mask != 0 {
+                let b = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let dst = (fw * 32 + b) * BLOCK_WORDS;
+                for (k, w) in self.shuffled[dst..dst + BLOCK_WORDS].iter_mut().enumerate() {
+                    let o = src + k * 4;
+                    *w = u32::from_le_bytes(payload_bytes[o..o + 4].try_into().unwrap());
+                }
+                src += BLOCK_WORDS * 4;
+            }
+        }
+
+        // Un-shuffle, parallel over tiles.
+        reset(&mut self.words, self.shuffled.len());
+        self.shuffled
+            .par_chunks_exact(TILE_WORDS)
+            .zip(self.words.par_chunks_exact_mut(TILE_WORDS))
+            .for_each(|(tin, tout)| {
+                unshuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap())
+            });
+
+        // Unpack codes + decode deltas in one parallel pass, then invert
+        // Lorenzo via the shared integrate cascade and dequantize.
+        let n = header.n_values;
+        reset(&mut self.deltas, n);
+        let words = &self.words;
+        self.deltas.par_chunks_mut(1 << 13).enumerate().for_each(|(ci, dchunk)| {
+            let base = ci * (1 << 13);
+            for (j, d) in dchunk.iter_mut().enumerate() {
+                let i = base + j;
+                let w = words[i / 2];
+                let code = if i % 2 == 0 { w as u16 } else { (w >> 16) as u16 };
+                *d = code_to_delta(code);
+            }
+        });
+        integrate(&mut self.deltas, header.shape);
+        let ebx2 = 2.0 * header.eb;
+        Ok(self.deltas.par_iter().map(|&v| dequantize(v, ebx2)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::FzOmp;
+
+    fn smooth(shape: Shape) -> Vec<f32> {
+        let (nz, ny, nx) = shape;
+        (0..nz * ny * nx)
+            .map(|i| {
+                let z = i / (ny * nx);
+                let y = i / nx % ny;
+                let x = i % nx;
+                (x as f32 * 0.05).sin() * 3.0 + (y as f32 * 0.09).cos() + (z as f32 * 0.21).sin()
+            })
+            .collect()
+    }
+
+    fn assert_identical(data: &[f32], shape: Shape, eb: ErrorBound) {
+        let reference = FzOmp.compress(data, shape, eb);
+        let mut native = FzNative::new();
+        let c = native.compress(data, shape, eb);
+        assert_eq!(c.bytes, reference.bytes, "native stream diverges at shape {shape:?}");
+        assert_eq!(c.header, reference.header);
+        let a = native.decompress(&c).unwrap();
+        let b = FzOmp.decompress(&reference).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "native decode diverges at shape {shape:?}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_1d_2d_3d() {
+        assert_identical(&smooth((1, 1, 5000)), (1, 1, 5000), ErrorBound::Abs(1e-3));
+        assert_identical(&smooth((1, 77, 131)), (1, 77, 131), ErrorBound::RelToRange(1e-3));
+        assert_identical(&smooth((7, 33, 41)), (7, 33, 41), ErrorBound::Abs(5e-4));
+    }
+
+    #[test]
+    fn matches_reference_on_saturating_deltas() {
+        // Huge jumps force the 15-bit sign-magnitude saturation path.
+        let data: Vec<f32> = (0..4096)
+            .map(|i| if i % 17 == 0 { 1e6 } else { -1e6 } * ((i % 5) as f32 + 1.0))
+            .collect();
+        assert_identical(&data, (1, 64, 64), ErrorBound::Abs(1e-2));
+    }
+
+    #[test]
+    fn matches_reference_on_zero_field() {
+        let data = vec![0.0f32; 3 * 40 * 50];
+        assert_identical(&data, (3, 40, 50), ErrorBound::Abs(1e-4));
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_is_sound() {
+        // Big, then small, then big again through one instance: stale
+        // scratch contents must never leak into a stream.
+        let mut native = FzNative::new();
+        for &shape in &[(4usize, 32usize, 32usize), (1, 1, 7), (2, 19, 23), (1, 1, 40_000)] {
+            let data = smooth(shape);
+            let reference = FzOmp.compress(&data, shape, ErrorBound::Abs(1e-3));
+            let c = native.compress(&data, shape, ErrorBound::Abs(1e-3));
+            assert_eq!(c.bytes, reference.bytes, "shape {shape:?}");
+            let back = native.decompress_bytes(&c.bytes).unwrap();
+            assert_eq!(back.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let data = smooth((1, 48, 48));
+        let mut native = FzNative::new();
+        let c = native.compress(&data, (1, 48, 48), ErrorBound::Abs(1e-3));
+        assert!(native.decompress_bytes(&c.bytes[..40]).is_err());
+        let mut mangled = c.bytes.clone();
+        let last = mangled.len() - 1;
+        mangled[last] ^= 0x40;
+        assert!(native.decompress_bytes(&mangled).is_err());
+    }
+
+    #[test]
+    fn path_parsing() {
+        assert_eq!(PipelinePath::parse("native"), Some(PipelinePath::Native));
+        assert_eq!(PipelinePath::parse("SIM"), Some(PipelinePath::Simulated));
+        assert_eq!(PipelinePath::parse("1"), Some(PipelinePath::Native));
+        assert_eq!(PipelinePath::parse("0"), Some(PipelinePath::Simulated));
+        assert_eq!(PipelinePath::parse("both"), Some(PipelinePath::Both));
+        assert_eq!(PipelinePath::parse("check"), Some(PipelinePath::Both));
+        assert_eq!(PipelinePath::parse("turbo"), None);
+        assert_eq!(PipelinePath::default(), PipelinePath::Simulated);
+        assert_eq!(PipelinePath::Native.label(), "native");
+        assert_eq!(PipelinePath::Both.label(), "both");
+        assert_eq!(PipelinePath::Simulated.label(), "sim");
+    }
+}

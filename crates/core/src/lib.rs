@@ -32,6 +32,7 @@ pub mod archive;
 pub mod bitshuffle;
 pub mod cpu;
 pub mod crc;
+pub mod fastpath;
 pub mod format;
 pub mod gpu;
 pub mod lorenzo;
@@ -43,6 +44,7 @@ pub mod zeroblock;
 pub use archive::{Archive, ChunkHealth, ChunkMeta, DegradedOutput, FillPolicy, ScrubReport};
 pub use cpu::FzOmp;
 pub use crc::crc32;
+pub use fastpath::{FzNative, PipelinePath};
 pub use format::{ChecksumSection, FormatError, Header};
 pub use fzgpu_sim::{FaultPlan, RetryPolicy};
 pub use gpu::bitshuffle::ShuffleVariant;

@@ -9,6 +9,7 @@
 use fzgpu_sim::{DeviceSpec, Event, FaultPlan, Gpu, MemPool, Profile, RetryPolicy};
 use fzgpu_trace::metrics::{self, Class};
 
+use crate::fastpath::{FzNative, PipelinePath};
 use crate::format::{assemble, disassemble, FormatError, Header, VERSION};
 use crate::gpu::bitshuffle::{bitshuffle_mark, ShuffleVariant};
 use crate::gpu::decode as gdec;
@@ -31,6 +32,13 @@ pub struct FzOptions {
     /// Launch retry policy used when transient-fault injection is active
     /// (see [`FzGpu::enable_faults`]); inert otherwise.
     pub retry: RetryPolicy,
+    /// Which implementation runs compress/decompress calls (see
+    /// [`PipelinePath`]). Defaults from the `FZGPU_NATIVE` environment
+    /// variable; [`PipelinePath::Simulated`] when unset. The `shuffle` and
+    /// `full_fusion_1d` knobs only affect the simulated launch structure —
+    /// stream bytes are identical on every path, so the native path
+    /// ignores them.
+    pub path: PipelinePath,
 }
 
 impl Default for FzOptions {
@@ -39,6 +47,7 @@ impl Default for FzOptions {
             shuffle: ShuffleVariant::Fused,
             full_fusion_1d: false,
             retry: RetryPolicy::default(),
+            path: PipelinePath::from_env(),
         }
     }
 }
@@ -63,6 +72,11 @@ impl Compressed {
 pub struct FzGpu {
     gpu: Gpu,
     opts: FzOptions,
+    /// Scratch-buffer-holding native pipeline, used by
+    /// [`PipelinePath::Native`] and [`PipelinePath::Both`]. Kept across
+    /// calls so chunked workloads (archives, serving) stop paying per-call
+    /// host allocations.
+    native: FzNative,
 }
 
 impl FzGpu {
@@ -75,7 +89,17 @@ impl FzGpu {
     pub fn with_options(spec: DeviceSpec, opts: FzOptions) -> Self {
         let mut gpu = Gpu::new(spec);
         gpu.set_retry_policy(opts.retry);
-        Self { gpu, opts }
+        Self { gpu, opts, native: FzNative::new() }
+    }
+
+    /// The pipeline path this compressor runs on.
+    pub fn path(&self) -> PipelinePath {
+        self.opts.path
+    }
+
+    /// Switch the pipeline path for subsequent calls.
+    pub fn set_path(&mut self, path: PipelinePath) {
+        self.opts.path = path;
     }
 
     /// Access the underlying device (timeline inspection, spec).
@@ -113,12 +137,44 @@ impl FzGpu {
         self.gpu.total_retries()
     }
 
-    /// Compress `data` of `shape` under `eb`.
+    /// Compress `data` of `shape` under `eb`, on the configured
+    /// [`PipelinePath`].
     ///
-    /// Resets the device timeline; afterwards [`FzGpu::kernel_time`]
-    /// reports this pipeline's modeled kernel time (transfers excluded, as
-    /// in the paper's "kernel time" throughput metric).
+    /// On [`PipelinePath::Simulated`] this resets the device timeline;
+    /// afterwards [`FzGpu::kernel_time`] reports this pipeline's modeled
+    /// kernel time (transfers excluded, as in the paper's "kernel time"
+    /// throughput metric). On [`PipelinePath::Native`] the timeline is
+    /// reset and left empty — the native path charges no modeled time; its
+    /// cost is real host wall-clock (the `fzgpu_host_seconds` metric).
+    /// [`PipelinePath::Both`] runs native first, then simulated, panics if
+    /// the streams differ by a byte, and returns the simulated result.
     pub fn compress(&mut self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
+        match self.opts.path {
+            PipelinePath::Simulated => self.compress_simulated(data, shape, eb),
+            PipelinePath::Native => {
+                let t0 = std::time::Instant::now();
+                let _root = fzgpu_trace::span("fz.compress")
+                    .field("values", data.len())
+                    .field("path", "native");
+                self.gpu.reset_timeline();
+                let c = self.native.compress(data, shape, eb);
+                note_compress_metrics(data.len(), c.bytes.len(), t0);
+                c
+            }
+            PipelinePath::Both => {
+                let n = self.native.compress(data, shape, eb);
+                let s = self.compress_simulated(data, shape, eb);
+                assert_eq!(
+                    n.bytes, s.bytes,
+                    "PipelinePath::Both divergence: native and simulated streams differ"
+                );
+                s
+            }
+        }
+    }
+
+    /// The kernel-simulated compress pipeline (the model of record).
+    fn compress_simulated(&mut self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
         let (nz, ny, nx) = shape;
         assert_eq!(data.len(), nz * ny * nx, "shape/data mismatch");
         // Resolve a range-relative bound host-side (the paper's harness
@@ -203,17 +259,7 @@ impl FzGpu {
         self.gpu.free(d_bit_flags);
         self.gpu.free(d_payload);
 
-        metrics::counter_add(Class::Det, "fzgpu_compress_calls_total", &[], 1);
-        metrics::counter_add(Class::Det, "fzgpu_bytes_in_total", &[], (data.len() * 4) as u64);
-        metrics::counter_add(Class::Det, "fzgpu_bytes_out_total", &[], bytes.len() as u64);
-        let ratio = (data.len() * 4) as f64 / bytes.len() as f64;
-        metrics::gauge_set(Class::Det, "fzgpu_compression_ratio_last", &[], ratio);
-        metrics::observe(
-            Class::Wall,
-            "fzgpu_host_seconds",
-            &[("op", "compress")],
-            t0.elapsed().as_secs_f64(),
-        );
+        note_compress_metrics(data.len(), bytes.len(), t0);
         Compressed { bytes, header }
     }
 
@@ -223,8 +269,51 @@ impl FzGpu {
         self.decompress_bytes(&compressed.bytes)
     }
 
-    /// Decompress from raw stream bytes.
+    /// Decompress from raw stream bytes, on the configured
+    /// [`PipelinePath`]. Output floats are bit-identical across paths;
+    /// [`PipelinePath::Both`] asserts that (and that both paths agree on
+    /// any error) before returning the simulated result.
     pub fn decompress_bytes(&mut self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
+        match self.opts.path {
+            PipelinePath::Simulated => self.decompress_simulated(bytes),
+            PipelinePath::Native => {
+                let t0 = std::time::Instant::now();
+                let _root = fzgpu_trace::span("fz.decompress")
+                    .field("bytes", bytes.len())
+                    .field("path", "native");
+                self.gpu.reset_timeline();
+                let out = self.native.decompress_bytes(bytes);
+                if out.is_ok() {
+                    note_decompress_metrics(t0);
+                }
+                out
+            }
+            PipelinePath::Both => {
+                let n = self.native.decompress_bytes(bytes);
+                let s = self.decompress_simulated(bytes);
+                match (&n, &s) {
+                    (Ok(a), Ok(b)) => {
+                        assert!(
+                            a.len() == b.len()
+                                && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                            "PipelinePath::Both divergence: native and simulated fields differ"
+                        );
+                    }
+                    (Err(a), Err(b)) => assert_eq!(
+                        a, b,
+                        "PipelinePath::Both divergence: paths disagree on the error"
+                    ),
+                    _ => panic!(
+                        "PipelinePath::Both divergence: one path errored, the other succeeded"
+                    ),
+                }
+                s
+            }
+        }
+    }
+
+    /// The kernel-simulated decompress pipeline (the model of record).
+    fn decompress_simulated(&mut self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
         let t0 = std::time::Instant::now();
         let _root = fzgpu_trace::span("fz.decompress").field("bytes", bytes.len());
         let (header, bit_flags, payload) = {
@@ -269,13 +358,7 @@ impl FzGpu {
             out
         };
         self.gpu.free(d_words);
-        metrics::counter_add(Class::Det, "fzgpu_decompress_calls_total", &[], 1);
-        metrics::observe(
-            Class::Wall,
-            "fzgpu_host_seconds",
-            &[("op", "decompress")],
-            t0.elapsed().as_secs_f64(),
-        );
+        note_decompress_metrics(t0);
         let out = d_out.to_vec();
         self.gpu.free(d_out);
         Ok(out)
@@ -323,6 +406,33 @@ impl FzGpu {
     pub fn throughput_gbps(&self, n_values: usize) -> f64 {
         (n_values * 4) as f64 / self.kernel_time() / 1e9
     }
+}
+
+/// Shared compress-call metrics epilogue (identical on every path, so
+/// `fzgpu stats` sees the same counters whichever pipeline ran).
+fn note_compress_metrics(n_values: usize, out_bytes: usize, t0: std::time::Instant) {
+    metrics::counter_add(Class::Det, "fzgpu_compress_calls_total", &[], 1);
+    metrics::counter_add(Class::Det, "fzgpu_bytes_in_total", &[], (n_values * 4) as u64);
+    metrics::counter_add(Class::Det, "fzgpu_bytes_out_total", &[], out_bytes as u64);
+    let ratio = (n_values * 4) as f64 / out_bytes as f64;
+    metrics::gauge_set(Class::Det, "fzgpu_compression_ratio_last", &[], ratio);
+    metrics::observe(
+        Class::Wall,
+        "fzgpu_host_seconds",
+        &[("op", "compress")],
+        t0.elapsed().as_secs_f64(),
+    );
+}
+
+/// Shared decompress-call metrics epilogue (successful decodes only).
+fn note_decompress_metrics(t0: std::time::Instant) {
+    metrics::counter_add(Class::Det, "fzgpu_decompress_calls_total", &[], 1);
+    metrics::observe(
+        Class::Wall,
+        "fzgpu_host_seconds",
+        &[("op", "decompress")],
+        t0.elapsed().as_secs_f64(),
+    );
 }
 
 #[cfg(test)]
@@ -442,6 +552,45 @@ mod tests {
         // And decompress normally.
         let back = fused.decompress(&c2).unwrap();
         assert!(data.iter().zip(&back).all(|(&a, &b)| (a - b).abs() <= 1.1e-3));
+    }
+
+    #[test]
+    fn native_path_matches_simulated_bytes() {
+        let shape = (4, 40, 40);
+        let data = smooth_3d(4, 40, 40);
+        let mut sim = FzGpu::new(A100);
+        let mut nat = FzGpu::with_options(
+            A100,
+            FzOptions { path: PipelinePath::Native, ..FzOptions::default() },
+        );
+        assert_eq!(nat.path(), PipelinePath::Native);
+        let cs = sim.compress(&data, shape, ErrorBound::Abs(1e-3));
+        let cn = nat.compress(&data, shape, ErrorBound::Abs(1e-3));
+        assert_eq!(cs.bytes, cn.bytes, "paths must emit identical streams");
+        assert_eq!(nat.kernel_time(), 0.0, "native path charges no modeled time");
+        assert!(sim.kernel_time() > 0.0);
+        let a = sim.decompress(&cs).unwrap();
+        let b = nat.decompress(&cn).unwrap();
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn both_path_checks_and_returns_simulated() {
+        let shape = (1, 64, 64);
+        let data = smooth_3d(1, 64, 64);
+        let mut both = FzGpu::with_options(
+            A100,
+            FzOptions { path: PipelinePath::Both, ..FzOptions::default() },
+        );
+        let c = both.compress(&data, shape, ErrorBound::RelToRange(1e-3));
+        assert!(both.kernel_time() > 0.0, "Both keeps the simulated timeline");
+        let back = both.decompress(&c).unwrap();
+        assert_eq!(back.len(), data.len());
+        // Both paths must agree on rejecting a corrupt stream.
+        assert!(both.decompress_bytes(&c.bytes[..30]).is_err());
+        let mut path_switch = FzGpu::new(A100);
+        path_switch.set_path(PipelinePath::Native);
+        assert_eq!(path_switch.path(), PipelinePath::Native);
     }
 
     #[test]

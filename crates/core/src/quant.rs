@@ -56,7 +56,10 @@ pub fn delta_to_code(delta: i32) -> u16 {
     if delta >= 0 {
         delta.min(0x7FFF) as u16
     } else {
-        0x8000 | (-delta).min(0x7FFF) as u16
+        // `unsigned_abs` (not `-delta`) keeps `i32::MIN` total: it
+        // saturates to -32767 like every other out-of-range magnitude
+        // instead of overflowing the negation.
+        0x8000 | delta.unsigned_abs().min(0x7FFF) as u16
     }
 }
 

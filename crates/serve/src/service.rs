@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use fzgpu_core::crc::Crc32;
-use fzgpu_core::{crc32, FzGpu};
+use fzgpu_core::{crc32, FzGpu, FzOptions, PipelinePath};
 use fzgpu_sim::{MemPool, OpClass, PoolStats, StreamSim};
 use fzgpu_trace::json;
 use fzgpu_trace::metrics::{self, Class};
@@ -85,6 +85,14 @@ pub struct ServeConfig {
     /// Capture a per-stream Chrome trace of the modeled schedule into
     /// [`ServeReport::stream_trace`].
     pub capture_trace: bool,
+    /// Pipeline path jobs execute on (defaults from `FZGPU_NATIVE`).
+    /// Digests and stream bytes are identical on every path. On
+    /// [`PipelinePath::Native`] the per-kernel breakdown is unavailable,
+    /// so each job's modeled compute collapses to one synthetic
+    /// `native.fz` op with a roofline duration (see
+    /// [`native_model_seconds`]) — an approximation; the simulated path
+    /// stays the model of record for schedules.
+    pub path: PipelinePath,
 }
 
 impl Default for ServeConfig {
@@ -98,8 +106,18 @@ impl Default for ServeConfig {
             backpressure: Backpressure::Reject,
             charge_alloc: true,
             capture_trace: false,
+            path: PipelinePath::from_env(),
         }
     }
+}
+
+/// Modeled seconds charged for one native-path job: a memory-roofline
+/// estimate of the pipeline's device passes over `n` f32 values. The
+/// constant pass count approximates the simulated pipeline's traffic
+/// (quant + shuffle + scan + compact reads/writes).
+pub fn native_model_seconds(n: usize, spec: &fzgpu_sim::DeviceSpec) -> f64 {
+    const PASSES: f64 = 8.0;
+    (n * 4) as f64 * PASSES / (spec.mem_bandwidth * spec.mem_efficiency)
 }
 
 /// One completed job.
@@ -255,12 +273,13 @@ impl ServeReport {
             self.batches
         ));
         out.push_str(&format!(
-            "config: streams={} pool={} batch_max={} queue_depth={} backpressure={}\n",
+            "config: streams={} pool={} batch_max={} queue_depth={} backpressure={} path={}\n",
             self.config.streams,
             if self.config.pool { "on" } else { "off" },
             self.config.batch_max,
             self.config.queue_depth,
-            self.config.backpressure.label()
+            self.config.backpressure.label(),
+            self.config.path.label()
         ));
         out.push_str(&format!(
             "modeled: makespan {:.2} us (serial {:.2} us, overlap saves {:.1}%), compute util {:.0}%\n",
@@ -355,7 +374,7 @@ impl ServeReport {
             None => "null".to_string(),
         };
         let mut doc = format!(
-            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"jobs\":[{}],\"rejected\":[{}],\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
+            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"path\":{},\"jobs\":[{}],\"rejected\":[{}],\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
             json::escape(&self.workload),
             json::escape(self.device),
             self.config.streams,
@@ -363,6 +382,7 @@ impl ServeReport {
             self.config.batch_max,
             self.config.queue_depth,
             json::escape(self.config.backpressure.label()),
+            json::escape(self.config.path.label()),
             jobs.join(","),
             rejected.join(","),
             json::num(self.makespan * 1e6),
@@ -401,6 +421,18 @@ struct Exec {
     host_s: f64,
 }
 
+/// Modeled kernel sequence of the job `fz` just executed. On the native
+/// path the device timeline is empty, so the job is charged one synthetic
+/// roofline op instead (see [`native_model_seconds`]).
+fn job_kernels(fz: &FzGpu, n: usize) -> Vec<(String, f64)> {
+    match fz.path() {
+        PipelinePath::Native => {
+            vec![("native.fz".to_string(), native_model_seconds(n, fz.gpu().spec()))]
+        }
+        _ => fz.kernel_breakdown(),
+    }
+}
+
 fn execute_job(fz: &mut FzGpu, r: &Request, prepared: Option<&[u8]>) -> Exec {
     let t0 = Instant::now();
     match r.op {
@@ -411,7 +443,7 @@ fn execute_job(fz: &mut FzGpu, r: &Request, prepared: Option<&[u8]>) -> Exec {
                 bytes_in: (r.n * 4) as u64,
                 bytes_out: c.bytes.len() as u64,
                 digest: crc32(&c.bytes),
-                kernels: fz.kernel_breakdown(),
+                kernels: job_kernels(fz, r.n),
                 host_s: t0.elapsed().as_secs_f64(),
             }
         }
@@ -426,7 +458,7 @@ fn execute_job(fz: &mut FzGpu, r: &Request, prepared: Option<&[u8]>) -> Exec {
                 bytes_in: stream.len() as u64,
                 bytes_out: (r.n * 4) as u64,
                 digest: crc32(&bytes),
-                kernels: fz.kernel_breakdown(),
+                kernels: job_kernels(fz, r.n),
                 host_s: t0.elapsed().as_secs_f64(),
             }
         }
@@ -574,9 +606,10 @@ impl Service {
             .field("workload", workload.name.as_str())
             .field("requests", workload.requests.len());
 
+        let opts = FzOptions { path: self.config.path, ..FzOptions::default() };
         // Out-of-band prep: build the streams decompress jobs will consume
         // (untimed — the client already holds compressed data).
-        let mut prep = FzGpu::new(workload.device);
+        let mut prep = FzGpu::with_options(workload.device, opts);
         let prepared: Vec<Option<Vec<u8>>> = workload
             .requests
             .iter()
@@ -590,7 +623,7 @@ impl Service {
             .collect();
         drop(prep);
 
-        let mut fz = FzGpu::new(workload.device);
+        let mut fz = FzGpu::with_options(workload.device, opts);
         let pool = self.config.pool.then(MemPool::new);
         if let Some(p) = &pool {
             fz.attach_pool(p.clone());
@@ -806,6 +839,31 @@ mod tests {
         let dec = rep.jobs.iter().find(|j| j.op == Op::Decompress).unwrap();
         assert_eq!(dec.bytes_out, 4096 * 4);
         assert!(dec.bytes_in < dec.bytes_out, "stream must be smaller than the field");
+    }
+
+    #[test]
+    fn native_path_preserves_digests() {
+        let mut w = uniform_workload(5, 4096, 2.0);
+        // Mix in a decompress job so both directions are exercised.
+        w.requests.push(Request {
+            arrival: 11e-6,
+            op: Op::Decompress,
+            n: 4096,
+            eb: ErrorBound::Abs(1e-3),
+            field: FieldKind::Ramp,
+            seed: 9,
+        });
+        let sim =
+            Service::new(ServeConfig { path: PipelinePath::Simulated, ..ServeConfig::default() })
+                .run(&w);
+        let nat =
+            Service::new(ServeConfig { path: PipelinePath::Native, ..ServeConfig::default() })
+                .run(&w);
+        assert_eq!(sim.digest(), nat.digest(), "pipeline path must not change job outputs");
+        assert!(nat.makespan > 0.0, "native jobs still occupy modeled time");
+        assert!(nat.jobs.iter().all(|j| j.completed > j.dispatched));
+        assert!(nat.text_report(false).contains("path=native"));
+        assert!(sim.text_report(false).contains("path=sim"));
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use fz_gpu::core::archive::ARCHIVE_MAGIC;
-use fz_gpu::core::{Archive, ChunkHealth, ErrorBound, FillPolicy, FzGpu, Header};
+use fz_gpu::core::{
+    Archive, ChunkHealth, ErrorBound, FillPolicy, FzGpu, FzOptions, Header, PipelinePath,
+};
 use fz_gpu::data::io::{parse_dims, read_f32_file, write_f32_file};
 use fz_gpu::metrics::{max_abs_error, psnr};
 use fz_gpu::sim::device;
@@ -38,22 +40,25 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   fzgpu compress   <input.f32> <output.fz>  --dims ZxYxX --eb 1e-3 [--abs] [--device a100|a4000]
-                   [--trace out.json]
-  fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000] [--trace out.json]
+                   [--native | --path sim|native|both] [--trace out.json]
+  fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000]
+                   [--native | --path sim|native|both] [--trace out.json]
   fzgpu info       <input.fz>
   fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]
+                   [--native | --path sim|native|both]
   fzgpu profile    (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
                    [--device a100|a4000] [--trace out.json] [--report out.txt] [--json]
                    (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)
   fzgpu stats      (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
                    [--device a100|a4000] [--timings] [--json]
   fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--eb 1e-3] [--abs] [--device ...]
-                   [--trace out.json]
+                   [--native | --path sim|native|both] [--trace out.json]
   fzgpu verify     <input.fz|input.fzar>
   fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]
+                   [--native | --path sim|native|both]
   fzgpu serve      --replay <workload.json> [--streams N] [--no-pool] [--batch N]
                    [--queue-depth N] [--backpressure reject|block] [--timings] [--json]
-                   [--trace out.json]";
+                   [--native | --path sim|native|both] [--trace out.json]";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -62,6 +67,42 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn device_of(args: &[String]) -> Result<fz_gpu::sim::DeviceSpec, String> {
     let name = flag_value(args, "--device").unwrap_or("a100");
     device::by_name(name).ok_or_else(|| format!("unknown device '{name}'"))
+}
+
+/// Pipeline-path selection: `--native` is shorthand for `--path native`;
+/// `--path` takes sim|native|both; neither flag falls back to the
+/// `FZGPU_NATIVE` environment variable (default: simulated).
+fn path_of(args: &[String]) -> Result<PipelinePath, String> {
+    let flagged = flag_value(args, "--path")
+        .map(|s| {
+            PipelinePath::parse(s)
+                .ok_or_else(|| format!("bad --path '{s}' (expected sim|native|both)"))
+        })
+        .transpose()?;
+    if args.iter().any(|a| a == "--native") {
+        if flagged.is_some_and(|p| p != PipelinePath::Native) {
+            return Err("--native conflicts with --path".into());
+        }
+        return Ok(PipelinePath::Native);
+    }
+    Ok(flagged.unwrap_or_else(PipelinePath::from_env))
+}
+
+/// Build the compressor honoring `--device` and the pipeline path flags.
+fn fz_of(args: &[String]) -> Result<FzGpu, String> {
+    let opts = FzOptions { path: path_of(args)?, ..FzOptions::default() };
+    Ok(FzGpu::with_options(device_of(args)?, opts))
+}
+
+/// Which clock to report for an op that started at `t0`: native work has no
+/// modeled timeline, so its host wallclock is the honest figure; simulated
+/// (and Both, whose result is the simulated run) reports modeled device time.
+fn clock_of(fz: &FzGpu, t0: std::time::Instant) -> (f64, &'static str) {
+    if fz.path() == PipelinePath::Native {
+        (t0.elapsed().as_secs_f64(), "host")
+    } else {
+        (fz.kernel_time(), "modeled")
+    }
 }
 
 fn eb_of(args: &[String]) -> Result<ErrorBound, String> {
@@ -143,22 +184,25 @@ fn compress(args: &[String]) -> Result<(), String> {
     let output = args.get(1).ok_or("missing output path")?;
     let field = load_field(args, input)?;
     let eb = eb_of(args)?;
-    let mut fz = FzGpu::new(device_of(args)?);
+    let mut fz = fz_of(args)?;
+    let t0 = std::time::Instant::now();
     let c = with_unified_trace(args, || {
         let c = fz.compress(&field.data, field.dims.as_3d(), eb);
         let prof = fz.profile();
         Ok((c, prof))
     })?;
+    let (secs, clock) = clock_of(&fz, t0);
     std::fs::write(output, &c.bytes).map_err(|e| e.to_string())?;
     println!(
-        "{} -> {}: {:.2} MB -> {:.2} MB (ratio {:.1}x), eb {:.3e}, {:.2} ms modeled on {}",
+        "{} -> {}: {:.2} MB -> {:.2} MB (ratio {:.1}x), eb {:.3e}, {:.2} ms {} on {}",
         input,
         output,
         field.size_bytes() as f64 / 1e6,
         c.bytes.len() as f64 / 1e6,
         c.ratio(),
         c.header.eb,
-        fz.kernel_time() * 1e3,
+        secs * 1e3,
+        clock,
         fz.gpu().spec().name,
     );
     Ok(())
@@ -168,19 +212,22 @@ fn decompress(args: &[String]) -> Result<(), String> {
     let input = args.first().ok_or("missing input path")?;
     let output = args.get(1).ok_or("missing output path")?;
     let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
-    let mut fz = FzGpu::new(device_of(args)?);
+    let mut fz = fz_of(args)?;
+    let t0 = std::time::Instant::now();
     let values = with_unified_trace(args, || {
         let values = fz.decompress_bytes(&bytes).map_err(|e| e.to_string())?;
         let prof = fz.profile();
         Ok((values, prof))
     })?;
+    let (secs, clock) = clock_of(&fz, t0);
     write_f32_file(Path::new(output), &values).map_err(|e| e.to_string())?;
     println!(
-        "{} -> {}: {} values, {:.2} ms modeled on {}",
+        "{} -> {}: {} values, {:.2} ms {} on {}",
         input,
         output,
         values.len(),
-        fz.kernel_time() * 1e3,
+        secs * 1e3,
+        clock,
         fz.gpu().spec().name,
     );
     Ok(())
@@ -316,7 +363,7 @@ fn archive(args: &[String]) -> Result<(), String> {
     }
     let data = read_flat_f32(input)?;
     let eb = eb_of(args)?;
-    let mut fz = FzGpu::new(device_of(args)?);
+    let mut fz = fz_of(args)?;
     let a = with_unified_trace(args, || {
         Ok(Archive::compress_profiled(&mut fz, &data, chunk_values, eb))
     })?;
@@ -379,7 +426,7 @@ fn extract(args: &[String]) -> Result<(), String> {
     let output = args.get(1).ok_or("missing output path")?;
     let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
     let a = Archive::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
-    let mut fz = FzGpu::new(device_of(args)?);
+    let mut fz = fz_of(args)?;
     let values = if args.iter().any(|a| a == "--degraded") {
         let fill = match flag_value(args, "--fill").unwrap_or("nan") {
             "nan" => FillPolicy::NaN,
@@ -410,18 +457,20 @@ fn bench(args: &[String]) -> Result<(), String> {
     let input = args.first().ok_or("missing input path")?;
     let field = load_field(args, input)?;
     let eb = eb_of(args)?;
-    let mut fz = FzGpu::new(device_of(args)?);
+    let mut fz = fz_of(args)?;
     let shape = field.dims.as_3d();
+    let t0 = std::time::Instant::now();
     let c = fz.compress(&field.data, shape, eb);
-    let t_c = fz.kernel_time();
+    let (t_c, clock) = clock_of(&fz, t0);
+    let t1 = std::time::Instant::now();
     let restored = fz.decompress(&c).map_err(|e| e.to_string())?;
-    let t_d = fz.kernel_time();
+    let (t_d, _) = clock_of(&fz, t1);
     let bytes = field.size_bytes() as f64;
     println!("field:           {} ({:.2} MB)", field.dims.to_string_paper(), bytes / 1e6);
     println!("error bound:     {:.3e} (absolute)", c.header.eb);
     println!("ratio:           {:.2}x", c.ratio());
-    println!("compress:        {:.3} ms  ({:.1} GB/s modeled)", t_c * 1e3, bytes / t_c / 1e9);
-    println!("decompress:      {:.3} ms  ({:.1} GB/s modeled)", t_d * 1e3, bytes / t_d / 1e9);
+    println!("compress:        {:.3} ms  ({:.1} GB/s {clock})", t_c * 1e3, bytes / t_c / 1e9);
+    println!("decompress:      {:.3} ms  ({:.1} GB/s {clock})", t_d * 1e3, bytes / t_d / 1e9);
     println!("max error:       {:.3e}", max_abs_error(&field.data, &restored));
     println!("PSNR:            {:.2} dB", psnr(&field.data, &restored));
     Ok(())
@@ -462,6 +511,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             other => return Err(format!("bad --backpressure '{other}' (expected reject|block)")),
         };
     }
+    cfg.path = path_of(args)?;
     cfg.capture_trace = flag_value(args, "--trace").is_some();
 
     let report = Service::new(cfg).run(&workload);

@@ -33,6 +33,52 @@ proptest! {
     }
 
     #[test]
+    fn flipped_bytes_yield_error_or_exact_data(
+        pos in 0usize..20_000,
+        flip in 1u8..=255,
+    ) {
+        // The v2 format CRC-covers every byte (directory checksum + per
+        // chunk stream checksums), so a strict decode of a flipped archive
+        // has exactly two legal outcomes: a typed error somewhere on the
+        // path, or — if the flip landed where it cannot matter — output
+        // bit-identical to the uncorrupted original. Wrong data is never
+        // acceptable.
+        let (_, a) = small_archive();
+        let mut fz = FzGpu::new(A100);
+        let reference = a.decompress(&mut fz).expect("clean archive decodes");
+        let mut bytes = a.to_bytes();
+        prop_assume!(pos < bytes.len());
+        bytes[pos] ^= flip;
+        if let Ok(parsed) = Archive::from_bytes(&bytes) {
+            if let Ok(out) = parsed.decompress(&mut fz) {
+                prop_assert_eq!(out.len(), reference.len(), "flip at {} changed geometry", pos);
+                for (i, (x, y)) in out.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "flip at {} decoded to wrong data at value {}",
+                        pos,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_archives_are_rejected(
+        cut_back in 1usize..30_000,
+    ) {
+        // Random truncation points (the exhaustive loop below covers a
+        // small archive; this samples a larger one cheaply).
+        let (_, a) = small_archive();
+        let bytes = a.to_bytes();
+        prop_assume!(cut_back <= bytes.len());
+        let cut = bytes.len() - cut_back;
+        prop_assert!(Archive::from_bytes(&bytes[..cut]).is_err(), "truncation at {} accepted", cut);
+    }
+
+    #[test]
     fn corrupted_serialized_archives_never_panic(
         pos in 0usize..20_000,
         flip in 1u8..=255,

@@ -43,6 +43,11 @@ fn failures_exit_nonzero_with_one_line_error() {
         &["serve", "--replay", "workloads/smoke.json", "--backpressure", "maybe"],
         "--backpressure",
     );
+    assert_cli_error(&["serve", "--replay", "workloads/smoke.json", "--path", "quantum"], "--path");
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--native", "--path", "sim"],
+        "--native conflicts",
+    );
     assert_cli_error(&["profile", "--synthetic", "NotADataset"], "unknown synthetic dataset");
     assert_cli_error(&["bench"], "missing input path");
     assert_cli_error(&["archive"], "missing input path");
