@@ -37,6 +37,7 @@ fn bench_workload(smoke: bool) -> Workload {
                 eb: ErrorBound::Abs(1e-3),
                 field: if g % 3 == 0 { FieldKind::Sine } else { FieldKind::Mixed },
                 seed: seed + k,
+                priority: 0,
             });
         }
         // ...one larger field that dominates a stream for a while...
@@ -47,6 +48,7 @@ fn bench_workload(smoke: bool) -> Workload {
             eb: ErrorBound::RelToRange(1e-3),
             field: FieldKind::Ramp,
             seed,
+            priority: 0,
         });
         // ...and a decompression riding alongside.
         requests.push(Request {
@@ -56,6 +58,7 @@ fn bench_workload(smoke: bool) -> Workload {
             eb: ErrorBound::Abs(1e-3),
             field: FieldKind::Sine,
             seed,
+            priority: 0,
         });
         t += spacing_us * 1e-6;
     }

@@ -127,8 +127,37 @@ impl FzGpu {
     /// failures are absorbed by the retry policy in [`FzOptions::retry`];
     /// memory corruption propagates into the produced stream, where the
     /// format-v2 checksums are expected to catch it.
+    ///
+    /// Fault injection lives in the simulator, so while a non-disabled plan
+    /// is installed, [`PipelinePath::Native`] and [`PipelinePath::Both`]
+    /// calls are downgraded to the simulated pipeline (counted by the
+    /// Det-class `fzgpu_fault_native_downgrade_total` metric) — the native
+    /// path would silently bypass injection, and `Both` would spuriously
+    /// panic when injected corruption diverges the simulated stream.
     pub fn enable_faults(&mut self, plan: FaultPlan) {
         self.gpu.enable_faults(plan);
+    }
+
+    /// The path calls actually run on right now: [`FzOptions::path`] unless
+    /// an active fault plan forces the simulated pipeline (see
+    /// [`FzGpu::enable_faults`]).
+    pub fn effective_path(&self) -> PipelinePath {
+        let faulted = self.gpu.faults().is_some_and(|f| !f.plan().is_disabled());
+        if faulted {
+            PipelinePath::Simulated
+        } else {
+            self.opts.path
+        }
+    }
+
+    /// [`FzGpu::effective_path`] plus the downgrade metric: each call that
+    /// was downgraded off its configured path bumps the Det-class counter.
+    fn dispatch_path(&self) -> PipelinePath {
+        let effective = self.effective_path();
+        if effective != self.opts.path {
+            metrics::counter_add(Class::Det, "fzgpu_fault_native_downgrade_total", &[], 1);
+        }
+        effective
     }
 
     /// Total launch retries absorbed across this compressor's lifetime
@@ -149,7 +178,7 @@ impl FzGpu {
     /// [`PipelinePath::Both`] runs native first, then simulated, panics if
     /// the streams differ by a byte, and returns the simulated result.
     pub fn compress(&mut self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
-        match self.opts.path {
+        match self.dispatch_path() {
             PipelinePath::Simulated => self.compress_simulated(data, shape, eb),
             PipelinePath::Native => {
                 let t0 = std::time::Instant::now();
@@ -274,7 +303,7 @@ impl FzGpu {
     /// [`PipelinePath::Both`] asserts that (and that both paths agree on
     /// any error) before returning the simulated result.
     pub fn decompress_bytes(&mut self, bytes: &[u8]) -> Result<Vec<f32>, FormatError> {
-        match self.opts.path {
+        match self.dispatch_path() {
             PipelinePath::Simulated => self.decompress_simulated(bytes),
             PipelinePath::Native => {
                 let t0 = std::time::Instant::now();
@@ -591,6 +620,28 @@ mod tests {
         let mut path_switch = FzGpu::new(A100);
         path_switch.set_path(PipelinePath::Native);
         assert_eq!(path_switch.path(), PipelinePath::Native);
+    }
+
+    #[test]
+    fn active_fault_plan_downgrades_native_to_simulated() {
+        let shape = (1, 32, 32);
+        let data = smooth_3d(1, 32, 32);
+        let mut fz = FzGpu::with_options(
+            A100,
+            FzOptions { path: PipelinePath::Native, ..FzOptions::default() },
+        );
+        assert_eq!(fz.effective_path(), PipelinePath::Native);
+        fz.enable_faults(FaultPlan::disabled());
+        assert_eq!(fz.effective_path(), PipelinePath::Native, "disabled plan is a no-op");
+        fz.enable_faults(FaultPlan::seeded(11).launch_faults(0.5, 2));
+        assert_eq!(fz.effective_path(), PipelinePath::Simulated);
+        let before = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
+        let c = fz.compress(&data, shape, ErrorBound::Abs(1e-3));
+        assert!(fz.kernel_time() > 0.0, "the simulated pipeline must have run");
+        let back = fz.decompress(&c).unwrap();
+        assert_eq!(back.len(), data.len());
+        let after = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
+        assert_eq!(after - before, 2, "compress + decompress each record the downgrade");
     }
 
     #[test]

@@ -126,6 +126,7 @@ mod tests {
             eb: ErrorBound::Abs(1e-3),
             field: FieldKind::Sine,
             seed: 0,
+            priority: 0,
         };
         let k = BatchKey::of(&base);
         assert_eq!(k, BatchKey::of(&Request { seed: 9, field: FieldKind::Mixed, ..base }));

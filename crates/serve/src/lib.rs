@@ -17,6 +17,11 @@
 //! * **Memory reuse**: jobs run against one [`fzgpu_sim::MemPool`], so the
 //!   steady state stops paying modeled `cudaMalloc`s — the pool's
 //!   high-water mark and hit rates land in the metrics registry.
+//! * **Failure domain** ([`resilience`]): deadlines, job-level retries
+//!   with capped backoff, priority shedding, a per-stream circuit breaker,
+//!   and device-loss drain/redispatch, all replaying a seeded
+//!   [`fzgpu_sim::ServiceFaultPlan`] in modeled time. Faults cost time or
+//!   jobs, never correctness (DESIGN.md §15).
 //!
 //! ## Determinism contract
 //! Jobs execute sequentially on the host (the existing thread pool still
@@ -41,9 +46,11 @@
 //! ```
 
 pub mod batch;
+pub mod resilience;
 pub mod service;
 pub mod workload;
 
 pub use batch::{fuse_kernel_sequences, BatchKey};
+pub use resilience::{Failed, ResilienceConfig, Shed, SloSummary, StreamHealth};
 pub use service::{Backpressure, JobResult, Rejection, ServeConfig, ServeReport, Service};
 pub use workload::{FieldKind, Op, Request, Workload};

@@ -34,11 +34,12 @@ use std::time::Instant;
 
 use fzgpu_core::crc::Crc32;
 use fzgpu_core::{crc32, FzGpu, FzOptions, PipelinePath};
-use fzgpu_sim::{MemPool, OpClass, PoolStats, StreamSim};
+use fzgpu_sim::{MemPool, OpClass, PoolStats, ServiceFaults, StreamSim};
 use fzgpu_trace::json;
 use fzgpu_trace::metrics::{self, Class};
 
 use crate::batch::{fuse_kernel_sequences, BatchKey};
+use crate::resilience::{Failed, ResilienceConfig, Shed, SloSummary, StreamHealth};
 use crate::workload::{synth_field, Op, Request, Workload};
 
 /// Full-queue policy.
@@ -93,6 +94,11 @@ pub struct ServeConfig {
     /// [`native_model_seconds`]) — an approximation; the simulated path
     /// stays the model of record for schedules.
     pub path: PipelinePath,
+    /// Resilience policy: deadlines, job-level retries, priority shedding,
+    /// stream health, and the fault schedule the run replays. The default
+    /// is inert — a fault-free replay behaves (and digests) exactly as it
+    /// did before the failure domain existed.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +113,7 @@ impl Default for ServeConfig {
             charge_alloc: true,
             capture_trace: false,
             path: PipelinePath::from_env(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -149,6 +156,10 @@ pub struct JobResult {
     pub batch: usize,
     /// Jobs in the batch.
     pub batch_size: usize,
+    /// Failed execution attempts absorbed before this job completed
+    /// (0 without fault injection). Retried attempts reuse the cached
+    /// first execution, so `digest` is the fault-free digest regardless.
+    pub retries: u32,
     /// Real host seconds spent executing this job (Wall clock domain —
     /// excluded from digests and Det metrics).
     pub host_seconds: f64,
@@ -185,6 +196,20 @@ pub struct ServeReport {
     pub jobs: Vec<JobResult>,
     /// Rejected jobs in arrival order (empty under [`Backpressure::Block`]).
     pub rejected: Vec<Rejection>,
+    /// Jobs shed by admission control (priority eviction, infeasible
+    /// deadlines) in decision order.
+    pub shed: Vec<Shed>,
+    /// Permanently failed jobs (retry budget exhausted, unrecovered
+    /// device loss) in decision order.
+    pub failed: Vec<Failed>,
+    /// Total retry dispatches across all jobs.
+    pub retries_total: u64,
+    /// Jobs aborted in flight by a device loss.
+    pub aborted_jobs: u64,
+    /// Dispatches the circuit breaker routed around the believed pick.
+    pub breaker_reroutes: u64,
+    /// Stream stalls the fault schedule injected.
+    pub stalls_injected: u64,
     /// Modeled end-to-end makespan, seconds.
     pub makespan: f64,
     /// Modeled serial time (single synchronous queue), seconds.
@@ -237,6 +262,37 @@ impl ServeReport {
         self.jobs.iter().map(|j| j.bytes_in).sum::<u64>() as f64 / self.makespan / 1e9
     }
 
+    /// The SLO view of this replay: tail latencies, goodput, availability,
+    /// and the resilience event counts. Every field is Det-class — a pure
+    /// function of (workload, config, fault seed), identical at any
+    /// `FZGPU_THREADS`.
+    pub fn slo(&self) -> SloSummary {
+        let lat: Vec<f64> = self.jobs.iter().map(JobResult::latency).collect();
+        let deadline = self.config.resilience.deadline;
+        let met = |j: &JobResult| deadline.is_none_or(|d| j.latency() <= d);
+        let good_bytes: u64 = self.jobs.iter().filter(|j| met(j)).map(|j| j.bytes_in).sum();
+        let offered = self.jobs.len() + self.rejected.len() + self.shed.len() + self.failed.len();
+        SloSummary {
+            p50: percentile(&lat, 0.50),
+            p99: percentile(&lat, 0.99),
+            p999: percentile(&lat, 0.999),
+            goodput_gbs: if self.makespan > 0.0 {
+                good_bytes as f64 / self.makespan / 1e9
+            } else {
+                0.0
+            },
+            availability: if offered == 0 { 1.0 } else { self.jobs.len() as f64 / offered as f64 },
+            completed: self.jobs.len(),
+            rejected: self.rejected.len(),
+            shed: self.shed.len(),
+            failed: self.failed.len(),
+            retried_jobs: self.jobs.iter().filter(|j| j.retries > 0).count(),
+            retries_total: self.retries_total,
+            deadline_missed: self.jobs.iter().filter(|j| !met(j)).count(),
+            aborted_jobs: self.aborted_jobs,
+        }
+    }
+
     /// One CRC-32 over every job's `(id, digest)` and every rejection's id
     /// — the replay's determinism fingerprint. Pairs are folded in id
     /// order, not completion order, so the digest is a pure function of
@@ -255,6 +311,25 @@ impl ServeReport {
         rejected.sort_unstable();
         for id in rejected {
             c.update(&(id as u64).to_le_bytes());
+        }
+        // Shed and failed sections fold only when present (with marker
+        // bytes so the classes stay distinguishable), keeping fault-free
+        // digests identical to the pre-failure-domain format.
+        let mut shed: Vec<usize> = self.shed.iter().map(|s| s.id).collect();
+        shed.sort_unstable();
+        if !shed.is_empty() {
+            c.update(b"shed");
+            for id in shed {
+                c.update(&(id as u64).to_le_bytes());
+            }
+        }
+        let mut failed: Vec<usize> = self.failed.iter().map(|f| f.id).collect();
+        failed.sort_unstable();
+        if !failed.is_empty() {
+            c.update(b"fail");
+            for id in failed {
+                c.update(&(id as u64).to_le_bytes());
+            }
         }
         c.finalize()
     }
@@ -306,6 +381,34 @@ impl ServeReport {
                 p.high_water_bytes
             ));
         }
+        let slo = self.slo();
+        out.push_str(&format!(
+            "slo: p50 {:.2}  p99 {:.2}  p999 {:.2} us; goodput {:.2} GB/s; availability {:.1}%; retried {} shed {} failed {} aborted {}\n",
+            slo.p50 * 1e6,
+            slo.p99 * 1e6,
+            slo.p999 * 1e6,
+            slo.goodput_gbs,
+            slo.availability * 100.0,
+            slo.retried_jobs,
+            slo.shed,
+            slo.failed,
+            slo.aborted_jobs
+        ));
+        let res = &self.config.resilience;
+        if !res.is_inert() || res.retry.max_retries > 0 {
+            out.push_str(&format!(
+                "resilience: deadline_us={} retries={} shed_by_priority={} breaker={} fault_seed={} job_fail={} stall={}@{:.1}us loss_at_us={}\n",
+                res.deadline.map_or("none".to_string(), |d| format!("{:.1}", d * 1e6)),
+                res.retry.max_retries,
+                res.shed_by_priority,
+                res.breaker,
+                res.faults.seed,
+                res.faults.job_fail_prob,
+                res.faults.stall_prob,
+                res.faults.stall_seconds * 1e6,
+                res.faults.device_loss_at.map_or("none".to_string(), |t| format!("{:.1}", t * 1e6)),
+            ));
+        }
         out.push_str(&format!("digest: 0x{:08x}\n", self.digest()));
         if include_wall {
             let (h50, h90, h99) = self.host_percentiles();
@@ -327,7 +430,7 @@ impl ServeReport {
         let mut jobs = Vec::with_capacity(self.jobs.len());
         for j in &self.jobs {
             let mut row = format!(
-                "{{\"id\":{},\"op\":{},\"n\":{},\"arrival_us\":{},\"admitted_us\":{},\"dispatched_us\":{},\"completed_us\":{},\"latency_us\":{},\"bytes_in\":{},\"bytes_out\":{},\"digest\":\"0x{:08x}\",\"stream\":{},\"batch\":{},\"batch_size\":{}",
+                "{{\"id\":{},\"op\":{},\"n\":{},\"arrival_us\":{},\"admitted_us\":{},\"dispatched_us\":{},\"completed_us\":{},\"latency_us\":{},\"bytes_in\":{},\"bytes_out\":{},\"digest\":\"0x{:08x}\",\"stream\":{},\"batch\":{},\"batch_size\":{},\"retries\":{}",
                 j.id,
                 json::escape(j.op.label()),
                 j.n,
@@ -342,6 +445,7 @@ impl ServeReport {
                 j.stream,
                 j.batch,
                 j.batch_size,
+                j.retries,
             );
             if include_wall {
                 row.push_str(&format!(",\"host_us\":{}", json::num(j.host_seconds * 1e6)));
@@ -361,6 +465,72 @@ impl ServeReport {
                 )
             })
             .collect();
+        let shed: Vec<String> = self
+            .shed
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"id\":{},\"arrival_us\":{},\"retry_after_us\":{},\"priority\":{},\"reason\":{}}}",
+                    s.id,
+                    json::num(s.arrival * 1e6),
+                    json::num(s.retry_after * 1e6),
+                    s.priority,
+                    json::escape(s.reason)
+                )
+            })
+            .collect();
+        let failed: Vec<String> = self
+            .failed
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"id\":{},\"arrival_us\":{},\"time_us\":{},\"attempts\":{},\"reason\":{}}}",
+                    f.id,
+                    json::num(f.arrival * 1e6),
+                    json::num(f.time * 1e6),
+                    f.attempts,
+                    json::escape(f.reason)
+                )
+            })
+            .collect();
+        let slo = self.slo();
+        let slo_json = format!(
+            "{{\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"goodput_gbs\":{},\"availability\":{},\"completed\":{},\"rejected\":{},\"shed\":{},\"failed\":{},\"retried_jobs\":{},\"retries_total\":{},\"deadline_missed\":{},\"aborted_jobs\":{},\"breaker_reroutes\":{},\"stalls_injected\":{}}}",
+            json::num(slo.p50 * 1e6),
+            json::num(slo.p99 * 1e6),
+            json::num(slo.p999 * 1e6),
+            json::num(slo.goodput_gbs),
+            json::num(slo.availability),
+            slo.completed,
+            slo.rejected,
+            slo.shed,
+            slo.failed,
+            slo.retried_jobs,
+            slo.retries_total,
+            slo.deadline_missed,
+            slo.aborted_jobs,
+            self.breaker_reroutes,
+            self.stalls_injected,
+        );
+        let res = &self.config.resilience;
+        let res_json = format!(
+            "{{\"deadline_us\":{},\"max_retries\":{},\"backoff_base_us\":{},\"backoff_cap_us\":{},\"shed_by_priority\":{},\"breaker\":{},\"fault\":{{\"seed\":{},\"job_fail_prob\":{},\"max_consecutive\":{},\"stall_prob\":{},\"stall_us\":{},\"loss_at_us\":{},\"repair_us\":{}}}}}",
+            res.deadline.map_or("null".to_string(), |d| json::num(d * 1e6)),
+            res.retry.max_retries,
+            json::num(res.retry.backoff_base * 1e6),
+            json::num(res.retry.backoff_cap * 1e6),
+            res.shed_by_priority,
+            res.breaker,
+            res.faults.seed,
+            json::num(res.faults.job_fail_prob),
+            res.faults.max_consecutive_job_faults,
+            json::num(res.faults.stall_prob),
+            json::num(res.faults.stall_seconds * 1e6),
+            res.faults.device_loss_at.map_or("null".to_string(), |t| json::num(t * 1e6)),
+            res.faults
+                .device_repair_seconds
+                .map_or("null".to_string(), |t| json::num(t * 1e6)),
+        );
         let pool = match &self.pool {
             Some(p) => format!(
                 "{{\"hits\":{},\"misses\":{},\"frag_misses\":{},\"releases\":{},\"high_water_bytes\":{},\"hit_rate\":{}}}",
@@ -374,7 +544,7 @@ impl ServeReport {
             None => "null".to_string(),
         };
         let mut doc = format!(
-            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"path\":{},\"jobs\":[{}],\"rejected\":[{}],\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
+            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"path\":{},\"resilience\":{},\"jobs\":[{}],\"rejected\":[{}],\"shed\":[{}],\"failed\":[{}],\"slo\":{},\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
             json::escape(&self.workload),
             json::escape(self.device),
             self.config.streams,
@@ -383,8 +553,12 @@ impl ServeReport {
             self.config.queue_depth,
             json::escape(self.config.backpressure.label()),
             json::escape(self.config.path.label()),
+            res_json,
             jobs.join(","),
             rejected.join(","),
+            shed.join(","),
+            failed.join(","),
+            slo_json,
             json::num(self.makespan * 1e6),
             json::num(self.serial_time * 1e6),
             json::num(self.compute_utilization),
@@ -412,7 +586,9 @@ impl ServeReport {
     }
 }
 
-/// Host-side result of executing one job (bit-exact work).
+/// Host-side result of executing one job (bit-exact work). Cloneable so
+/// retried attempts reuse the first execution's output.
+#[derive(Clone)]
 struct Exec {
     bytes_in: u64,
     bytes_out: u64,
@@ -465,6 +641,21 @@ fn execute_job(fz: &mut FzGpu, r: &Request, prepared: Option<&[u8]>) -> Exec {
     }
 }
 
+/// One dispatchable work item: a queued admission or a scheduled retry.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Request index.
+    idx: usize,
+    /// Original admission time (constant across retries).
+    admitted: f64,
+    /// Modeled time the entry becomes dispatchable: the admission time
+    /// for fresh jobs, failure time + backoff for retries, the recovery
+    /// time for jobs re-dispatched after a device loss.
+    ready: f64,
+    /// 0-based execution attempt this entry will run.
+    attempt: u32,
+}
+
 /// Mutable scheduler state threaded through the replay.
 struct Runner<'a> {
     cfg: ServeConfig,
@@ -472,65 +663,197 @@ struct Runner<'a> {
     prepared: Vec<Option<Vec<u8>>>,
     fz: FzGpu,
     sim: StreamSim,
-    /// Admitted jobs: `(request index, admission time)`.
-    queue: VecDeque<(usize, f64)>,
+    /// Admitted jobs awaiting their first dispatch.
+    queue: VecDeque<Entry>,
+    /// Retry / re-dispatch entries, kept sorted by `(ready, idx)`.
+    retries: VecDeque<Entry>,
+    /// Stream routing state (believed schedule + circuit breaker).
+    health: StreamHealth,
+    /// The run's fault schedule evaluator (pure per-event functions).
+    faults: ServiceFaults,
+    /// Host-side executions, cached per request so retries reuse the
+    /// first (and only) execution: a completed job's digest is its
+    /// fault-free digest by construction, and Det-class pipeline metrics
+    /// count each job exactly once however often it re-dispatches.
+    exec_cache: Vec<Option<Exec>>,
     jobs: Vec<JobResult>,
+    shed: Vec<Shed>,
+    failed: Vec<Failed>,
     batches: usize,
     fused_saved: f64,
+    retries_total: u64,
+    aborted_jobs: u64,
+    stalls_injected: u64,
+    /// The (single) outage window has been applied to the schedule.
+    outage_applied: bool,
+    /// The device was lost and never recovers.
+    device_dead: bool,
 }
 
 impl Runner<'_> {
-    /// Modeled time of the next dispatch: the earliest-free stream, but
-    /// never before the front job was admitted.
-    fn next_dispatch_time(&self) -> f64 {
-        let (_, ready) = self.sim.earliest_stream();
-        ready.max(self.queue.front().expect("queue non-empty").1)
+    fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.retries.is_empty()
     }
 
-    /// Dispatch one batch from the queue front. Returns the dispatch time
-    /// (when the queue slots freed).
-    fn dispatch(&mut self) -> f64 {
-        let (stream, ready) = self.sim.earliest_stream();
-        let (front, admit) = self.queue.pop_front().expect("dispatch on empty queue");
-        let t = ready.max(admit);
+    /// `(source is the retry list, dispatch time)` of the next dispatch:
+    /// the earliest-draining stream, but never before the chosen item is
+    /// ready. Retries win ties — they carry the older jobs.
+    fn next_dispatch(&self) -> (bool, f64) {
+        let (_, ready) = self.health.peek(&self.sim);
+        let q = self.queue.front().map(|e| ready.max(e.ready));
+        let r = self.retries.front().map(|e| ready.max(e.ready));
+        match (q, r) {
+            (Some(q), Some(r)) => (r <= q, r.min(q)),
+            (None, Some(r)) => (true, r),
+            (Some(q), None) => (false, q),
+            (None, None) => unreachable!("no work to dispatch"),
+        }
+    }
 
-        // Greedily batch same-key small jobs already admitted by `t`.
-        let key = BatchKey::of(&self.workload.requests[front]);
-        let mut members = vec![(front, admit)];
-        if self.cfg.batch_max > 1 && self.workload.requests[front].n <= self.cfg.batch_threshold {
+    /// Modeled time of the next dispatch.
+    fn next_dispatch_time(&self) -> f64 {
+        self.next_dispatch().1
+    }
+
+    /// Insert a retry entry keeping `(ready, idx)` order — deterministic
+    /// whatever order failures were discovered in.
+    fn schedule_retry(&mut self, e: Entry) {
+        let pos = self
+            .retries
+            .iter()
+            .position(|x| (x.ready, x.idx) > (e.ready, e.idx))
+            .unwrap_or(self.retries.len());
+        self.retries.insert(pos, e);
+    }
+
+    /// Record a permanent job loss.
+    fn fail(&mut self, idx: usize, time: f64, attempts: u32, reason: &'static str) {
+        metrics::counter_add(Class::Det, "fzgpu_serve_failed_total", &[("reason", reason)], 1);
+        self.failed.push(Failed {
+            id: idx,
+            arrival: self.workload.requests[idx].arrival,
+            time,
+            attempts,
+            reason,
+        });
+    }
+
+    /// Record a shed job (admission control, not queue overflow).
+    fn shed_job(&mut self, idx: usize, arrival: f64, retry_after: f64, reason: &'static str) {
+        metrics::counter_add(Class::Det, "fzgpu_serve_shed_total", &[("reason", reason)], 1);
+        self.shed.push(Shed {
+            id: idx,
+            arrival,
+            retry_after,
+            priority: self.workload.requests[idx].priority,
+            reason,
+        });
+    }
+
+    /// Fail every pending entry: the device is gone for good.
+    fn fail_all_pending(&mut self, time: f64) {
+        let pending: Vec<Entry> = self.queue.drain(..).chain(self.retries.drain(..)).collect();
+        for e in pending {
+            self.fail(e.idx, time, e.attempt, "device_lost");
+        }
+    }
+
+    /// Full queue under priority shedding: evict the least important
+    /// queued job (highest priority value, newest on ties) when the
+    /// arrival outranks it; otherwise shed the arrival itself.
+    fn admit_or_shed(&mut self, idx: usize, retry_after: f64) {
+        let reqs = &self.workload.requests;
+        let arrival = reqs[idx].arrival;
+        // (borrow of the workload, not of self: mutation below is fine)
+        let victim = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (reqs[e.idx].priority, e.idx))
+            .map(|(pos, e)| (pos, e.idx))
+            .expect("shedding on a non-empty queue");
+        if (reqs[victim.1].priority, victim.1) > (reqs[idx].priority, idx) {
+            self.queue.remove(victim.0);
+            self.shed_job(victim.1, reqs[victim.1].arrival, retry_after, "priority");
+            self.queue.push_back(Entry { idx, admitted: arrival, ready: arrival, attempt: 0 });
+        } else {
+            self.shed_job(idx, arrival, retry_after, "priority");
+        }
+    }
+
+    /// Deterministic completion estimate for a job of `n` values arriving
+    /// at `arrival`: the earliest believed stream, plus the queued backlog
+    /// spread over all streams, plus the job's own roofline service time.
+    fn estimate_completion(&self, arrival: f64, n: usize) -> f64 {
+        let spec = &self.workload.device;
+        let model =
+            |n: usize| native_model_seconds(n, spec) + (n * 4) as f64 / spec.pcie_peak * 2.0;
+        let backlog: f64 = self
+            .queue
+            .iter()
+            .chain(self.retries.iter())
+            .map(|e| model(self.workload.requests[e.idx].n))
+            .sum();
+        let (_, ready) = self.health.peek(&self.sim);
+        ready.max(arrival) + backlog / self.cfg.streams as f64 + model(n)
+    }
+
+    /// Execute (or recall) the bit-exact host-side work of request `idx`.
+    fn exec(&mut self, idx: usize) -> Exec {
+        if self.exec_cache[idx].is_none() {
+            self.exec_cache[idx] = Some(execute_job(
+                &mut self.fz,
+                &self.workload.requests[idx],
+                self.prepared[idx].as_deref(),
+            ));
+        }
+        self.exec_cache[idx].clone().expect("just filled")
+    }
+
+    /// Dispatch one batch (fresh jobs, possibly fused) or one retry
+    /// (always solo). Returns the dispatch time (when any consumed queue
+    /// slot freed).
+    fn dispatch(&mut self) -> f64 {
+        let (take_retry, _) = self.next_dispatch();
+        let (stream, ready) = self.health.pick(&self.sim);
+        let head = if take_retry {
+            self.retries.pop_front().expect("retry front")
+        } else {
+            self.queue.pop_front().expect("queue front")
+        };
+        let t = ready.max(head.ready);
+
+        // Greedily batch same-key small fresh jobs already admitted by `t`.
+        let key = BatchKey::of(&self.workload.requests[head.idx]);
+        let mut members = vec![head];
+        if !take_retry
+            && self.cfg.batch_max > 1
+            && self.workload.requests[head.idx].n <= self.cfg.batch_threshold
+        {
             let mut kept = VecDeque::with_capacity(self.queue.len());
-            while let Some((idx, adm)) = self.queue.pop_front() {
+            while let Some(e) = self.queue.pop_front() {
                 if members.len() < self.cfg.batch_max
-                    && adm <= t
-                    && BatchKey::of(&self.workload.requests[idx]) == key
+                    && e.ready <= t
+                    && BatchKey::of(&self.workload.requests[e.idx]) == key
                 {
-                    members.push((idx, adm));
+                    members.push(e);
                 } else {
-                    kept.push_back((idx, adm));
+                    kept.push_back(e);
                 }
             }
             self.queue = kept;
         }
 
         // Bit-exact execution, one job at a time (see the module docs).
-        let execs: Vec<Exec> = members
-            .iter()
-            .map(|&(idx, _)| {
-                execute_job(
-                    &mut self.fz,
-                    &self.workload.requests[idx],
-                    self.prepared[idx].as_deref(),
-                )
-            })
-            .collect();
+        let execs: Vec<Exec> = members.iter().map(|e| self.exec(e.idx)).collect();
 
-        // Modeled schedule: copy in, fused kernels, copy out.
+        // Modeled schedule: copy in, fused kernels, copy out — enqueued
+        // speculatively so a device loss can abort the batch.
+        let mark = self.sim.mark();
         let spec = self.workload.device;
         let seqs: Vec<Vec<(String, f64)>> = execs.iter().map(|e| e.kernels.clone()).collect();
         let (fused, saved) = fuse_kernel_sequences(&seqs, spec.launch_overhead);
-        self.fused_saved += saved;
         let b = self.batches;
-        self.batches += 1;
         let h2d: u64 = execs.iter().map(|e| e.bytes_in).sum();
         let d2h: u64 = execs.iter().map(|e| e.bytes_out).sum();
         self.sim.enqueue(
@@ -551,29 +874,131 @@ impl Runner<'_> {
             t,
         );
 
-        let batch_size = members.len();
+        // Device loss: the first batch whose schedule crosses the loss
+        // instant triggers the outage — it and every other in-flight job
+        // are aborted (drain) and, if the device recovers, re-dispatched.
+        if !self.outage_applied {
+            if let Some((loss, recovery)) = self.faults.outage() {
+                if end > loss {
+                    self.sim.rollback(&mark);
+                    self.apply_outage(loss, recovery, members);
+                    return t;
+                }
+            }
+        }
+
+        // Commit: the batch ran.
+        self.batches += 1;
+        self.fused_saved += saved;
+        self.health.note_work(stream, end);
         metrics::counter_add(Class::Det, "fzgpu_serve_batches_total", &[], 1);
-        for ((idx, admit), e) in members.into_iter().zip(execs) {
-            let r = &self.workload.requests[idx];
+
+        // Injected stream stall after this dispatch: freezes the stream's
+        // queue silently — the believed schedule does not move, so only a
+        // breaker-enabled scheduler routes the next dispatch around it.
+        if let Some(d) = self.faults.stall_after(b as u64) {
+            self.sim.enqueue(stream, OpClass::Stall, &format!("b{b}.stall"), d, 0.0);
+            self.stalls_injected += 1;
+            metrics::counter_add(Class::Det, "fzgpu_serve_stalls_total", &[], 1);
+        }
+
+        let batch_size = members.len();
+        for (e, x) in members.into_iter().zip(execs) {
+            let r = &self.workload.requests[e.idx];
+            // Transient job fault: this attempt's output is discarded at
+            // its completion time (never corrupted — the discarded result
+            // is the cached fault-free one); retry with backoff while the
+            // budget lasts.
+            if self.faults.job_attempt_fails(e.idx as u64, e.attempt) {
+                if e.attempt < self.cfg.resilience.retry.max_retries {
+                    self.retries_total += 1;
+                    metrics::counter_add(Class::Det, "fzgpu_serve_retries_total", &[], 1);
+                    let backoff = self.cfg.resilience.retry.backoff_time(e.attempt + 1);
+                    self.schedule_retry(Entry {
+                        ready: end + backoff,
+                        attempt: e.attempt + 1,
+                        ..e
+                    });
+                } else {
+                    self.fail(e.idx, end, e.attempt + 1, "faults");
+                }
+                continue;
+            }
             metrics::counter_add(Class::Det, "fzgpu_serve_jobs_total", &[("op", r.op.label())], 1);
             self.jobs.push(JobResult {
-                id: idx,
+                id: e.idx,
                 op: r.op,
                 n: r.n,
                 arrival: r.arrival,
-                admitted: admit,
+                admitted: e.admitted,
                 dispatched: t,
                 completed: end,
-                bytes_in: e.bytes_in,
-                bytes_out: e.bytes_out,
-                digest: e.digest,
+                bytes_in: x.bytes_in,
+                bytes_out: x.bytes_out,
+                digest: x.digest,
                 stream,
                 batch: b,
                 batch_size,
-                host_seconds: e.host_s,
+                retries: e.attempt,
+                host_seconds: x.host_s,
             });
         }
         t
+    }
+
+    /// Apply the device-loss window: abort every in-flight job — the
+    /// `current` (rolled-back) members plus previously dispatched jobs
+    /// whose batch spans the loss instant — freeze every stream until
+    /// recovery and re-dispatch the aborted jobs then, or fail everything
+    /// when the device never returns. Work time already charged for
+    /// aborted batches stays charged: it was spent, and lost.
+    fn apply_outage(&mut self, loss: f64, recovery: Option<f64>, current: Vec<Entry>) {
+        self.outage_applied = true;
+        metrics::counter_add(Class::Det, "fzgpu_serve_device_loss_total", &[], 1);
+
+        let mut aborted: Vec<Entry> = Vec::new();
+        let mut keep = Vec::with_capacity(self.jobs.len());
+        for j in std::mem::take(&mut self.jobs) {
+            if j.dispatched < loss && j.completed > loss {
+                aborted.push(Entry {
+                    idx: j.id,
+                    admitted: j.admitted,
+                    ready: 0.0,
+                    attempt: j.retries,
+                });
+            } else {
+                keep.push(j);
+            }
+        }
+        self.jobs = keep;
+        aborted.extend(current);
+        aborted.sort_by_key(|e| e.idx);
+        self.aborted_jobs += aborted.len() as u64;
+        metrics::counter_add(Class::Det, "fzgpu_serve_aborted_total", &[], aborted.len() as u64);
+
+        match recovery {
+            Some(rec) => {
+                // Freeze every stream's queue until the device returns —
+                // loudly: the believed schedule learns the outage too.
+                for s in 0..self.sim.n_streams() {
+                    let at = self.sim.stream_ready(s);
+                    if at < rec {
+                        self.sim.enqueue(s, OpClass::Stall, "device.lost", rec - at, 0.0);
+                    }
+                }
+                self.health.note_outage(rec);
+                for e in aborted {
+                    self.schedule_retry(Entry { ready: rec, ..e });
+                }
+            }
+            None => {
+                self.device_dead = true;
+                for e in aborted {
+                    self.fail(e.idx, loss, e.attempt, "device_lost");
+                }
+                self.fail_all_pending(loss);
+            }
+        }
     }
 }
 
@@ -630,6 +1055,7 @@ impl Service {
         }
         fz.gpu_mut().set_charge_alloc(self.config.charge_alloc);
 
+        let res = self.config.resilience;
         let mut run = Runner {
             cfg: self.config,
             workload,
@@ -637,51 +1063,117 @@ impl Service {
             fz,
             sim: StreamSim::new(&workload.device, self.config.streams),
             queue: VecDeque::new(),
+            retries: VecDeque::new(),
+            health: StreamHealth::new(self.config.streams, res.breaker),
+            faults: ServiceFaults::new(res.faults),
+            exec_cache: vec![None; workload.requests.len()],
             jobs: Vec::new(),
+            shed: Vec::new(),
+            failed: Vec::new(),
             batches: 0,
             fused_saved: 0.0,
+            retries_total: 0,
+            aborted_jobs: 0,
+            stalls_injected: 0,
+            outage_applied: false,
+            device_dead: false,
         };
         let mut rejected: Vec<Rejection> = Vec::new();
 
         for (i, r) in workload.requests.iter().enumerate() {
             // Catch up: dispatches that happen before this arrival.
-            while !run.queue.is_empty() && run.next_dispatch_time() <= r.arrival {
+            while run.has_work() && run.next_dispatch_time() <= r.arrival {
                 run.dispatch();
             }
+            if run.device_dead {
+                run.fail(i, r.arrival, 0, "device_lost");
+                continue;
+            }
+            // Deadline-aware admission: shed what already cannot make it
+            // instead of letting it occupy a queue slot.
+            if let Some(d) = res.deadline {
+                let est = run.estimate_completion(r.arrival, r.n);
+                if est > r.arrival + d {
+                    run.shed_job(i, r.arrival, (est - r.arrival - d).max(0.0), "deadline");
+                    continue;
+                }
+            }
             if run.queue.len() < self.config.queue_depth {
-                run.queue.push_back((i, r.arrival));
+                run.queue.push_back(Entry {
+                    idx: i,
+                    admitted: r.arrival,
+                    ready: r.arrival,
+                    attempt: 0,
+                });
             } else {
                 match self.config.backpressure {
                     Backpressure::Reject => {
                         let retry_after = (run.next_dispatch_time() - r.arrival).max(0.0);
-                        metrics::counter_add(Class::Det, "fzgpu_serve_rejected_total", &[], 1);
-                        rejected.push(Rejection { id: i, arrival: r.arrival, retry_after });
+                        if res.shed_by_priority {
+                            run.admit_or_shed(i, retry_after);
+                        } else {
+                            metrics::counter_add(Class::Det, "fzgpu_serve_rejected_total", &[], 1);
+                            rejected.push(Rejection { id: i, arrival: r.arrival, retry_after });
+                        }
                     }
                     Backpressure::Block => {
-                        // The client stalls; the next dispatch frees slots
-                        // and admission happens then.
-                        let freed_at = run.dispatch();
-                        run.queue.push_back((i, r.arrival.max(freed_at)));
+                        // The client stalls; dispatches free slots and
+                        // admission happens then.
+                        let mut admit = r.arrival;
+                        while run.queue.len() >= self.config.queue_depth && !run.device_dead {
+                            admit = admit.max(run.dispatch());
+                        }
+                        if run.device_dead {
+                            run.fail(i, r.arrival, 0, "device_lost");
+                        } else {
+                            run.queue.push_back(Entry {
+                                idx: i,
+                                admitted: admit,
+                                ready: admit,
+                                attempt: 0,
+                            });
+                        }
                     }
                 }
             }
         }
-        while !run.queue.is_empty() {
+        while run.has_work() {
             run.dispatch();
         }
 
-        let makespan = run.sim.makespan();
+        let mut makespan = run.sim.makespan();
+        if run.outage_applied {
+            // A loss that interrupted work holds the clock at least to the
+            // loss (or recovery) instant even if nothing ran afterwards.
+            if let Some((loss, recovery)) = run.faults.outage() {
+                makespan = makespan.max(recovery.unwrap_or(loss));
+            }
+        }
         metrics::gauge_set(Class::Det, "fzgpu_serve_makespan_seconds", &[], makespan);
         metrics::gauge_set(Class::Det, "fzgpu_serve_fused_saved_seconds", &[], run.fused_saved);
+        if run.health.reroutes() > 0 {
+            metrics::counter_add(
+                Class::Det,
+                "fzgpu_serve_breaker_reroutes_total",
+                &[],
+                run.health.reroutes(),
+            );
+        }
         let host_seconds = t0.elapsed().as_secs_f64();
         metrics::observe(Class::Wall, "fzgpu_serve_host_seconds", &[], host_seconds);
 
-        ServeReport {
+        let report = ServeReport {
             workload: workload.name.clone(),
             device: workload.device.name,
             config: self.config,
             jobs: run.jobs,
             rejected,
+            shed: run.shed,
+            failed: run.failed,
+            retries_total: run.retries_total,
+            aborted_jobs: run.aborted_jobs,
+            breaker_reroutes: run.health.reroutes(),
+            stalls_injected: run.stalls_injected,
             makespan,
             serial_time: run.sim.serial_time(),
             compute_utilization: run.sim.compute_utilization(),
@@ -694,7 +1186,12 @@ impl Service {
             } else {
                 String::new()
             },
+        };
+        let missed = report.slo().deadline_missed as u64;
+        if missed > 0 {
+            metrics::counter_add(Class::Det, "fzgpu_serve_deadline_missed_total", &[], missed);
         }
+        report
     }
 }
 
@@ -715,6 +1212,7 @@ mod tests {
                 eb: ErrorBound::Abs(1e-3),
                 field: FieldKind::Sine,
                 seed: i as u64,
+                priority: 0,
             })
             .collect();
         Workload { name: "uniform".into(), device: A100, requests }
@@ -823,6 +1321,7 @@ mod tests {
                 eb: ErrorBound::Abs(1e-3),
                 field: FieldKind::Ramp,
                 seed: 1,
+                priority: 0,
             },
             Request {
                 arrival: 2e-6,
@@ -831,6 +1330,7 @@ mod tests {
                 eb: ErrorBound::Abs(1e-3),
                 field: FieldKind::Ramp,
                 seed: 1,
+                priority: 0,
             },
         ];
         let w = Workload { name: "mix".into(), device: A100, requests };
@@ -852,6 +1352,7 @@ mod tests {
             eb: ErrorBound::Abs(1e-3),
             field: FieldKind::Ramp,
             seed: 9,
+            priority: 0,
         });
         let sim =
             Service::new(ServeConfig { path: PipelinePath::Simulated, ..ServeConfig::default() })

@@ -96,6 +96,11 @@ pub struct Request {
     pub field: FieldKind,
     /// Generator seed.
     pub seed: u64,
+    /// Scheduling priority: lower value = more important. Only consulted
+    /// by priority shedding (see
+    /// [`crate::ResilienceConfig::shed_by_priority`]); 0 (the default)
+    /// everywhere keeps admission order-driven as before.
+    pub priority: u8,
 }
 
 /// A parsed workload trace.
@@ -176,7 +181,12 @@ fn parse_request(r: &Value) -> Result<Request, String> {
         .transpose()?
         .unwrap_or(FieldKind::Sine);
     let seed = num_field(r, "seed").unwrap_or(0.0) as u64;
-    Ok(Request { arrival: arrival_us * 1e-6, op, n, eb, field, seed })
+    let priority = match num_field(r, "priority") {
+        None => 0,
+        Some(p) if p.fract() == 0.0 && (0.0..=255.0).contains(&p) => p as u8,
+        Some(p) => return Err(format!("priority must be an integer in 0..=255, got {p}")),
+    };
+    Ok(Request { arrival: arrival_us * 1e-6, op, n, eb, field, seed, priority })
 }
 
 /// Generate the deterministic synthetic field for a request.
@@ -216,7 +226,7 @@ mod tests {
     const SAMPLE: &str = r#"{
         "name": "t", "device": "a4000",
         "requests": [
-            {"arrival_us": 10.0, "op": "decompress", "n": 4096, "eb_abs": 1e-3, "field": "ramp", "seed": 3},
+            {"arrival_us": 10.0, "op": "decompress", "n": 4096, "eb_abs": 1e-3, "field": "ramp", "seed": 3, "priority": 2},
             {"arrival_us": 0.0, "op": "compress", "n": 8192, "eb_rel": 1e-3}
         ]
     }"#;
@@ -229,6 +239,8 @@ mod tests {
         assert_eq!(w.requests.len(), 2);
         assert_eq!(w.requests[0].op, Op::Compress);
         assert_eq!(w.requests[0].field, FieldKind::Sine, "field defaults to sine");
+        assert_eq!(w.requests[0].priority, 0, "priority defaults to 0");
+        assert_eq!(w.requests[1].priority, 2);
         assert!((w.requests[1].arrival - 10e-6).abs() < 1e-12);
         assert_eq!(w.total_values(), 4096 + 8192);
     }
@@ -241,6 +253,8 @@ mod tests {
             r#"{"name":"x","requests":[{"arrival_us":0.0,"op":"compress","n":0,"eb_abs":1e-3}]}"#,
             r#"{"name":"x","requests":[{"arrival_us":-5.0,"op":"compress","n":64,"eb_abs":1e-3}]}"#,
             r#"{"name":"x","requests":[{"arrival_us":0.0,"op":"compress","n":64,"eb_abs":0.0}]}"#,
+            r#"{"name":"x","requests":[{"arrival_us":0.0,"op":"compress","n":64,"eb_abs":1e-3,"priority":300}]}"#,
+            r#"{"name":"x","requests":[{"arrival_us":0.0,"op":"compress","n":64,"eb_abs":1e-3,"priority":1.5}]}"#,
             r#"{"requests":[]}"#,
             r#"{"name":"x","device":"h100","requests":[]}"#,
             "not json",

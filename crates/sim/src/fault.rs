@@ -160,10 +160,11 @@ impl Default for FaultPlan {
 /// Bounded retry-with-backoff policy for transient launch failures.
 ///
 /// Attempt `k` (1-based) that fails is charged
-/// `launch_overhead + backoff_base * backoff_factor^(k-1)` of modeled time
-/// before the next attempt. After `max_retries` failed attempts the fault
-/// surfaces to the caller (the simulator panics with a "retry budget
-/// exhausted" message — the moral equivalent of a sticky `cudaError`).
+/// `launch_overhead + min(backoff_base * backoff_factor^(k-1), backoff_cap)`
+/// of modeled time before the next attempt. After `max_retries` failed
+/// attempts the fault surfaces to the caller (the simulator panics with a
+/// "retry budget exhausted" message — the moral equivalent of a sticky
+/// `cudaError`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Failed attempts tolerated before the fault surfaces.
@@ -172,17 +173,25 @@ pub struct RetryPolicy {
     pub backoff_base: f64,
     /// Multiplier applied to the backoff per further failed attempt.
     pub backoff_factor: f64,
+    /// Ceiling on any single backoff interval, seconds — geometric growth
+    /// must not charge unbounded modeled stalls. Defaults high (1 s) so
+    /// microsecond-scale policies are unaffected unless they opt in.
+    pub backoff_cap: f64,
 }
 
 impl RetryPolicy {
     /// No retries: the first transient fault surfaces immediately.
     pub fn none() -> Self {
-        Self { max_retries: 0, backoff_base: 0.0, backoff_factor: 1.0 }
+        Self { max_retries: 0, backoff_base: 0.0, backoff_factor: 1.0, backoff_cap: 0.0 }
     }
 
     /// Backoff delay after failed attempt `attempt` (1-based), seconds.
+    /// `attempt == 0` means "no failed attempt yet" and charges nothing.
     pub fn backoff_time(&self, attempt: u32) -> f64 {
-        self.backoff_base * self.backoff_factor.powi(attempt.saturating_sub(1) as i32)
+        if attempt == 0 {
+            return 0.0;
+        }
+        (self.backoff_base * self.backoff_factor.powi((attempt - 1) as i32)).min(self.backoff_cap)
     }
 }
 
@@ -190,7 +199,7 @@ impl Default for RetryPolicy {
     fn default() -> Self {
         // Three retries starting at half a launch overhead, doubling:
         // deep enough for any plan with max_consecutive <= 3.
-        Self { max_retries: 3, backoff_base: 2.0e-6, backoff_factor: 2.0 }
+        Self { max_retries: 3, backoff_base: 2.0e-6, backoff_factor: 2.0, backoff_cap: 1.0 }
     }
 }
 
@@ -328,6 +337,156 @@ impl BlockFault {
     }
 }
 
+/// Declarative fault schedule at *service* granularity — the failure
+/// domain a scheduler sees, as opposed to [`FaultPlan`]'s device-memory
+/// and launch-level faults. Three event families:
+///
+/// * **Transient job failures**: any single execution attempt of a job may
+///   fail; the job's *output is discarded*, never corrupted (faults cost
+///   time or jobs, never correctness). Bounded by
+///   [`ServiceFaultPlan::max_consecutive_job_faults`], the same transient
+///   guarantee as launch faults: a retry budget at least that deep always
+///   reaches a successful attempt.
+/// * **Stream stalls**: after a dispatch, the stream's queue may freeze for
+///   [`ServiceFaultPlan::stall_seconds`] of modeled time (models a wedged
+///   driver channel / preempting tenant).
+/// * **Device loss**: at modeled time [`ServiceFaultPlan::device_loss_at`],
+///   all in-flight work on the device is aborted; the device comes back
+///   after [`ServiceFaultPlan::device_repair_seconds`] (or never, when that
+///   is `None` — a permanent loss).
+///
+/// All decisions are **pure functions of (seed, job id / dispatch index,
+/// attempt)** — no generator state is threaded through the schedule — so a
+/// given plan injects the identical fault sequence regardless of host
+/// thread count or the order the scheduler happens to evaluate events in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceFaultPlan {
+    /// Seed for the deterministic per-event generators.
+    pub seed: u64,
+    /// Probability that any single job execution attempt fails transiently.
+    pub job_fail_prob: f64,
+    /// Hard cap on consecutive failures of one job — attempt index
+    /// `max_consecutive_job_faults` (0-based) never fails.
+    pub max_consecutive_job_faults: u32,
+    /// Probability that a dispatch leaves its stream stalled.
+    pub stall_prob: f64,
+    /// Modeled duration of one stream stall, seconds.
+    pub stall_seconds: f64,
+    /// Modeled time at which the device is lost (`None`: never).
+    pub device_loss_at: Option<f64>,
+    /// Repair interval after a device loss (`None`: permanent loss).
+    pub device_repair_seconds: Option<f64>,
+}
+
+impl ServiceFaultPlan {
+    /// A plan injecting nothing.
+    pub fn disabled() -> Self {
+        Self {
+            seed: 0,
+            job_fail_prob: 0.0,
+            max_consecutive_job_faults: 0,
+            stall_prob: 0.0,
+            stall_seconds: 0.0,
+            device_loss_at: None,
+            device_repair_seconds: None,
+        }
+    }
+
+    /// Empty plan with a seed; chain the builder methods below.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::disabled() }
+    }
+
+    /// Set the transient job-failure probability and the consecutive cap.
+    pub fn job_faults(mut self, prob: f64, max_consecutive: u32) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "failure prob must be a probability");
+        self.job_fail_prob = prob;
+        self.max_consecutive_job_faults = max_consecutive;
+        self
+    }
+
+    /// Set the per-dispatch stall probability and stall duration.
+    pub fn stalls(mut self, prob: f64, seconds: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "stall prob must be a probability");
+        assert!(seconds >= 0.0 && seconds.is_finite(), "stall duration must be finite");
+        self.stall_prob = prob;
+        self.stall_seconds = seconds;
+        self
+    }
+
+    /// Schedule a device loss at modeled time `at`, recovering after
+    /// `repair` seconds (`None`: the device never comes back).
+    pub fn device_loss(mut self, at: f64, repair: Option<f64>) -> Self {
+        assert!(at >= 0.0 && at.is_finite(), "loss time must be finite");
+        assert!(repair.is_none_or(|r| r >= 0.0 && r.is_finite()), "repair must be finite");
+        self.device_loss_at = Some(at);
+        self.device_repair_seconds = repair;
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_disabled(&self) -> bool {
+        self.job_fail_prob == 0.0 && self.stall_prob == 0.0 && self.device_loss_at.is_none()
+    }
+}
+
+impl Default for ServiceFaultPlan {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Stateless evaluator of a [`ServiceFaultPlan`]: every query derives a
+/// fresh generator from the plan seed and the event's identity, so the
+/// answer is independent of query order (and hence of host scheduling).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceFaults {
+    plan: ServiceFaultPlan,
+}
+
+impl ServiceFaults {
+    /// Evaluator for a plan; same plan → same fault schedule.
+    pub fn new(plan: ServiceFaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The plan this evaluator answers for.
+    pub fn plan(&self) -> &ServiceFaultPlan {
+        &self.plan
+    }
+
+    /// Does execution attempt `attempt` (0-based) of job `job_id` fail
+    /// transiently? Attempt `max_consecutive_job_faults` never fails, so
+    /// any retry budget at least that deep completes the job.
+    pub fn job_attempt_fails(&self, job_id: u64, attempt: u32) -> bool {
+        if self.plan.job_fail_prob <= 0.0 || attempt >= self.plan.max_consecutive_job_faults {
+            return false;
+        }
+        let mut rng = Lcg::new(
+            self.plan.seed
+                ^ job_id.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ (attempt as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        rng.chance(self.plan.job_fail_prob)
+    }
+
+    /// Stall duration injected after dispatch number `dispatch_id`, if any.
+    pub fn stall_after(&self, dispatch_id: u64) -> Option<f64> {
+        if self.plan.stall_prob <= 0.0 {
+            return None;
+        }
+        let mut rng =
+            Lcg::new(self.plan.seed ^ dispatch_id.wrapping_mul(0x8EBC_6AF0_9C88_C6E3) ^ 0x5757);
+        rng.chance(self.plan.stall_prob).then_some(self.plan.stall_seconds)
+    }
+
+    /// The device outage window as `(loss time, recovery time)`;
+    /// `recovery == None` means the device never comes back.
+    pub fn outage(&self) -> Option<(f64, Option<f64>)> {
+        self.plan.device_loss_at.map(|at| (at, self.plan.device_repair_seconds.map(|r| at + r)))
+    }
+}
+
 /// Draw flip positions over `nbits` independent per-bit trials at rate `p`
 /// using geometric gap sampling (O(flips), not O(bits)), calling `flip` for
 /// each. Returns the flip count.
@@ -452,11 +611,84 @@ mod tests {
 
     #[test]
     fn retry_policy_backoff_grows_geometrically() {
-        let p = RetryPolicy { max_retries: 4, backoff_base: 1e-6, backoff_factor: 2.0 };
+        let p = RetryPolicy {
+            max_retries: 4,
+            backoff_base: 1e-6,
+            backoff_factor: 2.0,
+            ..RetryPolicy::default()
+        };
         assert_eq!(p.backoff_time(1), 1e-6);
         assert_eq!(p.backoff_time(2), 2e-6);
         assert_eq!(p.backoff_time(3), 4e-6);
         assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    #[test]
+    fn retry_policy_zeroth_attempt_charges_nothing_and_cap_bounds_growth() {
+        let p = RetryPolicy {
+            max_retries: 40,
+            backoff_base: 1e-6,
+            backoff_factor: 2.0,
+            backoff_cap: 8e-6,
+        };
+        assert_eq!(p.backoff_time(0), 0.0, "no failed attempt, no backoff");
+        assert_eq!(p.backoff_time(4), 8e-6);
+        assert_eq!(p.backoff_time(5), 8e-6, "cap must bound geometric growth");
+        assert_eq!(p.backoff_time(30), 8e-6);
+        // The default cap is high enough to leave µs-scale policies alone.
+        let d = RetryPolicy::default();
+        assert_eq!(d.backoff_time(0), 0.0);
+        assert!(d.backoff_time(d.max_retries) < d.backoff_cap);
+    }
+
+    #[test]
+    fn service_faults_are_pure_functions_of_identity() {
+        let plan = ServiceFaultPlan::seeded(42).job_faults(0.5, 3).stalls(0.3, 5e-6);
+        let a = ServiceFaults::new(plan);
+        let b = ServiceFaults::new(plan);
+        // Same decisions whichever order (or evaluator) asks.
+        for job in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(a.job_attempt_fails(job, attempt), b.job_attempt_fails(job, attempt));
+            }
+        }
+        for d in 0..64u64 {
+            assert_eq!(a.stall_after(d), b.stall_after(d));
+        }
+        // Roughly honors the rates.
+        let fails = (0..1000u64).filter(|&j| a.job_attempt_fails(j, 0)).count();
+        assert!((300..700).contains(&fails), "expected ~500 first-attempt failures, got {fails}");
+        let stalls = (0..1000u64).filter(|&d| a.stall_after(d).is_some()).count();
+        assert!((150..450).contains(&stalls), "expected ~300 stalls, got {stalls}");
+        // A different seed gives a different schedule.
+        let c = ServiceFaults::new(ServiceFaultPlan::seeded(43).job_faults(0.5, 3));
+        assert!((0..256u64).any(|j| a.job_attempt_fails(j, 0) != c.job_attempt_fails(j, 0)));
+    }
+
+    #[test]
+    fn service_faults_respect_consecutive_cap_and_outage_window() {
+        let plan = ServiceFaultPlan::seeded(7).job_faults(1.0, 2);
+        let f = ServiceFaults::new(plan);
+        for job in 0..32u64 {
+            assert!(f.job_attempt_fails(job, 0));
+            assert!(f.job_attempt_fails(job, 1));
+            assert!(!f.job_attempt_fails(job, 2), "attempt max_consecutive must succeed");
+        }
+        assert_eq!(f.outage(), None);
+        let lost = ServiceFaults::new(plan.device_loss(1e-3, Some(2e-3)));
+        assert_eq!(lost.outage(), Some((1e-3, Some(3e-3))));
+        let gone = ServiceFaults::new(plan.device_loss(1e-3, None));
+        assert_eq!(gone.outage(), Some((1e-3, None)));
+    }
+
+    #[test]
+    fn disabled_service_plan_injects_nothing() {
+        let f = ServiceFaults::new(ServiceFaultPlan::disabled());
+        assert!(ServiceFaultPlan::disabled().is_disabled());
+        assert!(!ServiceFaultPlan::seeded(1).job_faults(0.1, 1).is_disabled());
+        assert!((0..100u64).all(|j| !f.job_attempt_fails(j, 0)));
+        assert!((0..100u64).all(|d| f.stall_after(d).is_none()));
+        assert_eq!(f.outage(), None);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use block::{BlockCtx, Dim3};
 pub use budget::{BudgetViolation, StatsBudget};
 pub use cluster::Cluster;
 pub use device::{DeviceSpec, SECTOR_BYTES, SMEM_BANKS, WARP_SIZE};
-pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy, ServiceFaultPlan, ServiceFaults};
 pub use grid::{Event, Gpu};
 pub use memory::GpuBuffer;
 pub use mempool::{MemPool, PoolStats};
@@ -69,5 +69,5 @@ pub use perf::{estimate_time, BoundBy, KernelRecord, KernelStats, TimeBreakdown,
 pub use pod::Pod;
 pub use profile::{Profile, ProfileEvent};
 pub use shared::{conflict_cycles, Shared};
-pub use stream::{EventId, OpClass, StreamOp, StreamSim};
+pub use stream::{EventId, OpClass, StreamMark, StreamOp, StreamSim};
 pub use warp::{Lane, WarpCtx};

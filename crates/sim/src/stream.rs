@@ -38,6 +38,9 @@ pub enum OpClass {
     CopyH2D,
     /// Device-to-host copy: occupies one DMA engine.
     CopyD2H,
+    /// Stall: freezes the stream's queue for the duration without
+    /// occupying any engine (injected faults, device-loss aborts).
+    Stall,
 }
 
 impl OpClass {
@@ -47,6 +50,7 @@ impl OpClass {
             OpClass::Compute => "compute",
             OpClass::CopyH2D => "H2D",
             OpClass::CopyD2H => "D2H",
+            OpClass::Stall => "stall",
         }
     }
 }
@@ -78,6 +82,17 @@ impl StreamOp {
 /// Handle of a recorded cross-stream event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventId(usize);
+
+/// Opaque checkpoint of a [`StreamSim`]'s scheduling state (see
+/// [`StreamSim::mark`] / [`StreamSim::rollback`]).
+#[derive(Debug, Clone)]
+pub struct StreamMark {
+    compute_ready: f64,
+    copy_ready: Vec<f64>,
+    stream_ready: Vec<f64>,
+    ops: usize,
+    events: usize,
+}
 
 /// Modeled multi-stream scheduler for one device (see the module docs).
 pub struct StreamSim {
@@ -144,6 +159,8 @@ impl StreamSim {
                 start = start.max(self.compute_ready);
                 0
             }
+            // A stall blocks only its own stream's queue.
+            OpClass::Stall => 0,
             OpClass::CopyH2D | OpClass::CopyD2H => {
                 // Earliest-free DMA engine, lowest index on ties — a pure
                 // function of the enqueue order.
@@ -162,6 +179,7 @@ impl StreamSim {
         match class {
             OpClass::Compute => self.compute_ready = end,
             OpClass::CopyH2D | OpClass::CopyD2H => self.copy_ready[engine] = end,
+            OpClass::Stall => {}
         }
         self.stream_ready[stream] = end;
         self.ops.push(StreamOp { name: name.to_string(), stream, class, engine, start, duration });
@@ -229,11 +247,41 @@ impl StreamSim {
             .expect("at least one stream")
     }
 
-    /// Sum of all enqueued durations — what a single synchronous queue
-    /// would take. `makespan() <= serial_time()` always; the gap is the
-    /// overlap the streams bought.
+    /// Sum of all enqueued *work* durations (stalls excluded — a stall is
+    /// lost time, not work) — what a single synchronous queue would take.
+    /// Without injected stalls `makespan() <= serial_time()`; the gap is
+    /// the overlap the streams bought.
     pub fn serial_time(&self) -> f64 {
-        self.ops.iter().map(|o| o.duration).sum()
+        self.ops.iter().filter(|o| o.class != OpClass::Stall).map(|o| o.duration).sum()
+    }
+
+    /// Checkpoint the scheduler state. Pair with [`StreamSim::rollback`] to
+    /// un-enqueue speculatively scheduled work (a batch aborted by a
+    /// device-loss event is scheduled, observed to cross the loss time,
+    /// then rolled back and replaced by the abort stall).
+    pub fn mark(&self) -> StreamMark {
+        StreamMark {
+            compute_ready: self.compute_ready,
+            copy_ready: self.copy_ready.clone(),
+            stream_ready: self.stream_ready.clone(),
+            ops: self.ops.len(),
+            events: self.events.len(),
+        }
+    }
+
+    /// Restore the state captured by [`StreamSim::mark`], discarding every
+    /// operation and event enqueued since.
+    ///
+    /// # Panics
+    /// Panics when `mark` came from a differently-shaped scheduler.
+    pub fn rollback(&mut self, mark: &StreamMark) {
+        assert_eq!(mark.stream_ready.len(), self.stream_ready.len(), "foreign mark");
+        assert!(mark.ops <= self.ops.len(), "mark is newer than the schedule");
+        self.compute_ready = mark.compute_ready;
+        self.copy_ready.clone_from(&mark.copy_ready);
+        self.stream_ready.clone_from(&mark.stream_ready);
+        self.ops.truncate(mark.ops);
+        self.events.truncate(mark.events);
     }
 
     /// Busy fraction of the compute engine over the makespan (0 when
@@ -411,6 +459,48 @@ mod tests {
             "{track_names:?}"
         );
         assert!(doc.get("otherData").and_then(|o| o.get("copy_engines")).is_some());
+    }
+
+    #[test]
+    fn stalls_freeze_only_their_stream_and_skip_serial_time() {
+        let mut sim = StreamSim::new(&A100, 2);
+        enqueue_job(&mut sim, 0, "a");
+        let before = sim.serial_time();
+        sim.enqueue(0, OpClass::Stall, "chaos.stall", 100e-6, 0.0);
+        assert_eq!(sim.serial_time(), before, "stalls are lost time, not work");
+        // Stream 0's queue is frozen; stream 1 is untouched.
+        assert!(sim.stream_ready(0) >= 140e-6 - 1e-15);
+        assert_eq!(sim.stream_ready(1), 0.0);
+        // Compute/DMA engines were not occupied by the stall: stream 1's
+        // job starts immediately.
+        sim.enqueue(1, OpClass::Compute, "b.kernel", 5e-6, 0.0);
+        let b = sim.ops().last().unwrap();
+        assert!((b.start - 30e-6).abs() < 1e-15, "compute engine frees at 30us, got {}", b.start);
+    }
+
+    #[test]
+    fn rollback_restores_the_schedule_exactly() {
+        let mut sim = StreamSim::new(&A100, 2);
+        enqueue_job(&mut sim, 0, "a");
+        let mark = sim.mark();
+        let snapshot: Vec<(f64, f64)> = sim.ops().iter().map(|o| (o.start, o.duration)).collect();
+        let (makespan, serial) = (sim.makespan(), sim.serial_time());
+        enqueue_job(&mut sim, 1, "speculative");
+        sim.record_event(1);
+        assert!(sim.ops().len() > snapshot.len());
+        sim.rollback(&mark);
+        assert_eq!(sim.ops().len(), snapshot.len());
+        assert_eq!(sim.makespan(), makespan);
+        assert_eq!(sim.serial_time(), serial);
+        // Re-enqueueing after a rollback reproduces the identical schedule.
+        enqueue_job(&mut sim, 1, "speculative");
+        let replay: Vec<(f64, f64)> =
+            sim.ops()[snapshot.len()..].iter().map(|o| (o.start, o.duration)).collect();
+        sim.rollback(&mark);
+        enqueue_job(&mut sim, 1, "speculative");
+        let replay2: Vec<(f64, f64)> =
+            sim.ops()[snapshot.len()..].iter().map(|o| (o.start, o.duration)).collect();
+        assert_eq!(replay, replay2);
     }
 
     #[test]

@@ -58,7 +58,10 @@ const USAGE: &str = "usage:
                    [--native | --path sim|native|both]
   fzgpu serve      --replay <workload.json> [--streams N] [--no-pool] [--batch N]
                    [--queue-depth N] [--backpressure reject|block] [--timings] [--json]
-                   [--native | --path sim|native|both] [--trace out.json]";
+                   [--native | --path sim|native|both] [--trace out.json]
+                   [--deadline-us T] [--retries N] [--backoff-us T] [--shed-priority]
+                   [--no-breaker] [--fault-seed S] [--fault-rate P] [--fault-streak N]
+                   [--stall-rate P] [--stall-us T] [--loss-at-us T] [--repair-us T]";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -476,6 +479,80 @@ fn bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the failure-domain flags into a [`fz_gpu::serve::ResilienceConfig`].
+/// Every flag validates eagerly with a one-line error; with none present
+/// the config is inert and the replay is byte-identical to the
+/// pre-failure-domain behavior.
+fn resilience_of(args: &[String]) -> Result<fz_gpu::serve::ResilienceConfig, String> {
+    use fz_gpu::serve::ResilienceConfig;
+    use fz_gpu::sim::{RetryPolicy, ServiceFaultPlan};
+
+    // Micro-second flag parsed to seconds, validated `>= 0` and finite.
+    let us = |flag: &str| -> Result<Option<f64>, String> {
+        flag_value(args, flag)
+            .map(|s| {
+                let v: f64 = s.parse().map_err(|_| format!("bad {flag} value '{s}'"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("{flag} must be a nonnegative finite time in us"));
+                }
+                Ok(v * 1e-6)
+            })
+            .transpose()
+    };
+    // Probability flag, validated into `[0, 1]`.
+    let prob = |flag: &str| -> Result<Option<f64>, String> {
+        flag_value(args, flag)
+            .map(|s| {
+                let v: f64 = s.parse().map_err(|_| format!("bad {flag} value '{s}'"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("{flag} must be a probability in [0, 1]"));
+                }
+                Ok(v)
+            })
+            .transpose()
+    };
+
+    let mut res = ResilienceConfig::default();
+    if let Some(d) = us("--deadline-us")? {
+        if d <= 0.0 {
+            return Err("--deadline-us must be positive".into());
+        }
+        res.deadline = Some(d);
+    }
+    if let Some(n) = flag_value(args, "--retries") {
+        let max_retries: u32 = n.parse().map_err(|_| format!("bad --retries value '{n}'"))?;
+        res.retry = RetryPolicy { max_retries, ..RetryPolicy::default() };
+    }
+    if let Some(b) = us("--backoff-us")? {
+        res.retry.backoff_base = b;
+    }
+    res.shed_by_priority = args.iter().any(|a| a == "--shed-priority");
+    if args.iter().any(|a| a == "--no-breaker") {
+        res.breaker = false;
+    }
+
+    let mut plan = ServiceFaultPlan::seeded(match flag_value(args, "--fault-seed") {
+        Some(s) => s.parse().map_err(|_| format!("bad --fault-seed value '{s}'"))?,
+        None => 0,
+    });
+    if let Some(p) = prob("--fault-rate")? {
+        let streak: u32 = match flag_value(args, "--fault-streak") {
+            Some(s) => s.parse().map_err(|_| format!("bad --fault-streak value '{s}'"))?,
+            None => 3,
+        };
+        plan = plan.job_faults(p, streak);
+    }
+    if let Some(p) = prob("--stall-rate")? {
+        let dur = us("--stall-us")?.unwrap_or(50e-6);
+        plan = plan.stalls(p, dur);
+    }
+    if let Some(at) = us("--loss-at-us")? {
+        plan = plan.device_loss(at, us("--repair-us")?);
+    }
+    res.faults = plan;
+    Ok(res)
+}
+
 fn serve(args: &[String]) -> Result<(), String> {
     use fz_gpu::serve::{Backpressure, ServeConfig, Service, Workload};
 
@@ -513,6 +590,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     cfg.path = path_of(args)?;
     cfg.capture_trace = flag_value(args, "--trace").is_some();
+    cfg.resilience = resilience_of(args)?;
 
     let report = Service::new(cfg).run(&workload);
 

@@ -48,6 +48,30 @@ fn failures_exit_nonzero_with_one_line_error() {
         &["serve", "--replay", "workloads/smoke.json", "--native", "--path", "sim"],
         "--native conflicts",
     );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--fault-seed", "banana"],
+        "--fault-seed",
+    );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--deadline-us", "-3"],
+        "--deadline-us",
+    );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--deadline-us", "0"],
+        "--deadline-us must be positive",
+    );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--fault-rate", "1.5"],
+        "--fault-rate must be a probability",
+    );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--retries", "-1"],
+        "--retries",
+    );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--stall-rate", "0.5", "--stall-us", "inf"],
+        "--stall-us",
+    );
     assert_cli_error(&["profile", "--synthetic", "NotADataset"], "unknown synthetic dataset");
     assert_cli_error(&["bench"], "missing input path");
     assert_cli_error(&["archive"], "missing input path");
@@ -79,4 +103,36 @@ fn serve_replay_succeeds_and_is_deterministic() {
     let b = run();
     assert_eq!(a, b, "default serve output must be byte-identical run to run");
     assert!(a.contains("digest: 0x"), "report carries the replay digest: {a}");
+}
+
+#[test]
+fn serve_chaos_flags_run_and_report_the_policy() {
+    let args = [
+        "serve",
+        "--replay",
+        "workloads/smoke.json",
+        "--fault-seed",
+        "7",
+        "--fault-rate",
+        "0.3",
+        "--retries",
+        "3",
+        "--deadline-us",
+        "5000",
+        "--stall-rate",
+        "0.2",
+        "--stall-us",
+        "100",
+    ];
+    let out = fzgpu(&args);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8(out.stdout).expect("utf8 report");
+    assert!(report.contains("resilience:"), "chaos flags must echo the policy: {report}");
+    assert!(report.contains("slo:"), "report carries the SLO line: {report}");
+    let again = fzgpu(&args);
+    assert_eq!(
+        report,
+        String::from_utf8(again.stdout).unwrap(),
+        "chaos replay must be byte-identical run to run"
+    );
 }
