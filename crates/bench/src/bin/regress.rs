@@ -4,7 +4,13 @@
 //! cargo run -p fzgpu-bench --bin regress -- --check            # gate (CI)
 //! cargo run -p fzgpu-bench --bin regress -- --update           # refresh baseline
 //! cargo run -p fzgpu-bench --bin regress -- --baseline b.json  # custom path
+//! cargo run -p fzgpu-bench --bin regress -- --check --engine analytic
 //! ```
+//!
+//! `--engine analytic` runs the suite on the analytic simulation engine —
+//! the compared metrics are engine-invariant by construction, so checking
+//! an analytic run against the interpreted baseline doubles as an
+//! equivalence gate at a fraction of the wall time.
 //!
 //! `--check` exits nonzero when any metric regressed past its threshold
 //! (see `fzgpu_bench::regress::Thresholds`). Every compared metric is
@@ -25,13 +31,27 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rel_eb: f64 = arg_value(&args, "--eb").map_or(1e-3, |v| v.parse().expect("bad --eb"));
+    let engine = match arg_value(&args, "--engine") {
+        Some(s) => match fzgpu_sim::Engine::parse(&s) {
+            Some(e) => e,
+            None => {
+                eprintln!("error: bad --engine '{s}' (expected interp|analytic)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => fzgpu_sim::Engine::from_env(),
+    };
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let baseline_path = arg_value(&args, "--baseline")
         .map_or_else(|| root.join("BENCH_regress.json"), std::path::PathBuf::from);
 
-    println!("regress: all catalog datasets, rel eb {rel_eb:.0e}, device {}", spec.name);
-    let current = run_suite(spec, rel_eb);
+    println!(
+        "regress: all catalog datasets, rel eb {rel_eb:.0e}, device {}, engine {}",
+        spec.name,
+        engine.label()
+    );
+    let current = run_suite(spec, rel_eb, engine);
 
     let mut t = Table::new(&[
         "dataset",

@@ -20,6 +20,15 @@
 //! Outputs `results/wallclock.txt` (human table) and `BENCH_wallclock.json`
 //! (machine-readable, seeds the perf trajectory) at the repo root.
 //!
+//! The simulated pipeline is measured under both engines: the interpreted
+//! engine (every block through the warp interpreter — the model of record)
+//! and the analytic engine (one representative block per counter class,
+//! native output fills — bit-identical timelines and streams). The gap
+//! between those two rows is the engine's whole point, so the bench gates
+//! it: analytic must be >= 10x faster than interpreted in every mode, and
+//! at the default (reduced) scale analytic simulation must land within 3x
+//! of the native fast path's wall — modeled counters at data speed.
+//!
 //! `--smoke`: one tiny field, one timed iteration — a CI deadlock and
 //! consistency canary, not a measurement. Even in smoke mode the bench
 //! asserts the native path beats the simulated path's wall time by >= 5x:
@@ -36,6 +45,7 @@ use fzgpu_core::pipeline::{FzGpu, FzOptions};
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_data::dataset;
 use fzgpu_sim::device::A100;
+use fzgpu_sim::Engine;
 
 struct Sample {
     threads: usize,
@@ -49,6 +59,7 @@ struct Sample {
     native_compress_s: f64,
     native_decompress_s: f64,
     sim_wall_s: f64,
+    sim_analytic_wall_s: f64,
 }
 
 /// Median of already-collected timings. Five samples make the median the
@@ -79,10 +90,12 @@ fn main() {
 
     let mut field = dataset("CESM").expect("catalog").generate(scale_from_args(&args));
     let (shape, label) = if smoke {
-        // A canary grid, large enough to exercise the pool, small enough
-        // for CI: correctness (byte-identity) is asserted, timing is noise.
-        field.data.truncate(1 << 16);
-        ((1usize, 64usize, 1024usize), "CESM (smoke slice)")
+        // A canary grid, large enough to exercise the pool and to keep
+        // fixed per-launch costs from flattening the engine-speedup gate,
+        // small enough for CI: correctness (byte-identity) is asserted,
+        // timing is noise.
+        field.data.truncate(1 << 18);
+        ((1usize, 256usize, 1024usize), "CESM (smoke slice)")
     } else {
         (shape_of(&field), field.dataset)
     };
@@ -141,6 +154,27 @@ fn main() {
         }
         assert_eq!(sim.kernel_time(), modeled_kernel_s, "modeled time drifted with thread count");
 
+        // The same simulated pipeline on the analytic engine: identical
+        // stream bytes and modeled kernel time, a fraction of the host
+        // wall (one representative block per counter class; native fills).
+        let mut sim_a = FzGpu::with_options(
+            A100,
+            FzOptions { engine: Engine::Analytic, ..FzOptions::default() },
+        );
+        let t0 = Instant::now();
+        let ga = sim_a.compress(data, shape, eb);
+        let sim_analytic_wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            ga.bytes,
+            reference.clone().expect("reference set above"),
+            "analytic-engine stream divergence at {threads} threads"
+        );
+        assert_eq!(
+            sim_a.kernel_time(),
+            modeled_kernel_s,
+            "analytic engine drifted the modeled time at {threads} threads"
+        );
+
         samples.push(Sample {
             threads,
             effective_threads,
@@ -149,6 +183,7 @@ fn main() {
             native_compress_s,
             native_decompress_s,
             sim_wall_s,
+            sim_analytic_wall_s,
         });
     }
     let base = samples[0].omp_compress_s;
@@ -166,6 +201,28 @@ fn main() {
             s.sim_wall_s,
             s.threads,
         );
+        // The analytic engine's gate: it exists to make the simulated
+        // pipeline's wall track the data, not the interpreter.
+        assert!(
+            s.sim_analytic_wall_s * 10.0 <= s.sim_wall_s,
+            "analytic engine ({:.4}s) is not >=10x faster than interpreted ({:.4}s) \
+             at {} threads",
+            s.sim_analytic_wall_s,
+            s.sim_wall_s,
+            s.threads,
+        );
+        if !smoke {
+            // At measurement scale the analytic simulation must land
+            // within 3x of the native fast path: exact modeled counters
+            // at (near) data speed.
+            assert!(
+                s.sim_analytic_wall_s <= s.native_compress_s * 3.0,
+                "analytic sim wall ({:.4}s) exceeds 3x native wall ({:.4}s) at {} threads",
+                s.sim_analytic_wall_s,
+                s.native_compress_s,
+                s.threads,
+            );
+        }
     }
 
     let mut t = Table::new(&[
@@ -178,6 +235,7 @@ fn main() {
         "native GB/s",
         "speedup",
         "sim wall s",
+        "analytic s",
         "modeled s",
     ]);
     for s in &samples {
@@ -191,6 +249,7 @@ fn main() {
             fmt(input_bytes as f64 / s.native_compress_s / 1e9),
             fmt(base / s.omp_compress_s),
             format!("{:.4}", s.sim_wall_s),
+            format!("{:.4}", s.sim_analytic_wall_s),
             format!("{:.6}", modeled_kernel_s),
         ]);
     }
@@ -225,7 +284,8 @@ fn main() {
                  \"decompress_s\": {:.6}, \"compress_gbps\": {:.4}, \"speedup_vs_1\": {:.3}, \
                  \"native_compress_s\": {:.6}, \"native_decompress_s\": {:.6}, \
                  \"native_compress_gbps\": {:.4}, \"native_vs_sim_wall\": {:.2}, \
-                 \"sim_wall_s\": {:.6}}}",
+                 \"sim_wall_s\": {:.6}, \"sim_analytic_wall_s\": {:.6}, \
+                 \"analytic_vs_native\": {:.2}}}",
                 s.threads,
                 s.effective_threads,
                 s.omp_compress_s,
@@ -237,6 +297,8 @@ fn main() {
                 input_bytes as f64 / s.native_compress_s / 1e9,
                 s.sim_wall_s / s.native_compress_s,
                 s.sim_wall_s,
+                s.sim_analytic_wall_s,
+                s.sim_analytic_wall_s / s.native_compress_s,
             )
         })
         .collect();

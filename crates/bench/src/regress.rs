@@ -13,10 +13,10 @@
 //! the baseline can be refreshed with `--update`).
 
 use fzgpu_core::quant::ErrorBound;
-use fzgpu_core::FzGpu;
+use fzgpu_core::{FzGpu, FzOptions};
 use fzgpu_data::{Scale, CATALOG};
 use fzgpu_metrics::psnr;
-use fzgpu_sim::DeviceSpec;
+use fzgpu_sim::{DeviceSpec, Engine};
 use fzgpu_trace::json::{self, Value};
 
 use crate::shape_of;
@@ -105,13 +105,14 @@ fn trim_f64(v: f64) -> String {
 
 /// Round-trip every catalog dataset at `rel_eb` on `spec` and measure the
 /// gate's metrics. Fully deterministic: same inputs, same outputs, on any
-/// machine and any `FZGPU_THREADS`.
-pub fn run_suite(spec: DeviceSpec, rel_eb: f64) -> Vec<Case> {
+/// machine, any `FZGPU_THREADS`, and either [`Engine`] — an analytic run
+/// checked against an interpreted baseline is itself an equivalence gate.
+pub fn run_suite(spec: DeviceSpec, rel_eb: f64, engine: Engine) -> Vec<Case> {
     CATALOG
         .iter()
         .map(|info| {
             let field = info.generate(Scale::Reduced);
-            let mut fz = FzGpu::new(spec);
+            let mut fz = FzGpu::with_options(spec, FzOptions { engine, ..FzOptions::default() });
             let c = fz.compress(&field.data, shape_of(&field), ErrorBound::RelToRange(rel_eb));
             let compress_modeled_us = fz.kernel_time() * 1e6;
             let back = fz.decompress(&c).expect("roundtrip of a fresh stream");
@@ -316,10 +317,12 @@ mod tests {
     }
 
     #[test]
-    fn suite_is_deterministic_across_runs() {
-        let a = run_suite(fzgpu_sim::device::A100, 1e-2);
-        let b = run_suite(fzgpu_sim::device::A100, 1e-2);
+    fn suite_is_deterministic_across_runs_and_engines() {
+        let a = run_suite(fzgpu_sim::device::A100, 1e-2, Engine::Interpreted);
+        let b = run_suite(fzgpu_sim::device::A100, 1e-2, Engine::Interpreted);
         assert_eq!(a, b);
         assert!(!a.is_empty());
+        let c = run_suite(fzgpu_sim::device::A100, 1e-2, Engine::Analytic);
+        assert_eq!(a, c, "gate metrics must be engine-invariant");
     }
 }

@@ -167,6 +167,58 @@ fn row_full(cur: &[i32], north: &[i32], back: &[i32], back_north: &[i32], out: &
     }
 }
 
+/// Prequantize `data` into `q` — parallel, element-wise, through the same
+/// scalar helper as every other path. Shared entry point: both
+/// [`FzNative::compress`] and the analytic simulation engine's
+/// quantization fill (`crate::gpu::quant`) call this, so the two can never
+/// drift apart.
+pub(crate) fn prequant_into(data: &[f32], ebx2_inv: f64, q: &mut [i32]) {
+    q.par_chunks_mut(1 << 13).zip(data.par_chunks(1 << 13)).for_each(|(qs, ds)| {
+        for (q, &d) in qs.iter_mut().zip(ds) {
+            *q = prequantize(d, ebx2_inv);
+        }
+    });
+}
+
+/// Integer Lorenzo prediction + sign-magnitude codes, parallel by rank.
+/// Rows/planes read only `q`, so the decomposition is free to differ from
+/// the reference's — integer arithmetic is exact, the codes are identical
+/// regardless of scheduling. Shared entry point (see [`prequant_into`]).
+pub(crate) fn lorenzo_codes_into(q: &[i32], shape: Shape, codes: &mut [u16]) {
+    let (_nz, ny, nx) = shape;
+    match rank_of(shape) {
+        1 => {
+            // 1D: chunk freely; a chunk starting at `s` seeds its
+            // west-neighbor from q[s-1].
+            codes.par_chunks_mut(1 << 13).enumerate().for_each(|(ci, out)| {
+                let s = ci * (1 << 13);
+                let prev0 = if s == 0 { 0 } else { q[s - 1] as i64 };
+                row_w(&q[s..s + out.len()], prev0, out);
+            });
+        }
+        2 => {
+            // 2D: parallel over rows; row y reads q rows y-1 and y.
+            codes.par_chunks_mut(nx).enumerate().for_each(|(y, out)| {
+                let cur = &q[y * nx..y * nx + nx];
+                if y == 0 {
+                    row_w(cur, 0, out);
+                } else {
+                    row_wn(cur, &q[(y - 1) * nx..y * nx], out);
+                }
+            });
+        }
+        _ => {
+            // 3D: parallel over planes; plane z reads q planes z-1, z.
+            let plane = ny * nx;
+            codes.par_chunks_mut(plane).enumerate().for_each(|(z, out)| {
+                let plane_q = &q[z * plane..(z + 1) * plane];
+                let back = (z > 0).then(|| &q[(z - 1) * plane..z * plane]);
+                encode_plane(plane_q, back, nx, out);
+            });
+        }
+    }
+}
+
 /// Encode one plane of codes from its quantized values and the previous
 /// plane (`None` at z == 0, where back-neighbors read as 0).
 fn encode_plane(plane_q: &[i32], back: Option<&[i32]>, nx: usize, out: &mut [u16]) {
@@ -215,49 +267,11 @@ impl FzNative {
         // Stage 1a: prequantize (parallel, element-wise).
         let ebx2_inv = 1.0 / (2.0 * eb_abs);
         reset(&mut self.q, n);
-        self.q.par_chunks_mut(1 << 13).zip(data.par_chunks(1 << 13)).for_each(|(qs, ds)| {
-            for (q, &d) in qs.iter_mut().zip(ds) {
-                *q = prequantize(d, ebx2_inv);
-            }
-        });
+        prequant_into(data, ebx2_inv, &mut self.q);
 
         // Stage 1b: integer Lorenzo prediction + sign-magnitude codes.
-        // Rows/planes read only `q`, so the decomposition below is free to
-        // differ from the reference's — integer arithmetic is exact, the
-        // codes are identical regardless of scheduling.
         reset(&mut self.codes, n);
-        let q = &self.q;
-        match rank_of(shape) {
-            1 => {
-                // 1D: chunk freely; a chunk starting at `s` seeds its
-                // west-neighbor from q[s-1].
-                self.codes.par_chunks_mut(1 << 13).enumerate().for_each(|(ci, out)| {
-                    let s = ci * (1 << 13);
-                    let prev0 = if s == 0 { 0 } else { q[s - 1] as i64 };
-                    row_w(&q[s..s + out.len()], prev0, out);
-                });
-            }
-            2 => {
-                // 2D: parallel over rows; row y reads q rows y-1 and y.
-                self.codes.par_chunks_mut(nx).enumerate().for_each(|(y, out)| {
-                    let cur = &q[y * nx..y * nx + nx];
-                    if y == 0 {
-                        row_w(cur, 0, out);
-                    } else {
-                        row_wn(cur, &q[(y - 1) * nx..y * nx], out);
-                    }
-                });
-            }
-            _ => {
-                // 3D: parallel over planes; plane z reads q planes z-1, z.
-                let plane = ny * nx;
-                self.codes.par_chunks_mut(plane).enumerate().for_each(|(z, out)| {
-                    let plane_q = &q[z * plane..(z + 1) * plane];
-                    let back = (z > 0).then(|| &q[(z - 1) * plane..z * plane]);
-                    encode_plane(plane_q, back, nx, out);
-                });
-            }
-        }
+        lorenzo_codes_into(&self.q, shape, &mut self.codes);
 
         // Stage 1c: pack codes two per word, zero-padded to whole tiles.
         let nwords_data = n.div_ceil(2);

@@ -16,8 +16,10 @@
 //! separate kernel that must re-read the shuffled stream from global
 //! memory.
 
-use fzgpu_sim::{Gpu, GpuBuffer};
+use fzgpu_sim::{Engine, Gpu, GpuBuffer};
+use rayon::prelude::*;
 
+use crate::bitshuffle::shuffle_tile;
 use crate::pack::TILE_WORDS;
 use crate::zeroblock::BLOCK_WORDS;
 
@@ -74,7 +76,54 @@ pub fn bitshuffle_mark(
             mark_kernel(gpu, &shuffled, &byte_flags, &bit_flags);
         }
     }
+    if gpu.effective_engine() == Engine::Analytic {
+        analytic_fill(words, &shuffled, &byte_flags, &bit_flags);
+    }
     (shuffled, byte_flags, bit_flags)
+}
+
+/// Analytic-engine output fill: transpose tiles through the shared
+/// [`shuffle_tile`] kernel (the exact function the native path runs,
+/// pinned equal to the GPU kernels by this module's oracle tests) and
+/// derive the flags with the native path's 64-bit zero scan.
+fn analytic_fill(
+    words: &GpuBuffer<u32>,
+    shuffled: &GpuBuffer<u32>,
+    byte_flags: &GpuBuffer<u8>,
+    bit_flags: &GpuBuffer<u32>,
+) {
+    let (sh, bf, bits) = host_shuffle_mark(&words.to_vec());
+    shuffled.host_fill_from(&sh);
+    byte_flags.host_fill_from(&bf);
+    bit_flags.host_fill_from(&bits);
+}
+
+/// Host shuffle + zero-block mark over a tile-aligned word stream:
+/// `(shuffled, byte_flags, bit_flags)`. Shared by this module's analytic
+/// fill and the fused 1D kernel's (`crate::gpu::fused`).
+pub(crate) fn host_shuffle_mark(input: &[u32]) -> (Vec<u32>, Vec<u8>, Vec<u32>) {
+    let mut sh = vec![0u32; input.len()];
+    input
+        .par_chunks_exact(TILE_WORDS)
+        .zip(sh.par_chunks_exact_mut(TILE_WORDS))
+        .for_each(|(tin, tout)| shuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap()));
+    let nflags = input.len() / BLOCK_WORDS;
+    let mut bf = vec![0u8; nflags];
+    bf.par_chunks_mut(32).enumerate().for_each(|(fw, out)| {
+        for (b, f) in out.iter_mut().enumerate() {
+            let blk = &sh[(fw * 32 + b) * BLOCK_WORDS..][..BLOCK_WORDS];
+            let lo = blk[0] as u64 | (blk[1] as u64) << 32;
+            let hi = blk[2] as u64 | (blk[3] as u64) << 32;
+            *f = u8::from(lo | hi != 0);
+        }
+    });
+    let mut bits = vec![0u32; nflags.div_ceil(32)];
+    for (mask, chunk) in bits.iter_mut().zip(bf.chunks(32)) {
+        for (b, &f) in chunk.iter().enumerate() {
+            *mask |= (f as u32) << b;
+        }
+    }
+    (sh, bf, bits)
 }
 
 /// The fused kernel. `stride` = 33 (padded, conflict-free) or 32 (ablation).
@@ -88,91 +137,108 @@ fn fused_kernel(
     stride: usize,
 ) {
     let ntiles = (words.len() / TILE_WORDS) as u32;
-    gpu.launch(name, ntiles, (32u32, 32u32), |blk| {
-        let tile = blk.block_linear();
-        let tile_base = tile * TILE_WORDS;
-        let buf = blk.shared_array::<u32>(32 * stride); // shuffled tile
-        let byte_flag_sh = blk.shared_array::<u8>(FLAGS_PER_TILE);
+    // Single counter-equivalence class (DESIGN.md §16): every load/store
+    // predicate is index-only, ballots charge one instruction regardless
+    // of data, and tile_base = tile*1024 keeps all global accesses
+    // identically sector-aligned for every block.
+    gpu.launch_classed(
+        name,
+        ntiles,
+        (32u32, 32u32),
+        |_| 0,
+        |blk| {
+            let tile = blk.block_linear();
+            let tile_base = tile * TILE_WORDS;
+            let buf = blk.shared_array::<u32>(32 * stride); // shuffled tile
+            let byte_flag_sh = blk.shared_array::<u8>(FLAGS_PER_TILE);
 
-        // Phase 1+2: each warp owns row y; load it coalesced, then 32
-        // ballot rounds transpose its bit matrix. The ballot of bit i is
-        // written to buf[i][y] — a column walk, where the padding matters.
-        blk.warps(|w| {
-            let y = w.warp_id;
-            let row = w.load(words, |l| Some(tile_base + y * 32 + l.id));
-            for i in 0..32 {
-                let ballot = w.ballot(|l| (row[l.id] >> i) & 1 == 1);
-                w.sh_store(&buf, |l| (l.id == 0).then_some((i * stride + y, ballot)));
-            }
-        });
-        blk.sync();
-
-        // Phase 3: byte flags. Flag b covers shuffled words j = 4b..4b+4,
-        // i.e. bit-plane i = b/8, rows 4*(b%8)..+4. Warps 0..8 handle 32
-        // flags each.
-        blk.warps(|w| {
-            if w.warp_id >= FLAGS_PER_TILE / 32 {
-                return;
-            }
-            let b0 = w.warp_id * 32;
-            let mut nonzero = [false; 32];
-            for k in 0..BLOCK_WORDS {
-                let v = w.sh_load(&buf, |l| {
-                    let b = b0 + l.id;
-                    let j = b * BLOCK_WORDS + k;
-                    Some((j / 32) * stride + (j % 32))
-                });
+            // Phase 1+2: each warp owns row y; load it coalesced, then 32
+            // ballot rounds transpose its bit matrix. The ballot of bit i is
+            // written to buf[i][y] — a column walk, where the padding matters.
+            blk.warps(|w| {
+                let y = w.warp_id;
+                let row = w.load(words, |l| Some(tile_base + y * 32 + l.id));
                 for i in 0..32 {
-                    nonzero[i] |= v[i] != 0;
+                    let ballot = w.ballot(|l| (row[l.id] >> i) & 1 == 1);
+                    w.sh_store(&buf, |l| (l.id == 0).then_some((i * stride + y, ballot)));
                 }
-            }
-            w.sh_store(&byte_flag_sh, |l| Some((b0 + l.id, nonzero[l.id] as u8)));
-        });
-        blk.sync();
+            });
+            blk.sync();
 
-        // Phase 4: bit flags via ballot (8 words per tile), then global
-        // writes of flags + the shuffled tile (coalesced).
-        blk.warps(|w| {
-            if w.warp_id < FLAGS_PER_TILE / 32 {
-                let g = w.warp_id;
-                let f = w.sh_load(&byte_flag_sh, |l| Some(g * 32 + l.id));
-                let mask = w.ballot(|l| f[l.id] != 0);
-                w.store(bit_flags, |l| {
-                    (l.id == 0).then_some((tile * (FLAGS_PER_TILE / 32) + g, mask))
-                });
-                w.store(byte_flags, |l| Some((tile * FLAGS_PER_TILE + g * 32 + l.id, f[l.id])));
-            }
-        });
-        blk.warps(|w| {
-            let i = w.warp_id; // bit plane
-            let v = w.sh_load(&buf, |l| Some(i * stride + l.id));
-            w.store(shuffled, |l| Some((tile_base + i * 32 + l.id, v[l.id])));
-        });
-    });
+            // Phase 3: byte flags. Flag b covers shuffled words j = 4b..4b+4,
+            // i.e. bit-plane i = b/8, rows 4*(b%8)..+4. Warps 0..8 handle 32
+            // flags each.
+            blk.warps(|w| {
+                if w.warp_id >= FLAGS_PER_TILE / 32 {
+                    return;
+                }
+                let b0 = w.warp_id * 32;
+                let mut nonzero = [false; 32];
+                for k in 0..BLOCK_WORDS {
+                    let v = w.sh_load(&buf, |l| {
+                        let b = b0 + l.id;
+                        let j = b * BLOCK_WORDS + k;
+                        Some((j / 32) * stride + (j % 32))
+                    });
+                    for i in 0..32 {
+                        nonzero[i] |= v[i] != 0;
+                    }
+                }
+                w.sh_store(&byte_flag_sh, |l| Some((b0 + l.id, nonzero[l.id] as u8)));
+            });
+            blk.sync();
+
+            // Phase 4: bit flags via ballot (8 words per tile), then global
+            // writes of flags + the shuffled tile (coalesced).
+            blk.warps(|w| {
+                if w.warp_id < FLAGS_PER_TILE / 32 {
+                    let g = w.warp_id;
+                    let f = w.sh_load(&byte_flag_sh, |l| Some(g * 32 + l.id));
+                    let mask = w.ballot(|l| f[l.id] != 0);
+                    w.store(bit_flags, |l| {
+                        (l.id == 0).then_some((tile * (FLAGS_PER_TILE / 32) + g, mask))
+                    });
+                    w.store(byte_flags, |l| Some((tile * FLAGS_PER_TILE + g * 32 + l.id, f[l.id])));
+                }
+            });
+            blk.warps(|w| {
+                let i = w.warp_id; // bit plane
+                let v = w.sh_load(&buf, |l| Some(i * stride + l.id));
+                w.store(shuffled, |l| Some((tile_base + i * 32 + l.id, v[l.id])));
+            });
+        },
+    );
 }
 
 /// Unfused step A: bitshuffle only.
 fn shuffle_only_kernel(gpu: &mut Gpu, words: &GpuBuffer<u32>, shuffled: &GpuBuffer<u32>) {
     let ntiles = (words.len() / TILE_WORDS) as u32;
-    gpu.launch("bitshuffle_v1", ntiles, (32u32, 32u32), |blk| {
-        let tile = blk.block_linear();
-        let tile_base = tile * TILE_WORDS;
-        let buf = blk.shared_array::<u32>(32 * 33);
-        blk.warps(|w| {
-            let y = w.warp_id;
-            let row = w.load(words, |l| Some(tile_base + y * 32 + l.id));
-            for i in 0..32 {
-                let ballot = w.ballot(|l| (row[l.id] >> i) & 1 == 1);
-                w.sh_store(&buf, |l| (l.id == 0).then_some((i * 33 + y, ballot)));
-            }
-        });
-        blk.sync();
-        blk.warps(|w| {
-            let i = w.warp_id;
-            let v = w.sh_load(&buf, |l| Some(i * 33 + l.id));
-            w.store(shuffled, |l| Some((tile_base + i * 32 + l.id, v[l.id])));
-        });
-    });
+    // Single class: same argument as the fused kernel.
+    gpu.launch_classed(
+        "bitshuffle_v1",
+        ntiles,
+        (32u32, 32u32),
+        |_| 0,
+        |blk| {
+            let tile = blk.block_linear();
+            let tile_base = tile * TILE_WORDS;
+            let buf = blk.shared_array::<u32>(32 * 33);
+            blk.warps(|w| {
+                let y = w.warp_id;
+                let row = w.load(words, |l| Some(tile_base + y * 32 + l.id));
+                for i in 0..32 {
+                    let ballot = w.ballot(|l| (row[l.id] >> i) & 1 == 1);
+                    w.sh_store(&buf, |l| (l.id == 0).then_some((i * 33 + y, ballot)));
+                }
+            });
+            blk.sync();
+            blk.warps(|w| {
+                let i = w.warp_id;
+                let v = w.sh_load(&buf, |l| Some(i * 33 + l.id));
+                w.store(shuffled, |l| Some((tile_base + i * 32 + l.id, v[l.id])));
+            });
+        },
+    );
 }
 
 /// Unfused step B: re-read the shuffled stream and mark zero blocks.
@@ -184,28 +250,37 @@ fn mark_kernel(
 ) {
     let nflags = byte_flags.len();
     let nblocks = nflags.div_ceil(256) as u32;
-    gpu.launch("mark_v1", nblocks, 256u32, |blk| {
-        let base = blk.block_linear() * 256;
-        blk.warps(|w| {
-            let mut nonzero = [false; 32];
-            for k in 0..BLOCK_WORDS {
-                let v = w.load(shuffled, |l| {
-                    let b = base + l.ltid;
-                    (b < nflags).then_some(b * BLOCK_WORDS + k)
-                });
-                for i in 0..32 {
-                    nonzero[i] |= v[i] != 0;
+    // Single class: nflags is a multiple of 256 (FLAGS_PER_TILE per whole
+    // tile), so every block is full and the `b < nflags` predicates never
+    // cut a lane; ballots and flag stores are index-only.
+    gpu.launch_classed(
+        "mark_v1",
+        nblocks,
+        256u32,
+        |_| 0,
+        |blk| {
+            let base = blk.block_linear() * 256;
+            blk.warps(|w| {
+                let mut nonzero = [false; 32];
+                for k in 0..BLOCK_WORDS {
+                    let v = w.load(shuffled, |l| {
+                        let b = base + l.ltid;
+                        (b < nflags).then_some(b * BLOCK_WORDS + k)
+                    });
+                    for i in 0..32 {
+                        nonzero[i] |= v[i] != 0;
+                    }
                 }
-            }
-            w.store(byte_flags, |l| {
-                let b = base + l.ltid;
-                (b < nflags).then(|| (b, nonzero[l.id] as u8))
+                w.store(byte_flags, |l| {
+                    let b = base + l.ltid;
+                    (b < nflags).then(|| (b, nonzero[l.id] as u8))
+                });
+                let mask = w.ballot(|l| nonzero[l.id] && base + l.ltid < nflags);
+                let word = (base + w.base_ltid) / 32;
+                w.store(bit_flags, |l| (l.id == 0).then_some((word, mask)));
             });
-            let mask = w.ballot(|l| nonzero[l.id] && base + l.ltid < nflags);
-            let word = (base + w.base_ltid) / 32;
-            w.store(bit_flags, |l| (l.id == 0).then_some((word, mask)));
-        });
-    });
+        },
+    );
 }
 
 #[cfg(test)]

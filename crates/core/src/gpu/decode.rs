@@ -11,8 +11,11 @@
 //! 5. unpack u16 codes, decode sign-magnitude deltas,
 //! 6. integrate along each axis (inverse Lorenzo) and dequantize.
 
-use fzgpu_sim::{Gpu, GpuBuffer};
+use fzgpu_sim::{Engine, Gpu, GpuBuffer};
+use rayon::prelude::*;
 
+use crate::bitshuffle::unshuffle_tile;
+use crate::gpu::encode::compaction_stats;
 use crate::lorenzo::{rank_of, Shape};
 use crate::pack::TILE_WORDS;
 use crate::zeroblock::BLOCK_WORDS;
@@ -21,7 +24,11 @@ use crate::zeroblock::BLOCK_WORDS;
 pub fn expand_flags(gpu: &mut Gpu, bit_flags: &GpuBuffer<u32>, nflags: usize) -> GpuBuffer<u8> {
     let out: GpuBuffer<u8> = gpu.alloc(nflags);
     let blocks = nflags.div_ceil(256) as u32;
-    gpu.launch("decode.expand_flags", blocks, 256u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    // Two classes: only the last block can be ragged; the broadcast word
+    // load is one sector for every full warp regardless of block index.
+    let class = |b: usize| u64::from(b == blocks as usize - 1);
+    gpu.launch_classed("decode.expand_flags", blocks, 256u32, class, |blk| {
         let base = blk.block_linear() * 256;
         blk.warps(|w| {
             // One bit-flag word covers the warp's 32 lanes (broadcast load).
@@ -35,6 +42,11 @@ pub fn expand_flags(gpu: &mut Gpu, bit_flags: &GpuBuffer<u32>, nflags: usize) ->
             });
         });
     });
+    if analytic {
+        let bits = bit_flags.to_vec();
+        let flags: Vec<u8> = (0..nflags).map(|b| (bits[b / 32] >> (b % 32) & 1) as u8).collect();
+        out.host_fill_from(&flags);
+    }
     out
 }
 
@@ -48,6 +60,27 @@ pub fn scatter(
     let nflags = byte_flags.len();
     let shuffled: GpuBuffer<u32> = gpu.alloc(nflags * BLOCK_WORDS);
     let blocks = nflags.div_ceil(256) as u32;
+    if gpu.effective_engine() == Engine::Analytic {
+        // Mirror image of `encode.compact`: the same per-warp operation
+        // sequence with load/store swapped, and the accounting charges
+        // loads and stores identically — so the closed form is shared
+        // (see [`compaction_stats`]).
+        let flags = byte_flags.to_vec();
+        let offs = offsets.to_vec();
+        let pay = payload.to_vec();
+        let mut out = vec![0u32; nflags * BLOCK_WORDS];
+        for (b, &f) in flags.iter().enumerate() {
+            if f != 0 {
+                let src = offs[b] as usize * BLOCK_WORDS;
+                out[b * BLOCK_WORDS..(b + 1) * BLOCK_WORDS]
+                    .copy_from_slice(&pay[src..src + BLOCK_WORDS]);
+            }
+        }
+        shuffled.host_fill_from(&out);
+        let stats = compaction_stats(&flags, &offs, blocks as usize);
+        gpu.launch_analytic("decode.scatter", blocks, 256u32, stats);
+        return shuffled;
+    }
     gpu.launch("decode.scatter", blocks, 256u32, |blk| {
         let base = blk.block_linear() * 256;
         blk.warps(|w| {
@@ -76,31 +109,48 @@ pub fn bit_unshuffle(gpu: &mut Gpu, shuffled: &GpuBuffer<u32>) -> GpuBuffer<u32>
     assert_eq!(shuffled.len() % TILE_WORDS, 0);
     let ntiles = (shuffled.len() / TILE_WORDS) as u32;
     let out: GpuBuffer<u32> = gpu.alloc(shuffled.len());
-    gpu.launch("decode.bit_unshuffle", ntiles, (32u32, 32u32), |blk| {
-        let tile_base = blk.block_linear() * TILE_WORDS;
-        let buf = blk.shared_array::<u32>(32 * 33);
-        // Load the shuffled tile coalesced: warp i loads plane i.
-        blk.warps(|w| {
-            let i = w.warp_id;
-            let v = w.load(shuffled, |l| Some(tile_base + i * 32 + l.id));
-            w.sh_store(&buf, |l| Some((i * 33 + l.id, v[l.id])));
-        });
-        blk.sync();
-        // Warp y: for each bit plane i, broadcast buf[i][y]; lane x takes
-        // bit x and deposits it at bit i of its output word.
-        blk.warps(|w| {
-            let y = w.warp_id;
-            let mut acc = [0u32; 32];
-            for i in 0..32 {
-                let word = w.sh_load(&buf, |_| Some(i * 33 + y));
-                for x in 0..32 {
-                    acc[x] |= (word[x] >> x & 1) << i;
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    // Single class: every access is index-only and tile-aligned (same
+    // argument as the forward shuffle kernels).
+    gpu.launch_classed(
+        "decode.bit_unshuffle",
+        ntiles,
+        (32u32, 32u32),
+        |_| 0,
+        |blk| {
+            let tile_base = blk.block_linear() * TILE_WORDS;
+            let buf = blk.shared_array::<u32>(32 * 33);
+            // Load the shuffled tile coalesced: warp i loads plane i.
+            blk.warps(|w| {
+                let i = w.warp_id;
+                let v = w.load(shuffled, |l| Some(tile_base + i * 32 + l.id));
+                w.sh_store(&buf, |l| Some((i * 33 + l.id, v[l.id])));
+            });
+            blk.sync();
+            // Warp y: for each bit plane i, broadcast buf[i][y]; lane x takes
+            // bit x and deposits it at bit i of its output word.
+            blk.warps(|w| {
+                let y = w.warp_id;
+                let mut acc = [0u32; 32];
+                for i in 0..32 {
+                    let word = w.sh_load(&buf, |_| Some(i * 33 + y));
+                    for x in 0..32 {
+                        acc[x] |= (word[x] >> x & 1) << i;
+                    }
                 }
-            }
-            let _ = w.lanes(|_| 0u32); // accumulate ALU charge
-            w.store(&out, |l| Some((tile_base + y * 32 + l.id, acc[l.id])));
-        });
-    });
+                let _ = w.lanes(|_| 0u32); // accumulate ALU charge
+                w.store(&out, |l| Some((tile_base + y * 32 + l.id, acc[l.id])));
+            });
+        },
+    );
+    if analytic {
+        let sh = shuffled.to_vec();
+        let mut words = vec![0u32; sh.len()];
+        sh.par_chunks_exact(TILE_WORDS).zip(words.par_chunks_exact_mut(TILE_WORDS)).for_each(
+            |(tin, tout)| unshuffle_tile(tin.try_into().unwrap(), tout.try_into().unwrap()),
+        );
+        out.host_fill_from(&words);
+    }
     out
 }
 
@@ -108,7 +158,11 @@ pub fn bit_unshuffle(gpu: &mut Gpu, shuffled: &GpuBuffer<u32>) -> GpuBuffer<u32>
 pub fn codes_to_deltas(gpu: &mut Gpu, words: &GpuBuffer<u32>, n_codes: usize) -> GpuBuffer<i32> {
     let out: GpuBuffer<i32> = gpu.alloc(n_codes);
     let blocks = n_codes.div_ceil(256) as u32;
-    gpu.launch("decode.codes_to_deltas", blocks, 256u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    // Two classes: only the last block can be ragged (base = b*256 keeps
+    // the pairwise i/2 word loads and i32 stores identically aligned).
+    let class = |b: usize| u64::from(b == blocks as usize - 1);
+    gpu.launch_classed("decode.codes_to_deltas", blocks, 256u32, class, |blk| {
         let base = blk.block_linear() * 256;
         blk.warps(|w| {
             let v = w.load(words, |l| {
@@ -124,6 +178,20 @@ pub fn codes_to_deltas(gpu: &mut Gpu, words: &GpuBuffer<u32>, n_codes: usize) ->
             });
         });
     });
+    if analytic {
+        let w = words.to_vec();
+        let mut deltas = vec![0i32; n_codes];
+        deltas.par_chunks_mut(1 << 13).enumerate().for_each(|(ci, dchunk)| {
+            let base = ci * (1 << 13);
+            for (j, d) in dchunk.iter_mut().enumerate() {
+                let i = base + j;
+                let word = w[i / 2];
+                let code = if i % 2 == 0 { word as u16 } else { (word >> 16) as u16 };
+                *d = crate::quant::code_to_delta(code);
+            }
+        });
+        out.host_fill_from(&deltas);
+    }
     out
 }
 
@@ -132,7 +200,16 @@ pub fn codes_to_deltas(gpu: &mut Gpu, words: &GpuBuffer<u32>, n_codes: usize) ->
 pub fn integrate_x(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
     let (nz, ny, nx) = shape;
     let rows = (nz * ny) as u32;
-    gpu.launch("decode.integrate_x", rows.div_ceil(8), (32u32, 8u32), |blk| {
+    // In-place kernel: snapshot the input before the representative block
+    // mutates its rows, so the host fill integrates the original deltas.
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    let snapshot = analytic.then(|| q.to_vec());
+    // Two classes: only the last block can hold inactive rows or see the
+    // grid end. Row alignment is block-independent: warp j's row base is
+    // (b*8 + j)*nx, congruent to j*nx mod 8 for every b.
+    let nblocks = rows.div_ceil(8);
+    let class = |b: usize| u64::from(b == nblocks as usize - 1);
+    gpu.launch_classed("decode.integrate_x", nblocks, (32u32, 8u32), class, |blk| {
         let row0 = blk.block_linear() * 8;
         blk.warps(|w| {
             let row = row0 + w.warp_id;
@@ -156,6 +233,18 @@ pub fn integrate_x(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
             }
         });
     });
+    if let Some(mut vals) = snapshot {
+        // Per-row wrapping prefix sum: u32/i32 wrapping add is associative,
+        // so the sequential sum equals the kernel's warp scans + carries.
+        vals.par_chunks_mut(nx).for_each(|row| {
+            let mut acc = 0i32;
+            for v in row.iter_mut() {
+                acc = acc.wrapping_add(*v);
+                *v = acc;
+            }
+        });
+        q.host_fill_from(&vals);
+    }
 }
 
 /// Step 6b: integrate along y: warps walk y for 32 consecutive x columns
@@ -163,7 +252,17 @@ pub fn integrate_x(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
 pub fn integrate_y(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
     let (nz, ny, nx) = shape;
     let col_groups = nx.div_ceil(32);
-    gpu.launch("decode.integrate_y", (col_groups as u32, nz as u32), 32u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    let snapshot = analytic.then(|| q.to_vec());
+    // Classes: the last column group may be ragged (bit 0); the row base
+    // (z*ny + y)*nx + bx*32 is congruent mod 8 to z*ny*nx + y*nx (bx*32 is
+    // a multiple of 8), so the per-plane alignment residue rides on z.
+    let class = |linear: usize| {
+        let bx = linear % col_groups;
+        let z = linear / col_groups;
+        u64::from(bx == col_groups - 1) | ((((z * ny * nx) % 8) as u64) << 1)
+    };
+    gpu.launch_classed("decode.integrate_y", (col_groups as u32, nz as u32), 32u32, class, |blk| {
         let x0 = blk.block_idx.x as usize * 32;
         let z = blk.block_idx.y as usize;
         blk.warps(|w| {
@@ -179,6 +278,16 @@ pub fn integrate_y(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
             }
         });
     });
+    if let Some(mut vals) = snapshot {
+        vals.par_chunks_mut(ny * nx).for_each(|plane| {
+            for y in 1..ny {
+                for x in 0..nx {
+                    plane[y * nx + x] = plane[y * nx + x].wrapping_add(plane[(y - 1) * nx + x]);
+                }
+            }
+        });
+        q.host_fill_from(&vals);
+    }
 }
 
 /// Step 6c: integrate along z.
@@ -186,7 +295,12 @@ pub fn integrate_z(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
     let (nz, ny, nx) = shape;
     let plane = ny * nx;
     let col_groups = plane.div_ceil(32);
-    gpu.launch("decode.integrate_z", col_groups as u32, 32u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    let snapshot = analytic.then(|| q.to_vec());
+    // Two classes: only the last column group is ragged. Every block walks
+    // the same z sequence, and c0 = b*32 keeps the loads aligned.
+    let class = |b: usize| u64::from(b == col_groups - 1);
+    gpu.launch_classed("decode.integrate_z", col_groups as u32, 32u32, class, |blk| {
         let c0 = blk.block_linear() * 32;
         blk.warps(|w| {
             let mut acc = [0i32; 32];
@@ -201,6 +315,18 @@ pub fn integrate_z(gpu: &mut Gpu, q: &GpuBuffer<i32>, shape: Shape) {
             }
         });
     });
+    if let Some(mut vals) = snapshot {
+        let (mut prev, mut rest) = vals.split_at_mut(plane);
+        while !rest.is_empty() {
+            let (cur, next) = rest.split_at_mut(plane);
+            cur.par_iter_mut().zip(prev.par_iter()).for_each(|(c, &p)| {
+                *c = c.wrapping_add(p);
+            });
+            prev = cur;
+            rest = next;
+        }
+        q.host_fill_from(&vals);
+    }
 }
 
 /// Step 6d: dequantize `q * 2eb` into f32.
@@ -209,7 +335,10 @@ pub fn dequantize(gpu: &mut Gpu, q: &GpuBuffer<i32>, eb: f64) -> GpuBuffer<f32> 
     let out: GpuBuffer<f32> = gpu.alloc(n);
     let ebx2 = 2.0 * eb;
     let blocks = n.div_ceil(256) as u32;
-    gpu.launch("decode.dequantize", blocks, 256u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    // Two classes: only the last block can be ragged.
+    let class = |b: usize| u64::from(b == blocks as usize - 1);
+    gpu.launch_classed("decode.dequantize", blocks, 256u32, class, |blk| {
         let base = blk.block_linear() * 256;
         blk.warps(|w| {
             let v = w.load(q, |l| (base + l.ltid < n).then_some(base + l.ltid));
@@ -218,6 +347,11 @@ pub fn dequantize(gpu: &mut Gpu, q: &GpuBuffer<i32>, eb: f64) -> GpuBuffer<f32> 
             });
         });
     });
+    if analytic {
+        let vals = q.to_vec();
+        let field: Vec<f32> = vals.par_iter().map(|&v| (v as f64 * ebx2) as f32).collect();
+        out.host_fill_from(&field);
+    }
     out
 }
 

@@ -8,7 +8,7 @@
 //! kernel exits").
 
 use fzgpu_sim::scan::exclusive_sum;
-use fzgpu_sim::{Gpu, GpuBuffer};
+use fzgpu_sim::{Engine, Gpu, GpuBuffer, KernelStats};
 
 use crate::zeroblock::BLOCK_WORDS;
 
@@ -17,13 +17,21 @@ pub fn widen_flags(gpu: &mut Gpu, byte_flags: &GpuBuffer<u8>) -> GpuBuffer<u32> 
     let n = byte_flags.len();
     let out: GpuBuffer<u32> = gpu.alloc(n);
     let blocks = n.div_ceil(256) as u32;
-    gpu.launch("encode.widen_flags", blocks, 256u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    // Two classes: only the last block can be ragged (base = b*256 keeps
+    // every warp's loads and stores identically sector-aligned).
+    let class = |b: usize| u64::from(b == blocks as usize - 1);
+    gpu.launch_classed("encode.widen_flags", blocks, 256u32, class, |blk| {
         let base = blk.block_linear() * 256;
         blk.warps(|w| {
             let v = w.load(byte_flags, |l| (base + l.ltid < n).then_some(base + l.ltid));
             w.store(&out, |l| (base + l.ltid < n).then(|| (base + l.ltid, v[l.id] as u32)));
         });
     });
+    if analytic {
+        let wide: Vec<u32> = byte_flags.to_vec().iter().map(|&f| f as u32).collect();
+        out.host_fill_from(&wide);
+    }
     out
 }
 
@@ -50,6 +58,28 @@ pub fn compact(
     assert_eq!(shuffled.len(), nflags * BLOCK_WORDS);
     let payload: GpuBuffer<u32> = gpu.alloc(total_blocks_present * BLOCK_WORDS);
     let blocks = nflags.div_ceil(256) as u32;
+    if gpu.effective_engine() == Engine::Analytic {
+        // Data-dependent kernel: no block is representative, but the
+        // counters are an exact function of (flags, offsets) — see
+        // [`compaction_stats`]. The payload itself is a cursor copy of the
+        // flagged blocks (offsets are the exclusive prefix sum of flags,
+        // so destination ranges are disjoint and in flag order).
+        let flags = byte_flags.to_vec();
+        let offs = offsets.to_vec();
+        let sh = shuffled.to_vec();
+        let mut out = vec![0u32; total_blocks_present * BLOCK_WORDS];
+        for (b, &f) in flags.iter().enumerate() {
+            if f != 0 {
+                let dst = offs[b] as usize * BLOCK_WORDS;
+                out[dst..dst + BLOCK_WORDS]
+                    .copy_from_slice(&sh[b * BLOCK_WORDS..(b + 1) * BLOCK_WORDS]);
+            }
+        }
+        payload.host_fill_from(&out);
+        let stats = compaction_stats(&flags, &offs, blocks as usize);
+        gpu.launch_analytic("encode.compact", blocks, 256u32, stats);
+        return payload;
+    }
     gpu.launch("encode.compact", blocks, 256u32, |blk| {
         let base = blk.block_linear() * 256;
         blk.warps(|w| {
@@ -69,6 +99,57 @@ pub fn compact(
         });
     });
     payload
+}
+
+/// Closed-form [`KernelStats`] for the compaction kernel — and, by
+/// symmetry, the decoder's scatter kernel ([`crate::gpu::decode`]), whose
+/// per-warp operations mirror compact's with load/store swapped (the
+/// accounting charges loads and stores identically).
+///
+/// Per warp (`base = warp * 32`, A = active lanes under `b < nflags`,
+/// `w` = bitmask of flagged active lanes, `m = popcount(w)`):
+/// - flag load (u8): 1 instr, `32 - A` idle slots, `A` bytes, 1 sector
+///   when `A > 0` (a 32-flag warp row spans exactly one 32-byte sector);
+/// - offset load (u32): 1 instr, `32 - A` idle slots, `4A` bytes,
+///   `ceil(A/8)` sectors;
+/// - per payload word `k` in `0..BLOCK_WORDS`, a gather on the block side
+///   and a scatter on the payload side, each 1 instr, `32 - m` idle
+///   slots, `4m` bytes. Word `k` of block `b` is element `4b + k`, which
+///   lives in sector `floor(b/2)` for every `k`, so the block side moves
+///   one sector per *flagged lane pair* — `popcount((w | w >> 1) &
+///   0x5555_5555)`. The payload side's offsets are consecutive
+///   (`o0..o0+m`), spanning `floor((o0+m-1)/2) - floor(o0/2) + 1` sectors.
+pub(crate) fn compaction_stats(flags: &[u8], offs: &[u32], nblocks: usize) -> KernelStats {
+    let nflags = flags.len();
+    let mut s = KernelStats::default();
+    for warp in 0..nblocks * 8 {
+        let base = warp * 32;
+        let active = nflags.saturating_sub(base).min(32) as u64;
+        s.warp_instructions += 2;
+        s.inactive_lane_slots += 2 * (32 - active);
+        s.global_bytes_requested += active * 5;
+        s.global_sectors += u64::from(active > 0) + active.div_ceil(8);
+        let mut w = 0u32;
+        for l in 0..active as usize {
+            if flags[base + l] != 0 {
+                w |= 1 << l;
+            }
+        }
+        let m = w.count_ones() as u64;
+        let pair_sectors = ((w | w >> 1) & 0x5555_5555).count_ones() as u64;
+        let payload_sectors = if m > 0 {
+            let o0 = offs[base + w.trailing_zeros() as usize] as u64;
+            (o0 + m - 1) / 2 - o0 / 2 + 1
+        } else {
+            0
+        };
+        let bw = BLOCK_WORDS as u64;
+        s.warp_instructions += 2 * bw;
+        s.inactive_lane_slots += 2 * bw * (32 - m);
+        s.global_bytes_requested += 2 * bw * 4 * m;
+        s.global_sectors += bw * (pair_sectors + payload_sectors);
+    }
+    s
 }
 
 #[cfg(test)]
@@ -128,6 +209,42 @@ mod tests {
         let payload = compact(&mut gpu, &d_words, &d_flags, &offsets, total);
         let reference = zeroblock::encode(&words);
         assert_eq!(payload.to_vec(), reference.payload);
+    }
+
+    /// The analytic closed form ([`compaction_stats`]) must reproduce the
+    /// interpreted kernel's record exactly — counters, modeled time, and
+    /// payload bytes — including on a ragged flag count where the last
+    /// warp is partially active.
+    #[test]
+    fn analytic_compact_matches_interpreted_bit_for_bit() {
+        for nflags in [512usize, 400, 37] {
+            let mut words = vec![0u32; nflags * BLOCK_WORDS];
+            let mut flags = vec![0u8; nflags];
+            for b in 0..nflags {
+                if b % 4 == 1 || b % 31 == 0 {
+                    flags[b] = 1;
+                    for k in 0..BLOCK_WORDS {
+                        words[b * BLOCK_WORDS + k] = (b * 10 + k) as u32 + 1;
+                    }
+                }
+            }
+            let run = |engine: Engine| {
+                let mut gpu = Gpu::new(A100);
+                gpu.set_engine(engine);
+                let d_words = gpu.upload(&words);
+                let d_flags = gpu.upload(&flags);
+                let wide = widen_flags(&mut gpu, &d_flags);
+                let (offsets, total) = flag_offsets(&mut gpu, &wide);
+                gpu.reset_timeline();
+                let payload = compact(&mut gpu, &d_words, &d_flags, &offsets, total);
+                (payload.to_vec(), format!("{:?}", gpu.timeline()), gpu.kernel_time().to_bits())
+            };
+            let interp = run(Engine::Interpreted);
+            let analytic = run(Engine::Analytic);
+            assert_eq!(interp.0, analytic.0, "payload diverges at nflags={nflags}");
+            assert_eq!(interp.1, analytic.1, "timeline diverges at nflags={nflags}");
+            assert_eq!(interp.2, analytic.2, "kernel time diverges at nflags={nflags}");
+        }
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!
 //! The stream is bit-identical to the unfused pipeline (tested below).
 
-use fzgpu_sim::{Gpu, GpuBuffer};
+use fzgpu_sim::{Engine, Gpu, GpuBuffer};
 
-use crate::pack::{TILE_CODES, TILE_WORDS};
+use crate::fastpath::{lorenzo_codes_into, prequant_into};
+use crate::gpu::bitshuffle::host_shuffle_mark;
+use crate::pack::{pack_codes, TILE_CODES, TILE_WORDS};
 use crate::quant::delta_to_code;
 use crate::zeroblock::BLOCK_WORDS;
 
@@ -42,106 +44,137 @@ pub fn fused_1d(
     let bit_flags: GpuBuffer<u32> = gpu.alloc(nflags.div_ceil(32));
     let ebx2_inv = 1.0 / (2.0 * eb);
 
-    gpu.launch("fused.quant_shuffle_mark_1d", ntiles as u32, (32u32, 32u32), |blk| {
-        let tile = blk.block_linear();
-        let val_base = tile * TILE_CODES;
-        // Packed-code tile (u32 = two u16 codes), padded stride 33, plus a
-        // second tile for the transposed output: the in-place write pattern
-        // would race (a warp's column writes land in rows other warps have
-        // yet to read), on real hardware and in the simulator alike.
-        let buf = blk.shared_array::<u32>(32 * 33);
-        let tbuf = blk.shared_array::<u32>(32 * 33);
-        let byte_flag_sh = blk.shared_array::<u8>(FLAGS_PER_TILE);
+    // Counter-equivalence classes (DESIGN.md §16): tile 0 drops the
+    // west-neighbor load at g == 0, the last tile may be ragged; interior
+    // tiles are identical (val_base = tile*2048 keeps all strided f32
+    // loads congruent mod 8, and every later phase is index-only).
+    let last = ntiles - 1;
+    let class = |t: usize| u64::from(t == 0) | (u64::from(t == last) << 1);
+    gpu.launch_classed(
+        "fused.quant_shuffle_mark_1d",
+        ntiles as u32,
+        (32u32, 32u32),
+        class,
+        |blk| {
+            let tile = blk.block_linear();
+            let val_base = tile * TILE_CODES;
+            // Packed-code tile (u32 = two u16 codes), padded stride 33, plus a
+            // second tile for the transposed output: the in-place write pattern
+            // would race (a warp's column writes land in rows other warps have
+            // yet to read), on real hardware and in the simulator alike.
+            let buf = blk.shared_array::<u32>(32 * 33);
+            let tbuf = blk.shared_array::<u32>(32 * 33);
+            let byte_flag_sh = blk.shared_array::<u8>(FLAGS_PER_TILE);
 
-        // Phase 1: quantize two values per thread, pack the pair into one
-        // u32 word directly in registers, store to shared — fused layout
-        // identical to pack_codes(pred_quant(..)).
-        blk.warps(|w| {
-            let y = w.warp_id;
-            let word_base = val_base + (y * 32) * 2;
-            // Each lane owns word (y, x) = values [2w, 2w+1]; the delta of
-            // value i needs value i-1, so lanes also read one value back.
-            let v0 = w.load(input, |l| {
-                let g = word_base + 2 * l.id;
-                (g < n).then_some(g)
-            });
-            let v1 = w.load(input, |l| {
-                let g = word_base + 2 * l.id + 1;
-                (g < n).then_some(g)
-            });
-            let vprev = w.load(input, |l| {
-                let g = word_base + 2 * l.id;
-                (g < n && g > 0).then(|| g - 1)
-            });
-            let words = w.lanes(|l| {
-                let g = word_base + 2 * l.id;
-                let q0 = if g < n { prequant_scalar(v0[l.id], ebx2_inv) } else { 0 };
-                let qp = if g < n && g > 0 { prequant_scalar(vprev[l.id], ebx2_inv) } else { 0 };
-                let c0 = if g < n { delta_to_code(q0.wrapping_sub(qp)) } else { 0 };
-                let c1 = if g + 1 < n {
-                    let q1 = prequant_scalar(v1[l.id], ebx2_inv);
-                    delta_to_code(q1.wrapping_sub(q0))
-                } else {
-                    0
-                };
-                c0 as u32 | ((c1 as u32) << 16)
-            });
-            w.sh_store(&buf, |l| Some((y * 33 + l.id, words[l.id])));
-        });
-        blk.sync();
-
-        // Phase 2: ballot transpose, row-major read from `buf`, column
-        // write into `tbuf` (padded stride keeps the column conflict-free).
-        blk.warps(|w| {
-            let y = w.warp_id;
-            let row = w.sh_load(&buf, |l| Some(y * 33 + l.id));
-            let mut planes = [0u32; 32];
-            for (i, plane) in planes.iter_mut().enumerate() {
-                *plane = w.ballot(|l| (row[l.id] >> i) & 1 == 1);
-            }
-            for (i, &plane) in planes.iter().enumerate() {
-                w.sh_store(&tbuf, |l| (l.id == 0).then_some((i * 33 + y, plane)));
-            }
-        });
-        blk.sync();
-
-        // Phase 3: byte flags + bit flags + coalesced writeback — identical
-        // to the standalone fused kernel.
-        blk.warps(|w| {
-            if w.warp_id >= FLAGS_PER_TILE / 32 {
-                return;
-            }
-            let b0 = w.warp_id * 32;
-            let mut nonzero = [false; 32];
-            for k in 0..BLOCK_WORDS {
-                let v = w.sh_load(&tbuf, |l| {
-                    let j = (b0 + l.id) * BLOCK_WORDS + k;
-                    Some((j / 32) * 33 + (j % 32))
+            // Phase 1: quantize two values per thread, pack the pair into one
+            // u32 word directly in registers, store to shared — fused layout
+            // identical to pack_codes(pred_quant(..)).
+            blk.warps(|w| {
+                let y = w.warp_id;
+                let word_base = val_base + (y * 32) * 2;
+                // Each lane owns word (y, x) = values [2w, 2w+1]; the delta of
+                // value i needs value i-1, so lanes also read one value back.
+                let v0 = w.load(input, |l| {
+                    let g = word_base + 2 * l.id;
+                    (g < n).then_some(g)
                 });
-                for i in 0..32 {
-                    nonzero[i] |= v[i] != 0;
+                let v1 = w.load(input, |l| {
+                    let g = word_base + 2 * l.id + 1;
+                    (g < n).then_some(g)
+                });
+                let vprev = w.load(input, |l| {
+                    let g = word_base + 2 * l.id;
+                    (g < n && g > 0).then(|| g - 1)
+                });
+                let words = w.lanes(|l| {
+                    let g = word_base + 2 * l.id;
+                    let q0 = if g < n { prequant_scalar(v0[l.id], ebx2_inv) } else { 0 };
+                    let qp =
+                        if g < n && g > 0 { prequant_scalar(vprev[l.id], ebx2_inv) } else { 0 };
+                    let c0 = if g < n { delta_to_code(q0.wrapping_sub(qp)) } else { 0 };
+                    let c1 = if g + 1 < n {
+                        let q1 = prequant_scalar(v1[l.id], ebx2_inv);
+                        delta_to_code(q1.wrapping_sub(q0))
+                    } else {
+                        0
+                    };
+                    c0 as u32 | ((c1 as u32) << 16)
+                });
+                w.sh_store(&buf, |l| Some((y * 33 + l.id, words[l.id])));
+            });
+            blk.sync();
+
+            // Phase 2: ballot transpose, row-major read from `buf`, column
+            // write into `tbuf` (padded stride keeps the column conflict-free).
+            blk.warps(|w| {
+                let y = w.warp_id;
+                let row = w.sh_load(&buf, |l| Some(y * 33 + l.id));
+                let mut planes = [0u32; 32];
+                for (i, plane) in planes.iter_mut().enumerate() {
+                    *plane = w.ballot(|l| (row[l.id] >> i) & 1 == 1);
                 }
-            }
-            w.sh_store(&byte_flag_sh, |l| Some((b0 + l.id, nonzero[l.id] as u8)));
-        });
-        blk.sync();
-        blk.warps(|w| {
-            if w.warp_id < FLAGS_PER_TILE / 32 {
-                let g = w.warp_id;
-                let f = w.sh_load(&byte_flag_sh, |l| Some(g * 32 + l.id));
-                let mask = w.ballot(|l| f[l.id] != 0);
-                w.store(&bit_flags, |l| {
-                    (l.id == 0).then_some((tile * (FLAGS_PER_TILE / 32) + g, mask))
-                });
-                w.store(&byte_flags, |l| Some((tile * FLAGS_PER_TILE + g * 32 + l.id, f[l.id])));
-            }
-        });
-        blk.warps(|w| {
-            let i = w.warp_id;
-            let v = w.sh_load(&tbuf, |l| Some(i * 33 + l.id));
-            w.store(&shuffled, |l| Some((tile * TILE_WORDS + i * 32 + l.id, v[l.id])));
-        });
-    });
+                for (i, &plane) in planes.iter().enumerate() {
+                    w.sh_store(&tbuf, |l| (l.id == 0).then_some((i * 33 + y, plane)));
+                }
+            });
+            blk.sync();
+
+            // Phase 3: byte flags + bit flags + coalesced writeback — identical
+            // to the standalone fused kernel.
+            blk.warps(|w| {
+                if w.warp_id >= FLAGS_PER_TILE / 32 {
+                    return;
+                }
+                let b0 = w.warp_id * 32;
+                let mut nonzero = [false; 32];
+                for k in 0..BLOCK_WORDS {
+                    let v = w.sh_load(&tbuf, |l| {
+                        let j = (b0 + l.id) * BLOCK_WORDS + k;
+                        Some((j / 32) * 33 + (j % 32))
+                    });
+                    for i in 0..32 {
+                        nonzero[i] |= v[i] != 0;
+                    }
+                }
+                w.sh_store(&byte_flag_sh, |l| Some((b0 + l.id, nonzero[l.id] as u8)));
+            });
+            blk.sync();
+            blk.warps(|w| {
+                if w.warp_id < FLAGS_PER_TILE / 32 {
+                    let g = w.warp_id;
+                    let f = w.sh_load(&byte_flag_sh, |l| Some(g * 32 + l.id));
+                    let mask = w.ballot(|l| f[l.id] != 0);
+                    w.store(&bit_flags, |l| {
+                        (l.id == 0).then_some((tile * (FLAGS_PER_TILE / 32) + g, mask))
+                    });
+                    w.store(&byte_flags, |l| {
+                        Some((tile * FLAGS_PER_TILE + g * 32 + l.id, f[l.id]))
+                    });
+                }
+            });
+            blk.warps(|w| {
+                let i = w.warp_id;
+                let v = w.sh_load(&tbuf, |l| Some(i * 33 + l.id));
+                w.store(&shuffled, |l| Some((tile * TILE_WORDS + i * 32 + l.id, v[l.id])));
+            });
+        },
+    );
+    if gpu.effective_engine() == Engine::Analytic {
+        // Native fill: the same quant -> pack -> shuffle -> mark cascade
+        // through the shared fastpath/pack/bitshuffle entry points. The
+        // fused kernel's in-register delta (`q0.wrapping_sub(qp)`) equals
+        // the 1D Lorenzo row kernel's arithmetic, and its zero padding
+        // beyond `n` equals `pack_codes`' tile padding.
+        let data = input.to_vec();
+        let mut q = vec![0i32; n];
+        prequant_into(&data[..n], ebx2_inv, &mut q);
+        let mut codes = vec![0u16; n];
+        lorenzo_codes_into(&q, (1, 1, n), &mut codes);
+        let (sh, bf, bits) = host_shuffle_mark(&pack_codes(&codes));
+        shuffled.host_fill_from(&sh);
+        byte_flags.host_fill_from(&bf);
+        bit_flags.host_fill_from(&bits);
+    }
     (shuffled, byte_flags, bit_flags)
 }
 

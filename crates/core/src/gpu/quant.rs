@@ -11,9 +11,10 @@
 //! one-element halo so each input is read once per block, mirroring the
 //! real implementation's memory behaviour.
 
-use fzgpu_sim::{Gpu, GpuBuffer};
+use fzgpu_sim::{Engine, Gpu, GpuBuffer};
 
-use crate::lorenzo::{rank_of, Shape};
+use crate::fastpath::{lorenzo_codes_into, prequant_into};
+use crate::lorenzo::{lorenzo_delta, rank_of, Shape};
 use crate::quant::delta_to_code;
 
 /// Quantization radius of the v1 kernel (cuSZ's default 1024-entry
@@ -36,10 +37,14 @@ pub fn pred_quant_v2(
     let n = nz * ny * nx;
     assert_eq!(input.len(), n);
     let out: GpuBuffer<u16> = gpu.alloc(n);
+    let analytic = gpu.effective_engine() == Engine::Analytic;
     if rank_of(shape) == 1 {
         launch_1d(gpu, "pred_quant_v2", input, &out, None, n, eb, false);
     } else {
         launch_tiled(gpu, "pred_quant_v2", input, &out, None, shape, eb, false);
+    }
+    if analytic {
+        analytic_fill(input, &out, None, shape, eb, false);
     }
     out
 }
@@ -58,12 +63,56 @@ pub fn pred_quant_v1(
     assert_eq!(input.len(), n);
     let out: GpuBuffer<u16> = gpu.alloc(n);
     let outliers: GpuBuffer<i32> = gpu.alloc(n);
+    let analytic = gpu.effective_engine() == Engine::Analytic;
     if rank_of(shape) == 1 {
         launch_1d(gpu, "pred_quant_v1", input, &out, Some(&outliers), n, eb, true);
     } else {
         launch_tiled(gpu, "pred_quant_v1", input, &out, Some(&outliers), shape, eb, true);
     }
+    if analytic {
+        analytic_fill(input, &out, Some(&outliers), shape, eb, true);
+    }
     (out, outliers)
+}
+
+/// Analytic-engine output fill: compute codes (and v1 outliers) on the
+/// host through the shared fastpath entry points and write them into the
+/// launch's output buffers. Bit-identical to the kernels: v2 codes go
+/// through [`prequant_into`] + [`lorenzo_codes_into`] (the exact functions
+/// the native path runs, pinned equal to the kernels by the quant tests),
+/// and v1 deltas come from [`lorenzo_delta`], whose
+/// i64-accumulate-then-truncate arithmetic equals the kernels' wrapping
+/// i32 arithmetic mod 2^32.
+fn analytic_fill(
+    input: &GpuBuffer<f32>,
+    out: &GpuBuffer<u16>,
+    outliers: Option<&GpuBuffer<i32>>,
+    shape: Shape,
+    eb: f64,
+    v1: bool,
+) {
+    let data = input.to_vec();
+    let ebx2_inv = 1.0 / (2.0 * eb);
+    let mut q = vec![0i32; data.len()];
+    prequant_into(&data, ebx2_inv, &mut q);
+    if v1 {
+        let deltas = lorenzo_delta(&q, shape);
+        let mut codes = vec![0u16; data.len()];
+        let mut outlier_vals = vec![0i32; data.len()];
+        for (i, &d) in deltas.iter().enumerate() {
+            let (c, o) = encode_delta(d, true);
+            codes[i] = c;
+            outlier_vals[i] = o.unwrap_or(0);
+        }
+        out.host_fill_from(&codes);
+        if let Some(ol) = outliers {
+            ol.host_fill_from(&outlier_vals);
+        }
+    } else {
+        let mut codes = vec![0u16; data.len()];
+        lorenzo_codes_into(&q, shape, &mut codes);
+        out.host_fill_from(&codes);
+    }
 }
 
 /// Encode a delta in the v1 (shifted) or v2 (sign-magnitude) convention.
@@ -94,7 +143,13 @@ fn launch_1d(
 ) {
     let ebx2_inv = 1.0 / (2.0 * eb);
     let nblocks = n.div_ceil(1024) as u32;
-    gpu.launch(name, nblocks, 1024u32, |blk| {
+    // Counter-equivalence classes (DESIGN.md §16): block 0 skips the halo
+    // load, the last block may be ragged; every interior block is
+    // identical (base = b*1024 keeps both f32 and u16 rows sector-aligned
+    // for any b).
+    let last = nblocks as usize - 1;
+    let class = |b: usize| u64::from(b == 0) | (u64::from(b == last) << 1);
+    gpu.launch_classed(name, nblocks, 1024u32, class, |blk| {
         let base = blk.block_linear() * 1024;
         // Shared tile with one halo element on the left.
         let sq = blk.shared_array::<i32>(1025);
@@ -147,7 +202,26 @@ fn launch_tiled(
     let grid = (nx.div_ceil(32) as u32, ny.div_ceil(32) as u32, nz as u32);
     const S: usize = 33; // padded tile stride (halo at index 0)
 
-    gpu.launch(name, grid, (32u32, 32u32), |blk| {
+    // Counter-equivalence classes (DESIGN.md §16): edge bits select which
+    // halo loads run and where rows go ragged; the plane residue
+    // `(z*ny*nx) % 16` pins global row alignment (row base
+    // `(z*ny + by*32 + ly)*nx + bx*32` is congruent mod 16 to
+    // `z*ny*nx + ly*nx` because `32*nx` and `bx*32` are multiples of 16 —
+    // 16 covers u16 stores and subsumes the mod-8 residue of f32 loads,
+    // and fixing `z*ny*nx mod 16` also fixes `(z-1)*ny*nx mod 16`).
+    let (gx, gy) = (grid.0 as usize, grid.1 as usize);
+    let class = |linear: usize| {
+        let bx = linear % gx;
+        let by = linear / gx % gy;
+        let z = linear / (gx * gy);
+        u64::from(bx == 0)
+            | (u64::from(bx == gx - 1) << 1)
+            | (u64::from(by == 0) << 2)
+            | (u64::from(by == gy - 1) << 3)
+            | (u64::from(z == 0) << 4)
+            | ((((z * ny * nx) % 16) as u64) << 5)
+    };
+    gpu.launch_classed(name, grid, (32u32, 32u32), class, |blk| {
         let x0 = blk.block_idx.x as usize * 32;
         let y0 = blk.block_idx.y as usize * 32;
         let z = blk.block_idx.z as usize;

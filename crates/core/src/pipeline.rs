@@ -6,7 +6,7 @@
 //! on the [`fzgpu_sim::Gpu`] simulator; the stream bytes are bit-exact
 //! products of the kernels, the kernel times come from the device model.
 
-use fzgpu_sim::{DeviceSpec, Event, FaultPlan, Gpu, MemPool, Profile, RetryPolicy};
+use fzgpu_sim::{DeviceSpec, Engine, Event, FaultPlan, Gpu, MemPool, Profile, RetryPolicy};
 use fzgpu_trace::metrics::{self, Class};
 
 use crate::fastpath::{FzNative, PipelinePath};
@@ -39,6 +39,15 @@ pub struct FzOptions {
     /// stream bytes are identical on every path, so the native path
     /// ignores them.
     pub path: PipelinePath,
+    /// Which simulation engine executes kernel launches (see
+    /// [`fzgpu_sim::Engine`]). [`Engine::Interpreted`] runs every block of
+    /// every launch — the model of record. [`Engine::Analytic`] executes
+    /// one representative block per counter-equivalence class (or a closed
+    /// form) and fills output buffers through the native word-level
+    /// kernels; timelines, counters, and stream bytes are bit-identical
+    /// by construction (held by the `engine_equivalence` suite). Defaults
+    /// from the `FZGPU_SIM_ENGINE` environment variable.
+    pub engine: Engine,
 }
 
 impl Default for FzOptions {
@@ -48,6 +57,7 @@ impl Default for FzOptions {
             full_fusion_1d: false,
             retry: RetryPolicy::default(),
             path: PipelinePath::from_env(),
+            engine: Engine::from_env(),
         }
     }
 }
@@ -89,6 +99,7 @@ impl FzGpu {
     pub fn with_options(spec: DeviceSpec, opts: FzOptions) -> Self {
         let mut gpu = Gpu::new(spec);
         gpu.set_retry_policy(opts.retry);
+        gpu.set_engine(opts.engine);
         Self { gpu, opts, native: FzNative::new() }
     }
 
@@ -100,6 +111,19 @@ impl FzGpu {
     /// Switch the pipeline path for subsequent calls.
     pub fn set_path(&mut self, path: PipelinePath) {
         self.opts.path = path;
+    }
+
+    /// The configured simulation engine (see [`FzOptions::engine`]).
+    pub fn engine(&self) -> Engine {
+        self.gpu.engine()
+    }
+
+    /// Switch the simulation engine for subsequent calls. Race detection
+    /// and non-disabled fault plans still force [`Engine::Interpreted`]
+    /// per launch (see [`Gpu::effective_engine`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.opts.engine = engine;
+        self.gpu.set_engine(engine);
     }
 
     /// Access the underlying device (timeline inspection, spec).
@@ -642,6 +666,42 @@ mod tests {
         assert_eq!(back.len(), data.len());
         let after = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
         assert_eq!(after - before, 2, "compress + decompress each record the downgrade");
+    }
+
+    /// End-to-end engine equivalence: the analytic engine's full pipeline
+    /// (compress and decompress) must produce bit-identical stream bytes,
+    /// output floats, timelines, and modeled kernel times. The proptest
+    /// suite in `tests/engine_equivalence.rs` widens this across shapes
+    /// and thread counts; this is the in-crate smoke version.
+    #[test]
+    fn analytic_engine_matches_interpreted() {
+        for (shape, fusion) in [((5, 33, 70), false), ((1, 1, 5000), false), ((1, 1, 5000), true)] {
+            let (nz, ny, nx) = shape;
+            let data = smooth_3d(nz, ny, nx);
+            let run = |engine: Engine| {
+                let mut fz = FzGpu::with_options(
+                    A100,
+                    FzOptions { engine, full_fusion_1d: fusion, ..FzOptions::default() },
+                );
+                assert_eq!(fz.engine(), engine);
+                let c = fz.compress(&data, shape, ErrorBound::Abs(1e-3));
+                let c_tl = format!("{:?}", fz.gpu().timeline());
+                let c_time = fz.kernel_time().to_bits();
+                let back = fz.decompress(&c).unwrap();
+                let d_tl = format!("{:?}", fz.gpu().timeline());
+                let d_time = fz.kernel_time().to_bits();
+                let bits: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+                (c.bytes, c_tl, c_time, bits, d_tl, d_time)
+            };
+            let interp = run(Engine::Interpreted);
+            let analytic = run(Engine::Analytic);
+            assert_eq!(interp.0, analytic.0, "stream bytes diverge at {shape:?}");
+            assert_eq!(interp.1, analytic.1, "compress timeline diverges at {shape:?}");
+            assert_eq!(interp.2, analytic.2, "compress time diverges at {shape:?}");
+            assert_eq!(interp.3, analytic.3, "output floats diverge at {shape:?}");
+            assert_eq!(interp.4, analytic.4, "decompress timeline diverges at {shape:?}");
+            assert_eq!(interp.5, analytic.5, "decompress time diverges at {shape:?}");
+        }
     }
 
     #[test]

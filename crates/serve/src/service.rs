@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use fzgpu_core::crc::Crc32;
 use fzgpu_core::{crc32, FzGpu, FzOptions, PipelinePath};
-use fzgpu_sim::{MemPool, OpClass, PoolStats, ServiceFaults, StreamSim};
+use fzgpu_sim::{Engine, MemPool, OpClass, PoolStats, ServiceFaults, StreamSim};
 use fzgpu_trace::json;
 use fzgpu_trace::metrics::{self, Class};
 
@@ -94,6 +94,13 @@ pub struct ServeConfig {
     /// [`native_model_seconds`]) — an approximation; the simulated path
     /// stays the model of record for schedules.
     pub path: PipelinePath,
+    /// Simulation engine jobs execute on (defaults from
+    /// `FZGPU_SIM_ENGINE`). [`Engine::Analytic`] keeps digests, kernel
+    /// sequences, schedules, and Det metrics bit-identical to
+    /// [`Engine::Interpreted`] while skipping per-block interpretation —
+    /// the serving analogue of the pipeline's engine axis. Inert on
+    /// [`PipelinePath::Native`] (no simulated kernels run there).
+    pub engine: Engine,
     /// Resilience policy: deadlines, job-level retries, priority shedding,
     /// stream health, and the fault schedule the run replays. The default
     /// is inert — a fault-free replay behaves (and digests) exactly as it
@@ -113,6 +120,7 @@ impl Default for ServeConfig {
             charge_alloc: true,
             capture_trace: false,
             path: PipelinePath::from_env(),
+            engine: Engine::from_env(),
             resilience: ResilienceConfig::default(),
         }
     }
@@ -348,13 +356,14 @@ impl ServeReport {
             self.batches
         ));
         out.push_str(&format!(
-            "config: streams={} pool={} batch_max={} queue_depth={} backpressure={} path={}\n",
+            "config: streams={} pool={} batch_max={} queue_depth={} backpressure={} path={} engine={}\n",
             self.config.streams,
             if self.config.pool { "on" } else { "off" },
             self.config.batch_max,
             self.config.queue_depth,
             self.config.backpressure.label(),
-            self.config.path.label()
+            self.config.path.label(),
+            self.config.engine.label()
         ));
         out.push_str(&format!(
             "modeled: makespan {:.2} us (serial {:.2} us, overlap saves {:.1}%), compute util {:.0}%\n",
@@ -544,7 +553,7 @@ impl ServeReport {
             None => "null".to_string(),
         };
         let mut doc = format!(
-            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"path\":{},\"resilience\":{},\"jobs\":[{}],\"rejected\":[{}],\"shed\":[{}],\"failed\":[{}],\"slo\":{},\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
+            "{{\"workload\":{},\"device\":{},\"streams\":{},\"pool\":{},\"batch_max\":{},\"queue_depth\":{},\"backpressure\":{},\"path\":{},\"engine\":{},\"resilience\":{},\"jobs\":[{}],\"rejected\":[{}],\"shed\":[{}],\"failed\":[{}],\"slo\":{},\"makespan_us\":{},\"serial_us\":{},\"compute_utilization\":{},\"throughput_gbs\":{},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"batches\":{},\"fused_saved_us\":{},\"pool_stats\":{},\"digest\":\"0x{:08x}\"",
             json::escape(&self.workload),
             json::escape(self.device),
             self.config.streams,
@@ -553,6 +562,7 @@ impl ServeReport {
             self.config.queue_depth,
             json::escape(self.config.backpressure.label()),
             json::escape(self.config.path.label()),
+            json::escape(self.config.engine.label()),
             res_json,
             jobs.join(","),
             rejected.join(","),
@@ -1031,7 +1041,11 @@ impl Service {
             .field("workload", workload.name.as_str())
             .field("requests", workload.requests.len());
 
-        let opts = FzOptions { path: self.config.path, ..FzOptions::default() };
+        let opts = FzOptions {
+            path: self.config.path,
+            engine: self.config.engine,
+            ..FzOptions::default()
+        };
         // Out-of-band prep: build the streams decompress jobs will consume
         // (untimed — the client already holds compressed data).
         let mut prep = FzGpu::with_options(workload.device, opts);
@@ -1365,6 +1379,37 @@ mod tests {
         assert!(nat.jobs.iter().all(|j| j.completed > j.dispatched));
         assert!(nat.text_report(false).contains("path=native"));
         assert!(sim.text_report(false).contains("path=sim"));
+    }
+
+    /// The engine axis must be invisible to everything a replay reports
+    /// except its own config label: digests, schedules, and the whole
+    /// deterministic JSON document agree byte-for-byte.
+    #[test]
+    fn analytic_engine_preserves_schedule_and_digests() {
+        let mut w = uniform_workload(4, 4096, 2.0);
+        w.requests.push(Request {
+            arrival: 9e-6,
+            op: Op::Decompress,
+            n: 4096,
+            eb: ErrorBound::Abs(1e-3),
+            field: FieldKind::Ramp,
+            seed: 5,
+            priority: 0,
+        });
+        let interp =
+            Service::new(ServeConfig { engine: Engine::Interpreted, ..ServeConfig::default() })
+                .run(&w);
+        let analytic =
+            Service::new(ServeConfig { engine: Engine::Analytic, ..ServeConfig::default() })
+                .run(&w);
+        assert_eq!(interp.digest(), analytic.digest(), "engine must not change job outputs");
+        assert_eq!(interp.makespan, analytic.makespan, "modeled schedules must agree");
+        assert!(analytic.text_report(false).contains("engine=analytic"));
+        assert_eq!(
+            interp.to_json(false).replace("\"engine\":\"interpreted\"", "\"engine\":\"analytic\""),
+            analytic.to_json(false),
+            "reports may differ only in the engine label"
+        );
     }
 
     #[test]

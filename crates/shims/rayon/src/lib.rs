@@ -131,13 +131,42 @@ where
     // The region takes ownership of the elements; `items` keeps only the
     // allocation, freed when this frame unwinds or returns.
     unsafe { items.set_len(0) };
-    pool::run(n_chunks, &|c| {
+    pool::run_with_grain(n_chunks, chunk_len, &|c| {
         let start = c * chunk_len;
         let len = chunk_len.min(n - start);
         // SAFETY: chunk `c` exclusively owns items `start..start+len`.
         let claimed = Claimed { ptr: unsafe { base.get().add(start) }, len };
         chunk_fn(c, start, claimed);
     });
+}
+
+/// Apply `f(index)` for `0..total` in parallel, collecting results in index
+/// order — an index-space `map` that skips item buffering entirely. Each
+/// pool task runs one tight index loop over its chunk and writes results
+/// straight into the output slots, so the per-item cost is the closure
+/// call alone (no `Claimed` hand-off, no handle vector). This is the
+/// fan-out primitive for coarse launches — e.g. one simulated thread block
+/// per index — where `total` is small but each call is heavy.
+pub fn par_chunk_map<T, F>(total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (chunk_len, n_chunks) = det_grid(total);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    let slots = SendPtr(out.as_mut_ptr());
+    pool::run_with_grain(n_chunks, chunk_len, &|c| {
+        let start = c * chunk_len;
+        let end = (start + chunk_len).min(total);
+        for i in start..end {
+            // SAFETY: slot `i` belongs to chunk `c` alone; every index in
+            // `0..total` is covered by exactly one chunk.
+            unsafe { slots.get().add(i).write(f(i)) };
+        }
+    });
+    // SAFETY: all `total` slots were initialized (run_with_grain returned).
+    unsafe { out.set_len(total) };
+    out
 }
 
 /// Run `part` over every chunk and return the per-chunk results **in
@@ -582,5 +611,51 @@ mod tests {
     fn current_num_threads_reflects_override() {
         let _t = threads(3);
         assert_eq!(current_num_threads(), 3);
+    }
+
+    #[test]
+    fn par_chunk_map_covers_every_index_in_order() {
+        let _t = threads(4);
+        for total in [0usize, 1, 63, 64, 255, 256, 257, 10_000] {
+            let v = crate::par_chunk_map(total, |i| i * 3 + 1);
+            assert_eq!(v.len(), total);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_matches_sequential_bits() {
+        let gen = |i: usize| ((i as f32) * 0.3571).cos() as f64 * 1e2;
+        let at = |n: usize| {
+            let _t = threads(n);
+            crate::par_chunk_map(70_000, gen)
+                .iter()
+                .fold(0u64, |acc, x| acc.wrapping_add(x.to_bits()))
+        };
+        assert_eq!(at(1), at(4));
+    }
+
+    #[test]
+    fn tiny_regions_fall_back_to_sequential() {
+        // Single-item chunks below the fan-out floor must run inline: the
+        // body observes the pool-worker marker, which only a fanned-out
+        // chunk would set.
+        let _t = threads(4);
+        let saw_worker = std::sync::atomic::AtomicBool::new(false);
+        crate::pool::run_with_grain(8, 1, &|_| {
+            if crate::pool::in_pool_worker() {
+                saw_worker.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(!saw_worker.load(std::sync::atomic::Ordering::Relaxed));
+        // Coarse chunks (many items each) still fan out at the same
+        // region size.
+        let saw_worker = std::sync::atomic::AtomicBool::new(false);
+        crate::pool::run_with_grain(8, 1024, &|_| {
+            if crate::pool::in_pool_worker() {
+                saw_worker.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(saw_worker.load(std::sync::atomic::Ordering::Relaxed));
     }
 }

@@ -52,6 +52,15 @@ thread_local! {
     static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// True while this thread is executing fanned-out chunks (either as a
+/// pool worker or as the calling thread draining its own region). False
+/// on the inline sequential paths — which makes it a test probe for
+/// "did this region actually fan out".
+#[cfg(test)]
+pub(crate) fn in_pool_worker() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
 /// Configured thread count; 0 = not yet initialized from the environment.
 static TARGET: AtomicUsize = AtomicUsize::new(0);
 
@@ -132,34 +141,56 @@ pub fn set_num_threads(n: usize) {
     TARGET.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
 }
 
+/// Below this many total items, a region whose chunks hold a single item
+/// each never fans out: the fixed worker-handoff cost (mutex + condvar
+/// wakeups for every worker) dwarfs any possible win on so few items. The
+/// chunk grid caps at 256 chunks, so single-item chunks imply a small
+/// region; coarse multi-item chunks (large regions) always fan out.
+const MIN_FANOUT_ITEMS: usize = 64;
+
 /// Execute `body(chunk)` for every chunk in `0..n_chunks`, distributing
 /// chunks over the pool. Returns after every chunk has completed.
 /// Sequential (inline) when the pool is configured for one thread, when
-/// called from inside a worker, or when another region is active.
+/// called from inside a worker, when another region is active, or when
+/// the region is too small to amortize the worker handoff:
+/// `items_per_chunk` is the caller's chunk grain (how many work items
+/// each chunk covers), and regions of single-item chunks with fewer than
+/// [`MIN_FANOUT_ITEMS`] of them run inline on the calling thread — the
+/// sequential-fallback threshold that keeps tiny launches (a few dozen
+/// simulated blocks, four scan tiles) from paying mutex + condvar wakeup
+/// costs that dwarf the work itself.
 ///
 /// # Tracing
-/// Region and chunk counts are deterministic metrics (chunk grids are a
-/// pure function of item count), incremented once per call regardless of
-/// which execution path runs. When a span capture window is open, chunks
-/// that fan out to the pool record their spans through a
-/// [`fzgpu_trace::RegionCapture`] and merge them back in chunk order —
-/// the same record sequence the inline paths produce naturally — so the
-/// captured span tree is bit-identical at any thread count.
-pub fn run(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+/// Region and chunk counts are wallclock-class metrics: the chunk grid is
+/// a pure function of item count, but *which regions exist at all* depends
+/// on the execution strategy (simulation engine, fan-out thresholds), not
+/// on the algorithm being computed — so they stay out of the
+/// deterministic exposition the engine-equivalence contract pins.
+/// Incremented once per call regardless of which execution path runs.
+/// When a span capture window is open, chunks that fan out to the pool
+/// record their spans through a [`fzgpu_trace::RegionCapture`] and merge
+/// them back in chunk order — the same record sequence the inline paths
+/// produce naturally — so the captured span tree is bit-identical at any
+/// thread count.
+pub fn run_with_grain(n_chunks: usize, items_per_chunk: usize, body: &(dyn Fn(usize) + Sync)) {
     fzgpu_trace::metrics::counter_add(
-        fzgpu_trace::metrics::Class::Det,
+        fzgpu_trace::metrics::Class::Wall,
         "fzgpu_pool_regions_total",
         &[],
         1,
     );
     fzgpu_trace::metrics::counter_add(
-        fzgpu_trace::metrics::Class::Det,
+        fzgpu_trace::metrics::Class::Wall,
         "fzgpu_pool_chunks_total",
         &[],
         n_chunks as u64,
     );
     let threads = current_num_threads();
-    if n_chunks <= 1 || threads == 1 || IN_POOL.with(|f| f.get()) {
+    if n_chunks <= 1
+        || threads == 1
+        || (items_per_chunk < 2 && n_chunks < MIN_FANOUT_ITEMS)
+        || IN_POOL.with(|f| f.get())
+    {
         for i in 0..n_chunks {
             body(i);
         }
@@ -319,7 +350,7 @@ mod tests {
         let _g = lock();
         set_num_threads(4);
         let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
-        run(1000, &|c| {
+        run_with_grain(1000, usize::MAX, &|c| {
             hits[c].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -332,7 +363,7 @@ mod tests {
         set_num_threads(1);
         let tid = std::thread::current().id();
         let ok = AtomicU64::new(0);
-        run(8, &|_| {
+        run_with_grain(8, usize::MAX, &|_| {
             if std::thread::current().id() == tid {
                 ok.fetch_add(1, Ordering::Relaxed);
             }
@@ -345,8 +376,8 @@ mod tests {
         let _g = lock();
         set_num_threads(4);
         let total = AtomicU64::new(0);
-        run(4, &|_| {
-            run(4, &|_| {
+        run_with_grain(4, usize::MAX, &|_| {
+            run_with_grain(4, usize::MAX, &|_| {
                 total.fetch_add(1, Ordering::Relaxed);
             });
         });
@@ -359,7 +390,7 @@ mod tests {
         let _g = lock();
         set_num_threads(4);
         let r = catch_unwind(|| {
-            run(64, &|c| {
+            run_with_grain(64, usize::MAX, &|c| {
                 assert!(c != 17, "chunk seventeen exploded");
             });
         });

@@ -1,0 +1,78 @@
+//! The simulation engine axis: how kernel launches produce their results.
+//!
+//! [`Engine::Interpreted`] is the classic mode: [`crate::grid::Gpu::launch`]
+//! executes the kernel closure for every block, warp by warp, and the
+//! counters fall out of the execution. [`Engine::Analytic`] keeps the
+//! modeled timeline and counters **bit-identical** but stops paying the
+//! interpreter for them: each launch runs the closure only for one
+//! *representative block per equivalence class* (blocks whose counters are
+//! provably identical — see DESIGN.md §16), scales the sampled counters by
+//! the class populations, and lets the caller produce the output buffers
+//! through the word-level native kernels instead.
+//!
+//! The engine is a *speed* axis, not a *semantics* axis: the
+//! `engine_equivalence` suite pins timelines, `KernelStats`, Det metrics,
+//! stream bytes, and serve digests equal across engines at any thread
+//! count. Fault injection and race detection force the interpreted engine
+//! (see [`crate::grid::Gpu::effective_engine`]) because both observe
+//! per-block execution that sampling skips.
+
+/// How the simulator executes kernel launches. Selected per [`crate::Gpu`]
+/// (default [`Engine::Interpreted`]), or globally via the
+/// `FZGPU_SIM_ENGINE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Execute every block through the warp-synchronous interpreter.
+    #[default]
+    Interpreted,
+    /// Sample one block per counter-equivalence class, scale analytically,
+    /// and let pipeline stages fill output buffers natively.
+    Analytic,
+}
+
+impl Engine {
+    /// Parse a CLI/env spelling. Accepts `interp`/`interpreted` and
+    /// `analytic` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "interp" | "interpreted" => Some(Engine::Interpreted),
+            "analytic" => Some(Engine::Analytic),
+            _ => None,
+        }
+    }
+
+    /// Engine selected by `FZGPU_SIM_ENGINE` (unset or unrecognized:
+    /// [`Engine::Interpreted`]).
+    pub fn from_env() -> Engine {
+        std::env::var("FZGPU_SIM_ENGINE").ok().and_then(|v| Engine::parse(&v)).unwrap_or_default()
+    }
+
+    /// Short label for reports and trace args.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Interpreted => "interpreted",
+            Engine::Analytic => "analytic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_spellings() {
+        assert_eq!(Engine::parse("interp"), Some(Engine::Interpreted));
+        assert_eq!(Engine::parse("Interpreted"), Some(Engine::Interpreted));
+        assert_eq!(Engine::parse(" analytic "), Some(Engine::Analytic));
+        assert_eq!(Engine::parse("native"), None);
+        assert_eq!(Engine::parse(""), None);
+    }
+
+    #[test]
+    fn default_is_interpreted() {
+        assert_eq!(Engine::default(), Engine::Interpreted);
+        assert_eq!(Engine::Interpreted.label(), "interpreted");
+        assert_eq!(Engine::Analytic.label(), "analytic");
+    }
+}

@@ -21,10 +21,10 @@
 //! ones.
 
 use fzgpu_trace::metrics::{self, Class};
-use rayon::prelude::*;
 
 use crate::block::{BlockCtx, Dim3};
 use crate::device::DeviceSpec;
+use crate::engine::Engine;
 use crate::fault::{BlockFault, FaultInjector, FaultPlan, RetryPolicy};
 use crate::memory::GpuBuffer;
 use crate::mempool::MemPool;
@@ -49,7 +49,10 @@ impl Event {
         }
     }
 
-    /// Display name.
+    /// Display name (plain kernel name — failed transient-fault retry
+    /// records carry their ordinal in
+    /// [`KernelRecord::retry_attempt`], rendered lazily by
+    /// [`KernelRecord::display_name`]).
     pub fn name(&self) -> &str {
         match self {
             Event::Kernel(k) => &k.name,
@@ -81,6 +84,7 @@ pub struct Gpu {
     total_retries: u64,
     pool: Option<MemPool>,
     charge_alloc: bool,
+    engine: Engine,
 }
 
 impl Gpu {
@@ -98,6 +102,34 @@ impl Gpu {
             total_retries: 0,
             pool: None,
             charge_alloc: false,
+            engine: Engine::Interpreted,
+        }
+    }
+
+    /// Select the simulation engine for subsequent launches (see
+    /// [`crate::engine::Engine`]). The analytic engine only changes how
+    /// counters are *obtained* (class sampling instead of full
+    /// interpretation); timelines and stats stay bit-identical.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The engine launches actually run under: fault injection (with a
+    /// non-disabled plan) and race detection force
+    /// [`Engine::Interpreted`], because both observe per-block execution
+    /// that class sampling skips — the same downgrade stance the native
+    /// pipeline path takes for fault plans.
+    pub fn effective_engine(&self) -> Engine {
+        let faulted = self.fault.as_ref().is_some_and(|inj| !inj.plan().is_disabled());
+        if self.detect_races || faulted {
+            Engine::Interpreted
+        } else {
+            self.engine
         }
     }
 
@@ -355,12 +387,15 @@ impl Gpu {
             metrics::counter_add(Class::Det, "fzgpu_launch_retries_total", &[], 1);
             let cost = self.spec.launch_overhead + self.retry_policy.backoff_time(retries);
             metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], cost);
+            // The failed attempt keeps the plain kernel name; the ordinal
+            // rides on `retry_attempt` so the loop never formats a string.
             self.timeline.push(Event::Kernel(KernelRecord {
-                name: format!("{name} [transient-fault retry {retries}]"),
+                name: name.to_string(),
                 time: cost,
                 stats: KernelStats::default(),
                 breakdown: TimeBreakdown::analytic(cost),
                 retries: 0,
+                retry_attempt: Some(retries),
             }));
         }
         let block_fault =
@@ -386,11 +421,14 @@ impl Gpu {
         };
         // Race detection pins execution to one thread: the overlapping
         // stores the detector exists to find would be genuine host data
-        // races if the blocks truly ran concurrently.
+        // races if the blocks truly ran concurrently. Otherwise blocks fan
+        // out coarse-grained: each pool task runs one tight `BlockCtx` loop
+        // over a chunk of block indices, rather than paying per-block
+        // dispatch through the iterator machinery.
         let results: Vec<BlockResult> = if detect {
             (0..nblocks).map(run_block).collect()
         } else {
-            (0..nblocks).into_par_iter().map(run_block).collect()
+            rayon::par_chunk_map(nblocks, run_block)
         };
         let mut stats = KernelStats::default();
         for (s, _) in &results {
@@ -439,6 +477,132 @@ impl Gpu {
             }
         }
 
+        self.finish_launch(name, nblocks, block_dim, stats, retries);
+    }
+
+    /// Launch a kernel whose per-block counters are constant within
+    /// *equivalence classes* of blocks: `class_of(linear)` maps each block
+    /// index to a class key, and blocks sharing a key are guaranteed (by
+    /// the caller — see DESIGN.md §16 for the per-kernel derivations held
+    /// by the `engine_equivalence` suite) to record identical
+    /// [`KernelStats`].
+    ///
+    /// Under the interpreted [`Gpu::effective_engine`] this is exactly
+    /// [`Gpu::launch`]. Under the analytic engine, only one representative
+    /// block per class executes (sequentially, on the calling thread); its
+    /// counters are scaled by the class population and merged, which is
+    /// bit-identical to interpreting every block because all event
+    /// counters are integers. Callers are then responsible for producing
+    /// the launch's output buffers natively — representative blocks do
+    /// write their own slice of output, but no other block runs.
+    pub fn launch_classed<F, C>(
+        &mut self,
+        name: &str,
+        grid_dim: impl Into<Dim3>,
+        block_dim: impl Into<Dim3>,
+        class_of: C,
+        f: F,
+    ) where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+        C: Fn(usize) -> u64,
+    {
+        let grid_dim = grid_dim.into();
+        let block_dim = block_dim.into();
+        if self.effective_engine() == Engine::Interpreted {
+            return self.launch(name, grid_dim, block_dim, f);
+        }
+        assert!(
+            block_dim.count() <= self.spec.max_threads_per_block as usize,
+            "block of {} threads exceeds {} limit on {}",
+            block_dim.count(),
+            self.spec.max_threads_per_block,
+            self.spec.name
+        );
+        let spec = self.spec;
+        let nblocks = grid_dim.count();
+        let _span = fzgpu_trace::span("gpu.launch")
+            .field("kernel", name)
+            .field("blocks", nblocks)
+            .field("block_threads", block_dim.count());
+        metrics::counter_add(Class::Det, "fzgpu_kernel_launches_total", &[], 1);
+        self.launch_index += 1;
+
+        // One linear pass tallies class populations and picks the first
+        // block of each class as its representative. Kernels have a handful
+        // of classes (edge/interior/alignment-residue), so a small vec
+        // beats a hash map.
+        let mut classes: Vec<(u64, u64, usize)> = Vec::new(); // (key, count, rep)
+        for linear in 0..nblocks {
+            let key = class_of(linear);
+            match classes.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, count, _)) => *count += 1,
+                None => classes.push((key, 1, linear)),
+            }
+        }
+        let mut stats = KernelStats::default();
+        for &(_, count, rep) in &classes {
+            let (x, y, z) = grid_dim.delinearize(rep);
+            let mut ctx = BlockCtx {
+                block_idx: Dim3 { x, y, z },
+                grid_dim,
+                block_dim,
+                spec: &spec,
+                stats: KernelStats::default(),
+                shared_bytes: 0,
+                writes: None,
+                fault: None,
+            };
+            f(&mut ctx);
+            stats.merge(&ctx.stats.scaled(count));
+        }
+        self.finish_launch(name, nblocks, block_dim, stats, 0);
+    }
+
+    /// Record a launch whose merged counters were computed in closed form
+    /// by the caller (the analytic engine's path for data-dependent kernels
+    /// like stream compaction, where no block is representative but the
+    /// counters are an exact function of the input). Does the full launch
+    /// bookkeeping — span, launch counter, occupancy, roofline attribution,
+    /// timeline record — identically to [`Gpu::launch`]; no fault attempts
+    /// are charged (the analytic engine is never active under a fault plan).
+    pub fn launch_analytic(
+        &mut self,
+        name: &str,
+        grid_dim: impl Into<Dim3>,
+        block_dim: impl Into<Dim3>,
+        stats: KernelStats,
+    ) {
+        let grid_dim = grid_dim.into();
+        let block_dim = block_dim.into();
+        assert!(
+            block_dim.count() <= self.spec.max_threads_per_block as usize,
+            "block of {} threads exceeds {} limit on {}",
+            block_dim.count(),
+            self.spec.max_threads_per_block,
+            self.spec.name
+        );
+        let nblocks = grid_dim.count();
+        let _span = fzgpu_trace::span("gpu.launch")
+            .field("kernel", name)
+            .field("blocks", nblocks)
+            .field("block_threads", block_dim.count());
+        metrics::counter_add(Class::Det, "fzgpu_kernel_launches_total", &[], 1);
+        self.launch_index += 1;
+        self.finish_launch(name, nblocks, block_dim, stats, 0);
+    }
+
+    /// Shared launch epilogue: occupancy scaling, roofline attribution, and
+    /// the timeline record. Identical for interpreted, class-sampled, and
+    /// closed-form launches — the engine axis must not perturb a single bit
+    /// of the record.
+    fn finish_launch(
+        &mut self,
+        name: &str,
+        nblocks: usize,
+        block_dim: Dim3,
+        stats: KernelStats,
+        retries: u32,
+    ) {
         // Occupancy: a grid too small to fill the device cannot reach peak
         // throughput. Empirically ~16 resident warps per SM saturate a
         // streaming kernel; below that, scale the roofline term down.
@@ -454,6 +618,7 @@ impl Gpu {
             stats,
             breakdown,
             retries,
+            retry_attempt: None,
         }));
     }
 
@@ -469,6 +634,7 @@ impl Gpu {
             stats,
             breakdown: TimeBreakdown::analytic(time),
             retries: 0,
+            retry_attempt: None,
         }));
     }
 
@@ -526,7 +692,7 @@ impl Gpu {
                     out.push_str(&format!(
                         "{:<30} {:>8.2} {:>6.1} {:>8.0}% {:>10} {:>5.0}%
 ",
-                        k.name,
+                        k.display_name(),
                         k.time * 1e6,
                         gbps,
                         k.stats.coalescing_efficiency() * 100.0,
@@ -739,10 +905,29 @@ mod tests {
             });
         });
         assert_eq!(gpu.total_retries(), 2);
-        let names: Vec<&str> = gpu.timeline().iter().map(|e| e.name()).collect();
-        assert!(names[0].contains("transient-fault retry 1"), "{names:?}");
-        assert!(names[1].contains("transient-fault retry 2"), "{names:?}");
-        assert_eq!(names[2], "faulty");
+        // Failed attempts keep the plain name and carry their ordinal as
+        // data; the decorated spelling is rendered lazily.
+        let shown: Vec<String> = gpu
+            .timeline()
+            .iter()
+            .map(|e| match e {
+                Event::Kernel(k) => k.display_name().into_owned(),
+                Event::Transfer(t) => t.direction.to_string(),
+            })
+            .collect();
+        assert!(shown[0].contains("transient-fault retry 1"), "{shown:?}");
+        assert!(shown[1].contains("transient-fault retry 2"), "{shown:?}");
+        assert_eq!(shown[2], "faulty");
+        let attempts: Vec<Option<u32>> = gpu
+            .timeline()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Kernel(k) => Some(k.retry_attempt),
+                Event::Transfer(_) => None,
+            })
+            .collect();
+        assert_eq!(attempts, vec![Some(1), Some(2), None]);
+        assert!(gpu.timeline().iter().all(|e| e.name() == "faulty"));
         let rec = gpu.last_kernel();
         assert_eq!(rec.retries, 2);
         // The result is still correct: retries are transparent.
@@ -836,6 +1021,79 @@ mod tests {
         let buf = gpu.device_vec(&data);
         assert_eq!(buf.to_vec(), data);
         assert!(gpu.timeline().is_empty(), "device_vec must not charge PCIe time");
+    }
+
+    #[test]
+    fn classed_launch_matches_interpreted_bit_for_bit() {
+        // A ragged 1D kernel with two block classes (full interior blocks
+        // and the partial last block): the analytic engine samples one
+        // representative per class and must reproduce the interpreted
+        // timeline record — stats, breakdown, modeled time — exactly.
+        let n = 1000usize;
+        let nblocks = n.div_ceil(256);
+        let run = |engine: Engine| {
+            let mut gpu = Gpu::new(A100);
+            gpu.set_engine(engine);
+            let input = GpuBuffer::from_host(&(0..n as u32).collect::<Vec<_>>());
+            let out: GpuBuffer<u32> = gpu.alloc(n);
+            gpu.launch_classed(
+                "double",
+                (nblocks as u32, 1, 1),
+                256u32,
+                |b| (b == nblocks - 1) as u64,
+                |blk| {
+                    let base = blk.block_linear() * blk.thread_count();
+                    blk.warps(|w| {
+                        let v = w.load(&input, |l| {
+                            let i = base + l.ltid;
+                            (i < n).then_some(i)
+                        });
+                        w.store(&out, |l| {
+                            let i = base + l.ltid;
+                            (i < n).then_some((i, v[l.id] * 2))
+                        });
+                    });
+                },
+            );
+            (format!("{:?}", gpu.timeline()), gpu.kernel_time().to_bits())
+        };
+        assert_eq!(run(Engine::Interpreted), run(Engine::Analytic));
+    }
+
+    #[test]
+    fn faults_and_race_detection_force_interpreted_engine() {
+        let mut gpu = Gpu::new(A100);
+        gpu.set_engine(Engine::Analytic);
+        assert_eq!(gpu.effective_engine(), Engine::Analytic);
+        gpu.enable_faults(FaultPlan::seeded(1).launch_faults(0.5, 1));
+        assert_eq!(gpu.effective_engine(), Engine::Interpreted);
+        gpu.enable_faults(FaultPlan::disabled());
+        assert_eq!(gpu.effective_engine(), Engine::Analytic, "disabled plans must not downgrade");
+        gpu.enable_race_detection();
+        assert_eq!(gpu.effective_engine(), Engine::Interpreted);
+    }
+
+    #[test]
+    fn analytic_record_from_closed_form_stats() {
+        // launch_analytic must do the same bookkeeping as launch: same
+        // occupancy scaling, same attribution, same record shape.
+        let stats = KernelStats {
+            global_sectors: 4096,
+            global_bytes_requested: 4096 * 32,
+            warp_instructions: 2048,
+            ..Default::default()
+        };
+        let mut gpu = Gpu::new(A100);
+        gpu.launch_analytic("closed-form", 32u32, 256u32, stats);
+        let rec = gpu.last_kernel();
+        assert_eq!(rec.stats, stats);
+        assert_eq!(rec.retry_attempt, None);
+        // Reference: the occupancy formula from finish_launch.
+        let total_warps = 32.0 * 8.0;
+        let saturating = A100.sm_count as f64 * 16.0;
+        let occ = (total_warps / saturating).min(1.0).max(1.0 / saturating);
+        let expect = TimeBreakdown::attribute(&A100, &stats, occ);
+        assert_eq!(rec.time.to_bits(), expect.total.to_bits());
     }
 
     #[test]

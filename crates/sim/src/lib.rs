@@ -43,6 +43,7 @@ pub mod block;
 pub mod budget;
 pub mod cluster;
 pub mod device;
+pub mod engine;
 pub mod fault;
 pub mod grid;
 pub mod histogram;
@@ -61,6 +62,7 @@ pub use block::{BlockCtx, Dim3};
 pub use budget::{BudgetViolation, StatsBudget};
 pub use cluster::Cluster;
 pub use device::{DeviceSpec, SECTOR_BYTES, SMEM_BANKS, WARP_SIZE};
+pub use engine::Engine;
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy, ServiceFaultPlan, ServiceFaults};
 pub use grid::{Event, Gpu};
 pub use memory::GpuBuffer;

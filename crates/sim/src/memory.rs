@@ -157,6 +157,26 @@ impl<T: Pod> GpuBuffer<T> {
         }
     }
 
+    /// Overwrite a prefix of the buffer from host memory through a shared
+    /// reference — the analytic engine's fill path, which writes
+    /// host-computed kernel results into buffers that are shared (`&`)
+    /// kernel arguments. Same single-writer contract as [`Self::write`]:
+    /// launches are synchronous, so any call between launches is safe.
+    ///
+    /// # Panics
+    /// Panics if `data.len() > self.len()`.
+    pub fn host_fill_from(&self, data: &[T]) {
+        assert!(
+            data.len() <= self.len(),
+            "host slice ({}) larger than device buffer ({})",
+            data.len(),
+            self.len()
+        );
+        for (i, &v) in data.iter().enumerate() {
+            self.write(i, v);
+        }
+    }
+
     /// Borrow the contents as a plain slice. Requires `&mut self`, which
     /// statically proves no kernel is concurrently mutating the buffer.
     pub fn as_slice_mut_view(&mut self) -> &[T] {

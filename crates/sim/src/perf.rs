@@ -51,6 +51,23 @@ impl KernelStats {
         self.smem_bytes_peak = self.smem_bytes_peak.max(other.smem_bytes_peak);
     }
 
+    /// Counters of `count` blocks that each produced exactly these stats —
+    /// the analytic engine's class-scaling step. Every event counter is an
+    /// integer, so the product equals `count` repeated [`KernelStats::merge`]
+    /// calls bit-for-bit; the per-block peak allocation is unchanged.
+    pub fn scaled(&self, count: u64) -> KernelStats {
+        KernelStats {
+            global_sectors: self.global_sectors * count,
+            global_bytes_requested: self.global_bytes_requested * count,
+            smem_accesses: self.smem_accesses * count,
+            smem_conflict_cycles: self.smem_conflict_cycles * count,
+            warp_instructions: self.warp_instructions * count,
+            inactive_lane_slots: self.inactive_lane_slots * count,
+            barriers: self.barriers * count,
+            smem_bytes_peak: self.smem_bytes_peak,
+        }
+    }
+
     /// Bytes moved over the global-memory pipe (sector-granular).
     #[inline]
     pub fn global_bytes_moved(&self) -> u64 {
@@ -237,6 +254,26 @@ pub struct KernelRecord {
     /// failed attempt also appears on the timeline as its own analytic
     /// record, so retry overhead is visible in `kernel_time`.
     pub retries: u32,
+    /// `Some(k)`: this record charges the `k`-th *failed* transient-fault
+    /// attempt of the kernel named `name` (1-based), not a real execution.
+    /// Kept as data rather than baked into the name string so the retry
+    /// loop allocates nothing extra; renderers recover the decorated
+    /// spelling through [`KernelRecord::display_name`].
+    pub retry_attempt: Option<u32>,
+}
+
+impl KernelRecord {
+    /// Name as shown in reports and traces: the plain kernel name, with
+    /// a `" [transient-fault retry k]"` suffix rendered lazily for failed
+    /// retry attempts.
+    pub fn display_name(&self) -> std::borrow::Cow<'_, str> {
+        match self.retry_attempt {
+            None => std::borrow::Cow::Borrowed(&self.name),
+            Some(k) => {
+                std::borrow::Cow::Owned(format!("{} [transient-fault retry {k}]", self.name))
+            }
+        }
+    }
 }
 
 /// Record of a host<->device transfer on the timeline.

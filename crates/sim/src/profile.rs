@@ -63,11 +63,12 @@ impl ProfileEvent {
         }
     }
 
-    /// Display name (kernel name or transfer direction).
-    pub fn name(&self) -> &str {
+    /// Display name (kernel name — decorated with its retry ordinal for
+    /// failed transient-fault attempts — or transfer direction).
+    pub fn name(&self) -> std::borrow::Cow<'_, str> {
         match self {
-            ProfileEvent::Kernel { record, .. } => &record.name,
-            ProfileEvent::Transfer { record, .. } => record.direction,
+            ProfileEvent::Kernel { record, .. } => record.display_name(),
+            ProfileEvent::Transfer { record, .. } => std::borrow::Cow::Borrowed(record.direction),
         }
     }
 }
@@ -158,7 +159,7 @@ impl Profile {
                     let b = &record.breakdown;
                     out.push_str(&format!(
                         "{:<32} {:>9.2} {:>9.2}  {:<15} {:>6.1}x {:>8.0}% {:>9} {:>5.0}%\n",
-                        record.name,
+                        record.display_name(),
                         start * 1e6,
                         record.time * 1e6,
                         b.bound_by.label(),
@@ -238,7 +239,7 @@ impl Profile {
         for e in &self.events {
             let head = format!(
                 "{{\"name\":{},\"start_us\":{},\"dur_us\":{}",
-                json::escape(e.name()),
+                json::escape(&e.name()),
                 json::num(e.start() * 1e6),
                 json::num(e.duration() * 1e6),
             );
@@ -300,7 +301,7 @@ impl Profile {
                     (1u32, "transfer", vec![("bytes", record.bytes.to_string())])
                 }
             };
-            t.complete(0, tid, e.name(), cat, e.start() * 1e6, e.duration() * 1e6, &args);
+            t.complete(0, tid, &e.name(), cat, e.start() * 1e6, e.duration() * 1e6, &args);
         }
     }
 }

@@ -7,8 +7,19 @@
 //! into every tile. Kernel boundaries double as the device-wide
 //! synchronization the paper relies on ("a synchronization can be
 //! conveniently triggered when a GPU kernel exits").
+//!
+//! # Analytic engine
+//! Every scan kernel's performance counters are a pure function of block
+//! *indices* (load/store predicates compare indices against `n`; no
+//! address depends on data), so under [`Engine::Analytic`] each kernel
+//! interprets one representative block per equivalence class — interior
+//! tiles are all identical, only the ragged last tile differs — scales the
+//! counters by class population, and produces the output buffer with a
+//! host-side pass (`u32` wrapping addition is associative, so the host's
+//! sequential order reproduces the warp-tree scan bit for bit).
 
 use crate::block::Dim3;
+use crate::engine::Engine;
 use crate::grid::Gpu;
 use crate::memory::GpuBuffer;
 
@@ -63,16 +74,32 @@ pub fn inclusive_sum(
     let total = exclusive_sum(gpu, input, output, n);
     // inclusive[i] = exclusive[i] + input[i]
     let blocks = n.div_ceil(BLOCK_THREADS) as u32;
-    gpu.launch("scan.to_inclusive", blocks, BLOCK_THREADS as u32, |blk| {
-        let base = blk.block_linear() * blk.thread_count();
-        blk.warps(|w| {
-            let a = w.load(input, |l| (base + l.ltid < n).then_some(base + l.ltid));
-            let b = w.load(output, |l| (base + l.ltid < n).then_some(base + l.ltid));
-            w.store(output, |l| {
-                (base + l.ltid < n).then(|| (base + l.ltid, a[l.id].wrapping_add(b[l.id])))
+    // In-place kernel: snapshot the exclusive scan before representative
+    // blocks mutate their slice of it, then fill the whole prefix.
+    let snap =
+        (gpu.effective_engine() == Engine::Analytic).then(|| (input.to_vec(), output.to_vec()));
+    gpu.launch_classed(
+        "scan.to_inclusive",
+        blocks,
+        BLOCK_THREADS as u32,
+        |b| u64::from(b == blocks as usize - 1),
+        |blk| {
+            let base = blk.block_linear() * blk.thread_count();
+            blk.warps(|w| {
+                let a = w.load(input, |l| (base + l.ltid < n).then_some(base + l.ltid));
+                let b = w.load(output, |l| (base + l.ltid < n).then_some(base + l.ltid));
+                w.store(output, |l| {
+                    (base + l.ltid < n).then(|| (base + l.ltid, a[l.id].wrapping_add(b[l.id])))
+                });
             });
-        });
-    });
+        },
+    );
+    if let Some((ins, mut excl)) = snap {
+        for i in 0..n {
+            excl[i] = excl[i].wrapping_add(ins[i]);
+        }
+        output.host_fill_from(&excl[..n]);
+    }
     total
 }
 
@@ -85,7 +112,9 @@ fn scan_tiles(
     n: usize,
 ) {
     let ntiles = n.div_ceil(TILE) as u32;
-    gpu.launch("scan.tiles", ntiles, BLOCK_THREADS as u32, |blk| {
+    let analytic = gpu.effective_engine() == Engine::Analytic;
+    let class = |b: usize| u64::from(b == ntiles as usize - 1);
+    gpu.launch_classed("scan.tiles", ntiles, BLOCK_THREADS as u32, class, |blk| {
         let tile_base = blk.block_linear() * TILE;
         let block_id = blk.block_linear();
         let nwarps = blk.warp_count();
@@ -166,6 +195,25 @@ fn scan_tiles(
             }
         });
     });
+    if analytic {
+        // Output is write-only here, so no pre-launch snapshot is needed:
+        // representative blocks wrote correct values for their tiles, and
+        // this pass overwrites every tile (theirs included) identically.
+        let data = input.to_vec();
+        let mut out = vec![0u32; n];
+        let mut totals = vec![0u32; ntiles as usize];
+        for (t, total) in totals.iter_mut().enumerate() {
+            let base = t * TILE;
+            let mut acc = 0u32;
+            for i in base..(base + TILE).min(n) {
+                out[i] = acc;
+                acc = acc.wrapping_add(data[i]);
+            }
+            *total = acc;
+        }
+        output.host_fill_from(&out);
+        tile_totals.host_fill_from(&totals);
+    }
 }
 
 /// Kernel 3: `output[i] += tile_offsets[i / TILE]` for every element.
@@ -176,7 +224,13 @@ fn add_tile_offsets(
     n: usize,
 ) {
     let ntiles = n.div_ceil(TILE) as u32;
-    gpu.launch("scan.add_offsets", Dim3 { x: ntiles, y: 1, z: 1 }, BLOCK_THREADS as u32, |blk| {
+    // In-place kernel: snapshot the tile-local scans before representative
+    // blocks fold offsets into their own tiles.
+    let snap = (gpu.effective_engine() == Engine::Analytic)
+        .then(|| (output.to_vec(), tile_offsets.to_vec()));
+    let class = |b: usize| u64::from(b == ntiles as usize - 1);
+    let dim = Dim3 { x: ntiles, y: 1, z: 1 };
+    gpu.launch_classed("scan.add_offsets", dim, BLOCK_THREADS as u32, class, |blk| {
         let tile = blk.block_linear();
         let tile_base = tile * TILE;
         blk.warps(|w| {
@@ -190,6 +244,12 @@ fn add_tile_offsets(
             }
         });
     });
+    if let Some((mut out, offs)) = snap {
+        for (i, v) in out[..n].iter_mut().enumerate() {
+            *v = v.wrapping_add(offs[i / TILE]);
+        }
+        output.host_fill_from(&out[..n]);
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +340,24 @@ mod tests {
             }
             proptest::prop_assert_eq!(total, acc);
         }
+    }
+
+    #[test]
+    fn analytic_engine_matches_interpreted_bit_for_bit() {
+        // Same data, both engines: identical outputs, totals, and modeled
+        // timelines (names, times, counters) — the scan-level slice of the
+        // engine-equivalence contract, covering ragged tiles + recursion.
+        let n = TILE * 2 + 391;
+        let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2246822519) % 13).collect();
+        let run = |engine: Engine| {
+            let mut gpu = Gpu::new(A100);
+            gpu.set_engine(engine);
+            let input = GpuBuffer::from_host(&data);
+            let output: GpuBuffer<u32> = gpu.alloc(n);
+            let total = inclusive_sum(&mut gpu, &input, &output, n);
+            (total, output.to_vec(), format!("{:?}", gpu.timeline()), gpu.kernel_time().to_bits())
+        };
+        assert_eq!(run(Engine::Interpreted), run(Engine::Analytic));
     }
 
     #[test]

@@ -426,6 +426,7 @@ mod tests {
                 stats: KernelStats::default(),
                 breakdown: TimeBreakdown::analytic(2e-6),
                 retries: 0,
+                retry_attempt: None,
             }),
             Event::Transfer(TransferRecord { direction: "D2H", bytes: 64, time: 1e-6 }),
         ];

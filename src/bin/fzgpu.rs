@@ -40,25 +40,26 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   fzgpu compress   <input.f32> <output.fz>  --dims ZxYxX --eb 1e-3 [--abs] [--device a100|a4000]
-                   [--native | --path sim|native|both] [--trace out.json]
+                   [--native | --path sim|native|both] [--engine interp|analytic] [--trace out.json]
   fzgpu decompress <input.fz>  <output.f32> [--device a100|a4000]
-                   [--native | --path sim|native|both] [--trace out.json]
+                   [--native | --path sim|native|both] [--engine interp|analytic] [--trace out.json]
   fzgpu info       <input.fz>
   fzgpu bench      <input.f32> --dims ZxYxX [--eb 1e-3] [--device a100|a4000]
-                   [--native | --path sim|native|both]
+                   [--native | --path sim|native|both] [--engine interp|analytic]
   fzgpu profile    (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
-                   [--device a100|a4000] [--trace out.json] [--report out.txt] [--json]
+                   [--device a100|a4000] [--engine interp|analytic]
+                   [--trace out.json] [--report out.txt] [--json]
                    (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)
   fzgpu stats      (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
-                   [--device a100|a4000] [--timings] [--json]
+                   [--device a100|a4000] [--engine interp|analytic] [--timings] [--json]
   fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--eb 1e-3] [--abs] [--device ...]
-                   [--native | --path sim|native|both] [--trace out.json]
+                   [--native | --path sim|native|both] [--engine interp|analytic] [--trace out.json]
   fzgpu verify     <input.fz|input.fzar>
   fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]
-                   [--native | --path sim|native|both]
+                   [--native | --path sim|native|both] [--engine interp|analytic]
   fzgpu serve      --replay <workload.json> [--streams N] [--no-pool] [--batch N]
                    [--queue-depth N] [--backpressure reject|block] [--timings] [--json]
-                   [--native | --path sim|native|both] [--trace out.json]
+                   [--native | --path sim|native|both] [--engine interp|analytic] [--trace out.json]
                    [--deadline-us T] [--retries N] [--backoff-us T] [--shed-priority]
                    [--no-breaker] [--fault-seed S] [--fault-rate P] [--fault-streak N]
                    [--stall-rate P] [--stall-us T] [--loss-at-us T] [--repair-us T]";
@@ -91,9 +92,23 @@ fn path_of(args: &[String]) -> Result<PipelinePath, String> {
     Ok(flagged.unwrap_or_else(PipelinePath::from_env))
 }
 
+/// Simulation-engine selection: `--engine` takes interp|analytic; absent,
+/// falls back to the `FZGPU_SIM_ENGINE` environment variable (default:
+/// interpreted). Either engine produces bit-identical streams, timelines,
+/// and counters; analytic just skips the per-block interpreter.
+fn engine_of(args: &[String]) -> Result<fz_gpu::sim::Engine, String> {
+    flag_value(args, "--engine")
+        .map(|s| {
+            fz_gpu::sim::Engine::parse(s)
+                .ok_or_else(|| format!("bad --engine '{s}' (expected interp|analytic)"))
+        })
+        .transpose()
+        .map(|e| e.unwrap_or_else(fz_gpu::sim::Engine::from_env))
+}
+
 /// Build the compressor honoring `--device` and the pipeline path flags.
 fn fz_of(args: &[String]) -> Result<FzGpu, String> {
-    let opts = FzOptions { path: path_of(args)?, ..FzOptions::default() };
+    let opts = FzOptions { path: path_of(args)?, engine: engine_of(args)?, ..FzOptions::default() };
     Ok(FzGpu::with_options(device_of(args)?, opts))
 }
 
@@ -253,7 +268,8 @@ fn info(args: &[String]) -> Result<(), String> {
 fn profile(args: &[String]) -> Result<(), String> {
     let field = field_of(args)?;
     let eb = eb_of(args)?;
-    let mut fz = FzGpu::new(device_of(args)?);
+    let opts = FzOptions { engine: engine_of(args)?, ..FzOptions::default() };
+    let mut fz = FzGpu::with_options(device_of(args)?, opts);
     let shape = field.dims.as_3d();
 
     let tracing = flag_value(args, "--trace").is_some();
@@ -329,7 +345,8 @@ fn stats(args: &[String]) -> Result<(), String> {
     let field = field_of(args)?;
     let eb = eb_of(args)?;
     fz_gpu::trace::metrics::reset();
-    let mut fz = FzGpu::new(device_of(args)?);
+    let opts = FzOptions { engine: engine_of(args)?, ..FzOptions::default() };
+    let mut fz = FzGpu::with_options(device_of(args)?, opts);
     let c = fz.compress(&field.data, field.dims.as_3d(), eb);
     fz.decompress(&c).map_err(|e| e.to_string())?;
     // Deterministic metrics only by default: the exposition is then
@@ -589,6 +606,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         };
     }
     cfg.path = path_of(args)?;
+    cfg.engine = engine_of(args)?;
     cfg.capture_trace = flag_value(args, "--trace").is_some();
     cfg.resilience = resilience_of(args)?;
 

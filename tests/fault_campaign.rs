@@ -90,8 +90,10 @@ fn retries_surface_in_kernel_records() {
     let profile = fz.profile();
     let retried: u32 = profile.kernels().map(|k| k.retries).sum();
     assert!(retried > 0, "successful records must carry their retry counts");
-    // Failed attempts appear as their own timeline entries.
-    assert!(profile.kernels().any(|k| k.name.contains("transient-fault retry")));
+    // Failed attempts appear as their own timeline entries, tagged with
+    // the attempt number (the display name renders the suffix lazily).
+    assert!(profile.kernels().any(|k| k.retry_attempt.is_some()));
+    assert!(profile.kernels().any(|k| k.display_name().contains("transient-fault retry")));
     // And the trace export carries the counter.
     assert!(profile.chrome_trace_json().contains("\"retries\""));
 }
