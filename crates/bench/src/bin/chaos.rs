@@ -20,7 +20,12 @@
 //!    (which permanently fails jobs the schedule faults).
 //!
 //! Outputs `results/chaos.txt` (human table) and `BENCH_chaos.json`
-//! (machine-readable) at the repo root.
+//! (machine-readable, with a per-cell log-bucketed latency histogram) at
+//! the repo root, plus a full telemetry capture of the representative
+//! worst cell (highest fault rate, no-retry policy) under
+//! `results/telemetry_chaos/` — asserted to contain at least one SLO
+//! alert with its flight-recorder dump, and to render through
+//! `fzgpu report` (DESIGN.md §17).
 //!
 //! `--smoke`: a smaller trace for CI — same sweep, same asserts.
 
@@ -29,10 +34,12 @@ use std::collections::HashMap;
 use fzgpu_bench::{arg_flag, Table};
 use fzgpu_core::ErrorBound;
 use fzgpu_serve::{
-    FieldKind, Op, Request, ResilienceConfig, ServeConfig, ServeReport, Service, Workload,
+    render_report, FieldKind, JobResult, Op, Request, ResilienceConfig, ServeConfig, ServeReport,
+    Service, TelemetryConfig, Workload,
 };
 use fzgpu_sim::device::A100;
 use fzgpu_sim::{RetryPolicy, ServiceFaultPlan};
+use fzgpu_trace::telemetry::LogHist;
 
 /// Deterministic chaos trace: a steady stream of mid-size compressions
 /// whose arrival span dominates service time, so cross-policy makespans
@@ -212,6 +219,38 @@ fn main() {
 
     // Persist (repo root is two levels above the bench crate manifest).
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+
+    // Telemetry campaign: re-run the representative worst cell (highest
+    // fault rate, no retries — failures burn SLO budget fastest) with the
+    // full capture on. The capture must fire at least one alert, snapshot
+    // a flight dump for it, and render through the dashboard.
+    let worst_rate = *FAULT_RATES.last().expect("rates");
+    let mut tel_cfg = cell_config(worst_rate, &POLICIES[0]);
+    tel_cfg.telemetry = Some(TelemetryConfig::default());
+    let tel_report = Service::new(tel_cfg).run(&workload);
+    let capture = tel_report.telemetry.as_ref().expect("telemetry configured");
+    assert!(
+        !capture.alert_seqs.is_empty(),
+        "chaos at rate {worst_rate} must fire at least one SLO alert",
+    );
+    assert_eq!(
+        capture.dumps.len(),
+        capture.alert_seqs.len(),
+        "every alert must snapshot a flight-recorder dump",
+    );
+    let tel_dir = root.join("results/telemetry_chaos");
+    let _ = std::fs::remove_dir_all(&tel_dir);
+    capture.write_dir(&tel_dir).expect("write telemetry dir");
+    let dashboard = render_report(&tel_dir).expect("telemetry capture must render");
+    assert!(dashboard.contains("alert."), "dashboard must show the alert timeline");
+    println!(
+        "telemetry: rate {worst_rate} policy {} -> {} events, {} alerts, {} flight dumps in {}",
+        POLICIES[0].name,
+        capture.events.len(),
+        capture.alert_seqs.len(),
+        capture.dumps.len(),
+        tel_dir.display(),
+    );
     let mut txt = format!(
         "chaos bench: {} jobs, {:.2} MB total, device {}, seed {FAULT_SEED}{}\n\n",
         workload.requests.len(),
@@ -228,12 +267,19 @@ fn main() {
         .iter()
         .map(|c| {
             let slo = c.report.slo();
+            // Log-bucketed completed-job latency histogram (sparse
+            // [bucket, count] pairs, fzgpu_trace::telemetry bucket scheme)
+            // so cross-policy tail shapes are comparable, not just p99.
+            let mut hist = LogHist::new();
+            for j in &c.report.jobs {
+                hist.observe(JobResult::latency(j));
+            }
             format!(
                 "    {{\"fault_rate\": {}, \"policy\": {}, \"completed\": {}, \"failed\": {}, \
                  \"retried_jobs\": {}, \"retries_total\": {}, \"goodput_gbs\": {:.4}, \
                  \"availability\": {:.4}, \"p99_us\": {:.4}, \"p999_us\": {:.4}, \
                  \"makespan_us\": {:.4}, \"breaker_reroutes\": {}, \"stalls_injected\": {}, \
-                 \"digest\": \"0x{:08x}\"}}",
+                 \"latency_hist\": {}, \"digest\": \"0x{:08x}\"}}",
                 c.rate,
                 fzgpu_trace::json::escape(c.policy),
                 slo.completed,
@@ -247,6 +293,7 @@ fn main() {
                 c.report.makespan * 1e6,
                 c.report.breaker_reroutes,
                 c.report.stalls_injected,
+                hist.to_json(),
                 c.report.digest(),
             )
         })

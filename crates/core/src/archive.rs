@@ -195,7 +195,7 @@ impl Archive {
         let archive = Self::from_streams(data.len(), chunks);
         fzgpu_trace::metrics::counter_add(
             fzgpu_trace::metrics::Class::Det,
-            "fzgpu_archive_chunks_total",
+            "fzgpu_core_archive_chunks_total",
             &[],
             archive.chunks.len() as u64,
         );

@@ -56,7 +56,7 @@ pub enum ChecksumSection {
 
 impl ChecksumSection {
     /// The section's kind as a low-cardinality metric label: chunk indices
-    /// collapse to `"chunk"` so the `fzgpu_crc_failures_total` label set
+    /// collapse to `"chunk"` so the `fzgpu_core_crc_failures_total` label set
     /// stays bounded regardless of archive size.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -85,7 +85,7 @@ impl core::fmt::Display for ChecksumSection {
 pub(crate) fn note_crc_failure(section: ChecksumSection) {
     fzgpu_trace::metrics::counter_add(
         fzgpu_trace::metrics::Class::Det,
-        "fzgpu_crc_failures_total",
+        "fzgpu_core_crc_failures_total",
         &[("section", section.kind())],
         1,
     );

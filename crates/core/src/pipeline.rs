@@ -155,7 +155,7 @@ impl FzGpu {
     /// Fault injection lives in the simulator, so while a non-disabled plan
     /// is installed, [`PipelinePath::Native`] and [`PipelinePath::Both`]
     /// calls are downgraded to the simulated pipeline (counted by the
-    /// Det-class `fzgpu_fault_native_downgrade_total` metric) — the native
+    /// Det-class `fzgpu_core_native_downgrade_total` metric) — the native
     /// path would silently bypass injection, and `Both` would spuriously
     /// panic when injected corruption diverges the simulated stream.
     pub fn enable_faults(&mut self, plan: FaultPlan) {
@@ -179,7 +179,7 @@ impl FzGpu {
     fn dispatch_path(&self) -> PipelinePath {
         let effective = self.effective_path();
         if effective != self.opts.path {
-            metrics::counter_add(Class::Det, "fzgpu_fault_native_downgrade_total", &[], 1);
+            metrics::counter_add(Class::Det, "fzgpu_core_native_downgrade_total", &[], 1);
         }
         effective
     }
@@ -198,7 +198,7 @@ impl FzGpu {
     /// kernel time (transfers excluded, as in the paper's "kernel time"
     /// throughput metric). On [`PipelinePath::Native`] the timeline is
     /// reset and left empty — the native path charges no modeled time; its
-    /// cost is real host wall-clock (the `fzgpu_host_seconds` metric).
+    /// cost is real host wall-clock (the `fzgpu_core_host_seconds` metric).
     /// [`PipelinePath::Both`] runs native first, then simulated, panics if
     /// the streams differ by a byte, and returns the simulated result.
     pub fn compress(&mut self, data: &[f32], shape: Shape, eb: ErrorBound) -> Compressed {
@@ -464,14 +464,14 @@ impl FzGpu {
 /// Shared compress-call metrics epilogue (identical on every path, so
 /// `fzgpu stats` sees the same counters whichever pipeline ran).
 fn note_compress_metrics(n_values: usize, out_bytes: usize, t0: std::time::Instant) {
-    metrics::counter_add(Class::Det, "fzgpu_compress_calls_total", &[], 1);
-    metrics::counter_add(Class::Det, "fzgpu_bytes_in_total", &[], (n_values * 4) as u64);
-    metrics::counter_add(Class::Det, "fzgpu_bytes_out_total", &[], out_bytes as u64);
+    metrics::counter_add(Class::Det, "fzgpu_core_compress_calls_total", &[], 1);
+    metrics::counter_add(Class::Det, "fzgpu_core_bytes_in_total", &[], (n_values * 4) as u64);
+    metrics::counter_add(Class::Det, "fzgpu_core_bytes_out_total", &[], out_bytes as u64);
     let ratio = (n_values * 4) as f64 / out_bytes as f64;
-    metrics::gauge_set(Class::Det, "fzgpu_compression_ratio_last", &[], ratio);
+    metrics::gauge_set(Class::Det, "fzgpu_core_compression_ratio_last", &[], ratio);
     metrics::observe(
         Class::Wall,
-        "fzgpu_host_seconds",
+        "fzgpu_core_host_seconds",
         &[("op", "compress")],
         t0.elapsed().as_secs_f64(),
     );
@@ -479,10 +479,10 @@ fn note_compress_metrics(n_values: usize, out_bytes: usize, t0: std::time::Insta
 
 /// Shared decompress-call metrics epilogue (successful decodes only).
 fn note_decompress_metrics(t0: std::time::Instant) {
-    metrics::counter_add(Class::Det, "fzgpu_decompress_calls_total", &[], 1);
+    metrics::counter_add(Class::Det, "fzgpu_core_decompress_calls_total", &[], 1);
     metrics::observe(
         Class::Wall,
-        "fzgpu_host_seconds",
+        "fzgpu_core_host_seconds",
         &[("op", "decompress")],
         t0.elapsed().as_secs_f64(),
     );
@@ -659,12 +659,12 @@ mod tests {
         assert_eq!(fz.effective_path(), PipelinePath::Native, "disabled plan is a no-op");
         fz.enable_faults(FaultPlan::seeded(11).launch_faults(0.5, 2));
         assert_eq!(fz.effective_path(), PipelinePath::Simulated);
-        let before = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
+        let before = metrics::counter_value("fzgpu_core_native_downgrade_total", &[]);
         let c = fz.compress(&data, shape, ErrorBound::Abs(1e-3));
         assert!(fz.kernel_time() > 0.0, "the simulated pipeline must have run");
         let back = fz.decompress(&c).unwrap();
         assert_eq!(back.len(), data.len());
-        let after = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
+        let after = metrics::counter_value("fzgpu_core_native_downgrade_total", &[]);
         assert_eq!(after - before, 2, "compress + decompress each record the downgrade");
     }
 

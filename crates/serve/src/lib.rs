@@ -22,6 +22,11 @@
 //!   and device-loss drain/redispatch, all replaying a seeded
 //!   [`fzgpu_sim::ServiceFaultPlan`] in modeled time. Faults cost time or
 //!   jobs, never correctness (DESIGN.md §15).
+//! * **Telemetry** ([`telemetry`]): deterministic windowed histograms, a
+//!   schema-v1 structured event log, SLO burn-rate alerts, and an
+//!   always-on flight recorder, all keyed on modeled time and therefore
+//!   bit-identical across thread counts, engines, and replays
+//!   (DESIGN.md §17). `fzgpu report` renders a capture as a dashboard.
 //!
 //! ## Determinism contract
 //! Jobs execute sequentially on the host (the existing thread pool still
@@ -48,9 +53,11 @@
 pub mod batch;
 pub mod resilience;
 pub mod service;
+pub mod telemetry;
 pub mod workload;
 
 pub use batch::{fuse_kernel_sequences, BatchKey};
 pub use resilience::{Failed, ResilienceConfig, Shed, SloSummary, StreamHealth};
 pub use service::{Backpressure, JobResult, Rejection, ServeConfig, ServeReport, Service};
+pub use telemetry::{render_report, TelemetryCapture, TelemetryConfig};
 pub use workload::{FieldKind, Op, Request, Workload};

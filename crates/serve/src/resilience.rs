@@ -179,8 +179,11 @@ impl StreamHealth {
 /// field is Det-class deterministic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloSummary {
-    /// Completed-job latency percentiles, modeled seconds.
+    /// Completed-job latency percentiles (nearest-rank, see
+    /// DESIGN.md §17), modeled seconds.
     pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
     /// 99th percentile.
     pub p99: f64,
     /// 99.9th percentile.

@@ -40,6 +40,7 @@ use fzgpu_trace::metrics::{self, Class};
 
 use crate::batch::{fuse_kernel_sequences, BatchKey};
 use crate::resilience::{Failed, ResilienceConfig, Shed, SloSummary, StreamHealth};
+use crate::telemetry::{Collector, TelemetryCapture, TelemetryConfig};
 use crate::workload::{synth_field, Op, Request, Workload};
 
 /// Full-queue policy.
@@ -106,6 +107,12 @@ pub struct ServeConfig {
     /// is inert — a fault-free replay behaves (and digests) exactly as it
     /// did before the failure domain existed.
     pub resilience: ResilienceConfig,
+    /// Telemetry capture: windowed histograms, the structured event log,
+    /// SLO burn-rate alerts, and the flight recorder (DESIGN.md §17).
+    /// `None` (the default) records nothing; `Some` attaches a
+    /// [`TelemetryCapture`] to the report. Telemetry observes the replay
+    /// in modeled time only — it never affects scheduling or digests.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +129,7 @@ impl Default for ServeConfig {
             path: PipelinePath::from_env(),
             engine: Engine::from_env(),
             resilience: ResilienceConfig::default(),
+            telemetry: None,
         }
     }
 }
@@ -235,16 +243,24 @@ pub struct ServeReport {
     /// Per-stream Chrome trace JSON (empty unless
     /// [`ServeConfig::capture_trace`]).
     pub stream_trace: String,
+    /// Finalized telemetry capture (only with [`ServeConfig::telemetry`]).
+    pub telemetry: Option<TelemetryCapture>,
 }
 
-/// `q`-th percentile (0 < q ≤ 1) of an unsorted sample, by rank.
+/// `q`-th percentile (0 < q ≤ 1) of an unsorted sample, by the
+/// nearest-rank method: the value at rank `⌈q·n⌉` (1-based) of the sorted
+/// sample — always an actual sample, never an interpolation. The small
+/// epsilon guards against FP slop in `q·n` before the ceiling: `0.9 × 10`
+/// evaluates to `9.000000000000002`, which must still mean rank 9, and
+/// p50 of a 2-sample set is rank `⌈1.0⌉ = 1`, the *lower* sample. See
+/// DESIGN.md §17 for the convention.
 fn percentile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    let rank = ((q * sorted.len() as f64 - 1e-9).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
 
@@ -282,6 +298,7 @@ impl ServeReport {
         let offered = self.jobs.len() + self.rejected.len() + self.shed.len() + self.failed.len();
         SloSummary {
             p50: percentile(&lat, 0.50),
+            p90: percentile(&lat, 0.90),
             p99: percentile(&lat, 0.99),
             p999: percentile(&lat, 0.999),
             goodput_gbs: if self.makespan > 0.0 {
@@ -392,8 +409,9 @@ impl ServeReport {
         }
         let slo = self.slo();
         out.push_str(&format!(
-            "slo: p50 {:.2}  p99 {:.2}  p999 {:.2} us; goodput {:.2} GB/s; availability {:.1}%; retried {} shed {} failed {} aborted {}\n",
+            "slo: p50 {:.2}  p90 {:.2}  p99 {:.2}  p999 {:.2} us; goodput {:.2} GB/s; availability {:.1}%; retried {} shed {} failed {} aborted {}\n",
             slo.p50 * 1e6,
+            slo.p90 * 1e6,
             slo.p99 * 1e6,
             slo.p999 * 1e6,
             slo.goodput_gbs,
@@ -504,8 +522,9 @@ impl ServeReport {
             .collect();
         let slo = self.slo();
         let slo_json = format!(
-            "{{\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"goodput_gbs\":{},\"availability\":{},\"completed\":{},\"rejected\":{},\"shed\":{},\"failed\":{},\"retried_jobs\":{},\"retries_total\":{},\"deadline_missed\":{},\"aborted_jobs\":{},\"breaker_reroutes\":{},\"stalls_injected\":{}}}",
+            "{{\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"goodput_gbs\":{},\"availability\":{},\"completed\":{},\"rejected\":{},\"shed\":{},\"failed\":{},\"retried_jobs\":{},\"retries_total\":{},\"deadline_missed\":{},\"aborted_jobs\":{},\"breaker_reroutes\":{},\"stalls_injected\":{}}}",
             json::num(slo.p50 * 1e6),
+            json::num(slo.p90 * 1e6),
             json::num(slo.p99 * 1e6),
             json::num(slo.p999 * 1e6),
             json::num(slo.goodput_gbs),
@@ -681,6 +700,10 @@ struct Runner<'a> {
     health: StreamHealth,
     /// The run's fault schedule evaluator (pure per-event functions).
     faults: ServiceFaults,
+    /// Telemetry collector, when capture is on.
+    tel: Option<Collector>,
+    /// Shared pool handle for windowed hit/miss sampling (telemetry only).
+    pool: Option<MemPool>,
     /// Host-side executions, cached per request so retries reuse the
     /// first (and only) execution: a completed job's digest is its
     /// fault-free digest by construction, and Det-class pipeline metrics
@@ -739,6 +762,9 @@ impl Runner<'_> {
     /// Record a permanent job loss.
     fn fail(&mut self, idx: usize, time: f64, attempts: u32, reason: &'static str) {
         metrics::counter_add(Class::Det, "fzgpu_serve_failed_total", &[("reason", reason)], 1);
+        if let Some(tel) = self.tel.as_mut() {
+            tel.note_fail(time, idx, attempts, reason);
+        }
         self.failed.push(Failed {
             id: idx,
             arrival: self.workload.requests[idx].arrival,
@@ -751,6 +777,9 @@ impl Runner<'_> {
     /// Record a shed job (admission control, not queue overflow).
     fn shed_job(&mut self, idx: usize, arrival: f64, retry_after: f64, reason: &'static str) {
         metrics::counter_add(Class::Det, "fzgpu_serve_shed_total", &[("reason", reason)], 1);
+        if let Some(tel) = self.tel.as_mut() {
+            tel.note_shed(arrival, idx, reason, retry_after);
+        }
         self.shed.push(Shed {
             id: idx,
             arrival,
@@ -786,6 +815,9 @@ impl Runner<'_> {
             self.queue.remove(victim.0);
             self.shed_job(victim.1, reqs[victim.1].arrival, retry_after, "priority");
             self.queue.push_back(Entry { idx, admitted: arrival, ready: arrival, attempt: 0 });
+            if let Some(tel) = self.tel.as_mut() {
+                tel.note_admit(arrival, idx, self.queue.len());
+            }
         } else {
             self.shed_job(idx, arrival, retry_after, "priority");
         }
@@ -825,6 +857,7 @@ impl Runner<'_> {
     /// slot freed).
     fn dispatch(&mut self) -> f64 {
         let (take_retry, _) = self.next_dispatch();
+        let reroutes_before = self.health.reroutes();
         let (stream, ready) = self.health.pick(&self.sim);
         let head = if take_retry {
             self.retries.pop_front().expect("retry front")
@@ -902,6 +935,25 @@ impl Runner<'_> {
         self.fused_saved += saved;
         self.health.note_work(stream, end);
         metrics::counter_add(Class::Det, "fzgpu_serve_batches_total", &[], 1);
+        if let Some(tel) = self.tel.as_mut() {
+            if self.health.reroutes() > reroutes_before {
+                tel.note_reroute(t, stream);
+            }
+            let kernel_s: f64 = fused.iter().map(|(_, d)| *d).sum();
+            tel.note_dispatch(
+                t,
+                b,
+                stream,
+                members.len(),
+                self.queue.len(),
+                h2d as f64 / spec.pcie_peak,
+                kernel_s,
+                d2h as f64 / spec.pcie_peak,
+            );
+            if let Some(p) = self.pool.as_ref() {
+                tel.sample_pool(t, &p.stats());
+            }
+        }
 
         // Injected stream stall after this dispatch: freezes the stream's
         // queue silently — the believed schedule does not move, so only a
@@ -910,6 +962,9 @@ impl Runner<'_> {
             self.sim.enqueue(stream, OpClass::Stall, &format!("b{b}.stall"), d, 0.0);
             self.stalls_injected += 1;
             metrics::counter_add(Class::Det, "fzgpu_serve_stalls_total", &[], 1);
+            if let Some(tel) = self.tel.as_mut() {
+                tel.note_stall(end, stream, b, d);
+            }
         }
 
         let batch_size = members.len();
@@ -924,6 +979,9 @@ impl Runner<'_> {
                     self.retries_total += 1;
                     metrics::counter_add(Class::Det, "fzgpu_serve_retries_total", &[], 1);
                     let backoff = self.cfg.resilience.retry.backoff_time(e.attempt + 1);
+                    if let Some(tel) = self.tel.as_mut() {
+                        tel.note_retry(end, e.idx, e.attempt + 1, backoff);
+                    }
                     self.schedule_retry(Entry {
                         ready: end + backoff,
                         attempt: e.attempt + 1,
@@ -935,6 +993,10 @@ impl Runner<'_> {
                 continue;
             }
             metrics::counter_add(Class::Det, "fzgpu_serve_jobs_total", &[("op", r.op.label())], 1);
+            if let Some(tel) = self.tel.as_mut() {
+                let miss = self.cfg.resilience.deadline.is_some_and(|d| end - r.arrival > d);
+                tel.note_complete(end, e.idx, stream, e.attempt, b, r.arrival, t, miss);
+            }
             self.jobs.push(JobResult {
                 id: e.idx,
                 op: r.op,
@@ -985,6 +1047,9 @@ impl Runner<'_> {
         aborted.sort_by_key(|e| e.idx);
         self.aborted_jobs += aborted.len() as u64;
         metrics::counter_add(Class::Det, "fzgpu_serve_aborted_total", &[], aborted.len() as u64);
+        if let Some(tel) = self.tel.as_mut() {
+            tel.note_device_loss(loss, recovery, aborted.len() as u64);
+        }
 
         match recovery {
             Some(rec) => {
@@ -1080,6 +1145,8 @@ impl Service {
             retries: VecDeque::new(),
             health: StreamHealth::new(self.config.streams, res.breaker),
             faults: ServiceFaults::new(res.faults),
+            tel: self.config.telemetry.map(Collector::new),
+            pool: pool.clone(),
             exec_cache: vec![None; workload.requests.len()],
             jobs: Vec::new(),
             shed: Vec::new(),
@@ -1119,6 +1186,9 @@ impl Service {
                     ready: r.arrival,
                     attempt: 0,
                 });
+                if let Some(tel) = run.tel.as_mut() {
+                    tel.note_admit(r.arrival, i, run.queue.len());
+                }
             } else {
                 match self.config.backpressure {
                     Backpressure::Reject => {
@@ -1127,6 +1197,9 @@ impl Service {
                             run.admit_or_shed(i, retry_after);
                         } else {
                             metrics::counter_add(Class::Det, "fzgpu_serve_rejected_total", &[], 1);
+                            if let Some(tel) = run.tel.as_mut() {
+                                tel.note_reject(r.arrival, i, retry_after);
+                            }
                             rejected.push(Rejection { id: i, arrival: r.arrival, retry_after });
                         }
                     }
@@ -1146,6 +1219,9 @@ impl Service {
                                 ready: admit,
                                 attempt: 0,
                             });
+                            if let Some(tel) = run.tel.as_mut() {
+                                tel.note_admit(admit, i, run.queue.len());
+                            }
                         }
                     }
                 }
@@ -1176,7 +1252,7 @@ impl Service {
         let host_seconds = t0.elapsed().as_secs_f64();
         metrics::observe(Class::Wall, "fzgpu_serve_host_seconds", &[], host_seconds);
 
-        let report = ServeReport {
+        let mut report = ServeReport {
             workload: workload.name.clone(),
             device: workload.device.name,
             config: self.config,
@@ -1200,10 +1276,18 @@ impl Service {
             } else {
                 String::new()
             },
+            telemetry: None,
         };
         let missed = report.slo().deadline_missed as u64;
         if missed > 0 {
             metrics::counter_add(Class::Det, "fzgpu_serve_deadline_missed_total", &[], missed);
+        }
+        // Finalize telemetry last: the alert pass wants the full event
+        // stream and the capture records the report's own digest.
+        if let Some(tel) = run.tel.take() {
+            let digest = report.digest();
+            report.telemetry =
+                Some(tel.finalize(&run.sim, &report.workload, report.device, digest));
         }
         report
     }
@@ -1230,6 +1314,28 @@ mod tests {
             })
             .collect();
         Workload { name: "uniform".into(), device: A100, requests }
+    }
+
+    /// Pins the nearest-rank percentile convention: rank `⌈q·n⌉` of the
+    /// sorted sample, FP-slop-guarded. In particular p50 of a 2-sample set
+    /// is the lower sample, and `0.9 × 10` (which floats evaluate just
+    /// above 9) still means rank 9.
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[7.0], 0.999), 7.0);
+        // p50 of two samples = rank ceil(1.0) = 1 → the lower sample.
+        assert_eq!(percentile(&[2.0, 1.0], 0.5), 1.0);
+        assert_eq!(percentile(&[2.0, 1.0], 0.51), 2.0);
+        // 0.9 * 10 = 9.000000000000002 in f64: still rank 9, not 10.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 0.9), 9.0);
+        assert_eq!(percentile(&ten, 0.99), 10.0);
+        assert_eq!(percentile(&ten, 0.10), 1.0);
+        assert_eq!(percentile(&ten, 0.11), 2.0);
+        // Unsorted input is handled; rank counts the sorted order.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 0.5), 3.0);
     }
 
     #[test]

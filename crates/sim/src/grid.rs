@@ -270,8 +270,8 @@ impl Gpu {
         let bytes = (data.len() * T::BYTES) as u64;
         let _span = fzgpu_trace::span("gpu.upload").field("bytes", bytes);
         let time = bytes as f64 / self.spec.pcie_peak;
-        metrics::counter_add(Class::Det, "fzgpu_h2d_bytes_total", &[], bytes);
-        metrics::gauge_add(Class::Det, "fzgpu_modeled_transfer_seconds_total", &[], time);
+        metrics::counter_add(Class::Det, "fzgpu_sim_h2d_bytes_total", &[], bytes);
+        metrics::gauge_add(Class::Det, "fzgpu_sim_transfer_seconds_total", &[], time);
         self.timeline.push(Event::Transfer(TransferRecord { direction: "H2D", bytes, time }));
         // The copy's destination buffer comes from the pool when one is
         // attached (the input buffer is usually the largest allocation a
@@ -312,8 +312,8 @@ impl Gpu {
         let bytes = buf.size_bytes() as u64;
         let _span = fzgpu_trace::span("gpu.download").field("bytes", bytes);
         let time = bytes as f64 / self.spec.pcie_peak;
-        metrics::counter_add(Class::Det, "fzgpu_d2h_bytes_total", &[], bytes);
-        metrics::gauge_add(Class::Det, "fzgpu_modeled_transfer_seconds_total", &[], time);
+        metrics::counter_add(Class::Det, "fzgpu_sim_d2h_bytes_total", &[], bytes);
+        metrics::gauge_add(Class::Det, "fzgpu_sim_transfer_seconds_total", &[], time);
         self.timeline.push(Event::Transfer(TransferRecord { direction: "D2H", bytes, time }));
         buf.to_vec()
     }
@@ -360,7 +360,7 @@ impl Gpu {
             .field("kernel", name)
             .field("blocks", nblocks)
             .field("block_threads", block_dim.count());
-        metrics::counter_add(Class::Det, "fzgpu_kernel_launches_total", &[], 1);
+        metrics::counter_add(Class::Det, "fzgpu_sim_kernel_launches_total", &[], 1);
 
         // Transient launch faults: ask the injector before each attempt and
         // retry under the policy, charging the failed attempt (overhead +
@@ -384,9 +384,9 @@ impl Gpu {
             retries += 1;
             self.total_retries += 1;
             fzgpu_trace::event("gpu.retry").field("kernel", name).field("attempt", retries);
-            metrics::counter_add(Class::Det, "fzgpu_launch_retries_total", &[], 1);
+            metrics::counter_add(Class::Det, "fzgpu_sim_launch_retries_total", &[], 1);
             let cost = self.spec.launch_overhead + self.retry_policy.backoff_time(retries);
-            metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], cost);
+            metrics::gauge_add(Class::Det, "fzgpu_sim_kernel_seconds_total", &[], cost);
             // The failed attempt keeps the plain kernel name; the ordinal
             // rides on `retry_attempt` so the loop never formats a string.
             self.timeline.push(Event::Kernel(KernelRecord {
@@ -524,7 +524,7 @@ impl Gpu {
             .field("kernel", name)
             .field("blocks", nblocks)
             .field("block_threads", block_dim.count());
-        metrics::counter_add(Class::Det, "fzgpu_kernel_launches_total", &[], 1);
+        metrics::counter_add(Class::Det, "fzgpu_sim_kernel_launches_total", &[], 1);
         self.launch_index += 1;
 
         // One linear pass tallies class populations and picks the first
@@ -586,7 +586,7 @@ impl Gpu {
             .field("kernel", name)
             .field("blocks", nblocks)
             .field("block_threads", block_dim.count());
-        metrics::counter_add(Class::Det, "fzgpu_kernel_launches_total", &[], 1);
+        metrics::counter_add(Class::Det, "fzgpu_sim_kernel_launches_total", &[], 1);
         self.launch_index += 1;
         self.finish_launch(name, nblocks, block_dim, stats, 0);
     }
@@ -611,7 +611,7 @@ impl Gpu {
         let occupancy = (total_warps / saturating_warps).min(1.0).max(1.0 / saturating_warps);
         let breakdown = TimeBreakdown::attribute(&self.spec, &stats, occupancy);
 
-        metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], breakdown.total);
+        metrics::gauge_add(Class::Det, "fzgpu_sim_kernel_seconds_total", &[], breakdown.total);
         self.timeline.push(Event::Kernel(KernelRecord {
             name: name.to_string(),
             time: breakdown.total,
@@ -627,7 +627,7 @@ impl Gpu {
     /// through the simulator (e.g. cuSZ's serial Huffman-codebook build,
     /// MGARD's CPU-side DEFLATE). Callers must document the model used.
     pub fn record_kernel(&mut self, name: &str, time: f64, stats: KernelStats) {
-        metrics::gauge_add(Class::Det, "fzgpu_modeled_kernel_seconds_total", &[], time);
+        metrics::gauge_add(Class::Det, "fzgpu_sim_kernel_seconds_total", &[], time);
         self.timeline.push(Event::Kernel(KernelRecord {
             name: name.to_string(),
             time,

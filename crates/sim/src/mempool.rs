@@ -21,7 +21,7 @@
 //! fragmentation counters. A *fragmentation miss* is a miss that occurred
 //! while the free lists held at least the requested byte count — memory
 //! was available but in the wrong shape. Counters mirror into the global
-//! metrics registry under `fzgpu_mempool_*` ([`Class::Det`]: the service
+//! metrics registry under `fzgpu_sim_mempool_*` ([`Class::Det`]: the service
 //! layer drives the pool from one thread, so counts are schedule-free).
 //!
 //! The handle is `Clone` + `Send` + `Sync` (an `Arc<Mutex<..>>`): one pool
@@ -117,7 +117,7 @@ impl MemPool {
                 debug_assert_eq!(parked.bytes, bytes);
                 inner.stats.free_bytes -= bytes;
                 inner.stats.hits += 1;
-                metrics::counter_add(Class::Det, "fzgpu_mempool_hits_total", &[], 1);
+                metrics::counter_add(Class::Det, "fzgpu_sim_mempool_hits_total", &[], 1);
                 let buf = *parked.buf.downcast::<GpuBuffer<T>>().expect("free list keyed by type");
                 // Zero the recycled storage so a hit is indistinguishable
                 // from a fresh `alloc` (models cudaMemsetAsync).
@@ -128,10 +128,10 @@ impl MemPool {
             }
             None => {
                 inner.stats.misses += 1;
-                metrics::counter_add(Class::Det, "fzgpu_mempool_misses_total", &[], 1);
+                metrics::counter_add(Class::Det, "fzgpu_sim_mempool_misses_total", &[], 1);
                 if inner.stats.free_bytes >= bytes && bytes > 0 {
                     inner.stats.fragmentation_misses += 1;
-                    metrics::counter_add(Class::Det, "fzgpu_mempool_frag_misses_total", &[], 1);
+                    metrics::counter_add(Class::Det, "fzgpu_sim_mempool_frag_misses_total", &[], 1);
                 }
                 GpuBuffer::zeroed(len)
             }
@@ -141,7 +141,7 @@ impl MemPool {
             inner.stats.high_water_bytes = inner.stats.live_bytes;
             metrics::gauge_set(
                 Class::Det,
-                "fzgpu_mempool_high_water_bytes",
+                "fzgpu_sim_mempool_high_water_bytes",
                 &[],
                 inner.stats.high_water_bytes as f64,
             );
@@ -158,7 +158,7 @@ impl MemPool {
         inner.stats.free_bytes += bytes;
         inner.stats.releases += 1;
         *inner.buckets.entry(bucket_of(bytes)).or_insert(0) += bytes;
-        metrics::counter_add(Class::Det, "fzgpu_mempool_releases_total", &[], 1);
+        metrics::counter_add(Class::Det, "fzgpu_sim_mempool_releases_total", &[], 1);
         inner
             .free
             .entry((TypeId::of::<T>(), len))

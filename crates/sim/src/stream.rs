@@ -301,6 +301,38 @@ impl StreamSim {
         &self.ops
     }
 
+    /// The telemetry clock hook: busy seconds of `class` per time window of
+    /// `width` modeled seconds, as sparse `(window, busy)` pairs in window
+    /// order. Each op's `[start, end)` interval is split across the window
+    /// boundaries it crosses; accumulation runs in enqueue order, so the
+    /// result is a pure function of the schedule (bit-identical at any host
+    /// thread count and on either engine).
+    ///
+    /// # Panics
+    /// Panics when `width` is not positive.
+    pub fn busy_by_window(&self, class: OpClass, width: f64) -> Vec<(u64, f64)> {
+        assert!(width > 0.0, "window width must be positive");
+        let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for op in self.ops.iter().filter(|o| o.class == class && o.duration > 0.0) {
+            let mut t = op.start;
+            let end = op.end();
+            while t < end {
+                let w = (t / width).floor() as u64;
+                let boundary = (w + 1) as f64 * width;
+                let slice_end = boundary.min(end);
+                if slice_end <= t {
+                    // FP guard: a boundary that rounds onto `t` would not
+                    // advance; charge the remainder to this window.
+                    *acc.entry(w).or_insert(0.0) += end - t;
+                    break;
+                }
+                *acc.entry(w).or_insert(0.0) += slice_end - t;
+                t = slice_end;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
     /// Append this schedule to a Chrome-trace builder under `pid`, one
     /// track (tid) per stream — the per-stream view of the overlap.
     pub fn write_chrome_tracks(&self, t: &mut ChromeTrace, pid: u32) {
@@ -502,6 +534,25 @@ mod tests {
         let replay2: Vec<(f64, f64)> =
             sim.ops()[snapshot.len()..].iter().map(|o| (o.start, o.duration)).collect();
         assert_eq!(replay, replay2);
+    }
+
+    #[test]
+    fn busy_by_window_splits_ops_at_boundaries() {
+        let mut sim = StreamSim::new(&A100, 1);
+        // Kernel [5us, 25us) over 10us windows: 5us in w0, 10 in w1, 5 in w2.
+        sim.enqueue(0, OpClass::Compute, "k", 20e-6, 5e-6);
+        let busy = sim.busy_by_window(OpClass::Compute, 10e-6);
+        assert_eq!(busy.len(), 3);
+        assert_eq!(busy[0].0, 0);
+        assert!((busy[0].1 - 5e-6).abs() < 1e-18, "{busy:?}");
+        assert!((busy[1].1 - 10e-6).abs() < 1e-18, "{busy:?}");
+        assert!((busy[2].1 - 5e-6).abs() < 1e-18, "{busy:?}");
+        let total: f64 = busy.iter().map(|(_, b)| b).sum();
+        assert!((total - 20e-6).abs() < 1e-15, "windows must conserve busy time");
+        // Stalls occupy no engine and no window.
+        sim.enqueue(0, OpClass::Stall, "s", 50e-6, 0.0);
+        assert!(sim.busy_by_window(OpClass::Stall, 10e-6).iter().all(|&(_, b)| b > 0.0));
+        assert_eq!(sim.busy_by_window(OpClass::CopyH2D, 10e-6), vec![]);
     }
 
     #[test]

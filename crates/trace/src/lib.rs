@@ -10,6 +10,9 @@
 //! * **Metrics** ([`metrics`]) — a global registry of counters, gauges and
 //!   histograms split into deterministic and wallclock classes, with
 //!   Prometheus-style text exposition and JSON export.
+//! * **Telemetry** ([`telemetry`]) — deterministic windowed histograms,
+//!   a versioned structured event log, SLO burn-rate tracking, and a
+//!   bounded flight recorder, all keyed on modeled time.
 //! * **Writers** ([`json`], [`chrome`]) — the one JSON escaping helper
 //!   every hand-rolled writer uses, a small parser for reading baselines
 //!   back, and a Chrome Trace Event Format builder.
@@ -24,6 +27,7 @@ pub mod chrome;
 pub mod json;
 pub mod metrics;
 mod span;
+pub mod telemetry;
 
 pub use span::{
     begin_capture, end_capture, event, is_capturing, span, EventMark, RegionCapture, Span,

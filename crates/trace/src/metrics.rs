@@ -16,6 +16,13 @@
 //!
 //! Exposition renders families sorted by name (then label set), so output
 //! bytes depend only on registry contents, never insertion order.
+//!
+//! # Naming
+//!
+//! Workspace metric families follow `fzgpu_<crate>_<noun>` (e.g.
+//! `fzgpu_sim_kernel_launches_total`, `fzgpu_serve_retries_total`) and are
+//! listed in the help table (see [`help_of`]), which supplies the `# HELP`
+//! line emitted ahead of `# TYPE`/`# CLASS` for each known family.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
@@ -186,6 +193,62 @@ fn le_token(bound: f64) -> String {
     format!("{bound:e}")
 }
 
+/// Help strings for the workspace's metric families, keyed by full name
+/// (sorted). Names follow the `fzgpu_<crate>_<noun>` convention; the
+/// table is the authoritative list of registered families. Exposition
+/// emits a `# HELP` line only for names found here, so ad-hoc metrics
+/// (and test fixtures) render without one.
+const HELP: &[(&str, &str)] = &[
+    ("fzgpu_core_archive_chunks_total", "Chunks written into multi-field archives."),
+    ("fzgpu_core_bytes_in_total", "Uncompressed bytes fed into the compressor."),
+    ("fzgpu_core_bytes_out_total", "Compressed bytes produced."),
+    ("fzgpu_core_compress_calls_total", "Compression pipeline invocations."),
+    ("fzgpu_core_compression_ratio_last", "Compression ratio of the most recent call."),
+    ("fzgpu_core_crc_failures_total", "CRC mismatches detected while decoding, by section."),
+    ("fzgpu_core_decompress_calls_total", "Decompression pipeline invocations."),
+    ("fzgpu_core_host_seconds", "Measured host wall-clock seconds, by op."),
+    (
+        "fzgpu_core_native_downgrade_total",
+        "Native fast-path requests downgraded to the simulated path under fault injection.",
+    ),
+    ("fzgpu_pool_chunks_total", "Work chunks executed by the thread pool."),
+    ("fzgpu_pool_regions_total", "Parallel regions entered on the thread pool."),
+    ("fzgpu_pool_steals_total", "Chunks executed by a worker other than the submitter."),
+    ("fzgpu_serve_aborted_total", "Jobs aborted mid-flight by a device loss."),
+    ("fzgpu_serve_batches_total", "Batches dispatched to the modeled device."),
+    ("fzgpu_serve_breaker_reroutes_total", "Dispatches rerouted off a breaker-open stream."),
+    ("fzgpu_serve_deadline_missed_total", "Completed jobs that finished past their deadline."),
+    ("fzgpu_serve_device_loss_total", "Modeled device-loss faults applied."),
+    ("fzgpu_serve_failed_total", "Jobs permanently failed, by reason."),
+    ("fzgpu_serve_fused_saved_seconds", "Modeled seconds saved by batch fusion."),
+    ("fzgpu_serve_host_seconds", "Measured host wall-clock seconds spent serving."),
+    ("fzgpu_serve_jobs_total", "Jobs completed, by op."),
+    ("fzgpu_serve_makespan_seconds", "Modeled makespan of the serviced workload."),
+    ("fzgpu_serve_rejected_total", "Jobs rejected at admission (queue full)."),
+    ("fzgpu_serve_retries_total", "Job retry attempts scheduled."),
+    ("fzgpu_serve_shed_total", "Jobs shed by admission control, by reason."),
+    ("fzgpu_serve_stalls_total", "Injected stream stalls."),
+    ("fzgpu_sim_d2h_bytes_total", "Bytes copied device-to-host in the modeled pipeline."),
+    ("fzgpu_sim_h2d_bytes_total", "Bytes copied host-to-device in the modeled pipeline."),
+    ("fzgpu_sim_kernel_launches_total", "Modeled kernel launches."),
+    ("fzgpu_sim_kernel_seconds_total", "Modeled kernel-execution seconds."),
+    ("fzgpu_sim_launch_retries_total", "Modeled kernel launches retried after a transient fault."),
+    (
+        "fzgpu_sim_mempool_frag_misses_total",
+        "Pool misses caused by fragmentation rather than capacity.",
+    ),
+    ("fzgpu_sim_mempool_high_water_bytes", "High-water mark of live pool bytes."),
+    ("fzgpu_sim_mempool_hits_total", "Device memory pool allocations served from the free list."),
+    ("fzgpu_sim_mempool_misses_total", "Device memory pool allocations that grew the pool."),
+    ("fzgpu_sim_mempool_releases_total", "Chunks returned to the pool free list."),
+    ("fzgpu_sim_transfer_seconds_total", "Modeled PCIe transfer seconds, both directions."),
+];
+
+/// Help string for a metric family, if it is a registered workspace name.
+pub fn help_of(name: &str) -> Option<&'static str> {
+    HELP.binary_search_by_key(&name, |(n, _)| n).ok().map(|i| HELP[i].1)
+}
+
 /// Prometheus-style text exposition. Deterministic: families sorted by
 /// name, then label set. `include_wall = false` (the default surface)
 /// emits only [`Class::Det`] metrics, making the bytes identical at any
@@ -199,6 +262,9 @@ pub fn exposition(include_wall: bool) -> String {
             continue;
         }
         if name != last_family {
+            if let Some(help) = help_of(name) {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+            }
             out.push_str(&format!(
                 "# TYPE {name} {}\n# CLASS {name} {}\n",
                 m.value.type_label(),
@@ -376,6 +442,26 @@ mod tests {
         );
         assert_eq!(metrics[0].get("value").and_then(crate::json::Value::as_f64), Some(1024.0));
         assert_eq!(metrics[1].get("count").and_then(crate::json::Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn help_table_is_sorted_and_emitted() {
+        let _g = gate();
+        for w in HELP.windows(2) {
+            assert!(w[0].0 < w[1].0, "HELP table must stay sorted: {} >= {}", w[0].0, w[1].0);
+        }
+        reset();
+        counter_add(Class::Det, "fzgpu_sim_kernel_launches_total", &[], 3);
+        counter_add(Class::Det, "unknown_total", &[], 1);
+        let text = exposition(false);
+        assert!(
+            text.contains(
+                "# HELP fzgpu_sim_kernel_launches_total Modeled kernel launches.\n\
+                 # TYPE fzgpu_sim_kernel_launches_total counter\n"
+            ),
+            "{text}"
+        );
+        assert!(!text.contains("# HELP unknown_total"), "{text}");
     }
 
     #[test]

@@ -62,7 +62,9 @@ const USAGE: &str = "usage:
                    [--native | --path sim|native|both] [--engine interp|analytic] [--trace out.json]
                    [--deadline-us T] [--retries N] [--backoff-us T] [--shed-priority]
                    [--no-breaker] [--fault-seed S] [--fault-rate P] [--fault-streak N]
-                   [--stall-rate P] [--stall-us T] [--loss-at-us T] [--repair-us T]";
+                   [--stall-rate P] [--stall-us T] [--loss-at-us T] [--repair-us T]
+                   [--telemetry <dir>] [--telemetry-window-us T] [--flight-capacity N]
+  fzgpu report     <telemetry-dir>";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -151,6 +153,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "verify" => verify(&args[1..]),
         "extract" => extract(&args[1..]),
         "serve" => serve(&args[1..]),
+        "report" => report_cmd(&args[1..]),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -610,6 +613,30 @@ fn serve(args: &[String]) -> Result<(), String> {
     cfg.capture_trace = flag_value(args, "--trace").is_some();
     cfg.resilience = resilience_of(args)?;
 
+    let telemetry_dir = flag_value(args, "--telemetry");
+    if telemetry_dir.is_some() {
+        let mut tcfg = fz_gpu::serve::TelemetryConfig::default();
+        if let Some(w) = flag_value(args, "--telemetry-window-us") {
+            let v: f64 = w.parse().map_err(|_| "bad --telemetry-window-us value".to_string())?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err("--telemetry-window-us must be a positive time in us".into());
+            }
+            tcfg.window = v * 1e-6;
+        }
+        if let Some(c) = flag_value(args, "--flight-capacity") {
+            tcfg.flight_capacity =
+                c.parse().map_err(|_| "bad --flight-capacity value".to_string())?;
+            if tcfg.flight_capacity == 0 {
+                return Err("--flight-capacity must be at least 1".into());
+            }
+        }
+        cfg.telemetry = Some(tcfg);
+    } else if flag_value(args, "--telemetry-window-us").is_some()
+        || flag_value(args, "--flight-capacity").is_some()
+    {
+        return Err("--telemetry-window-us/--flight-capacity require --telemetry <dir>".into());
+    }
+
     let report = Service::new(cfg).run(&workload);
 
     // Wallclock timings are off by default so the output is byte-identical
@@ -625,5 +652,27 @@ fn serve(args: &[String]) -> Result<(), String> {
         std::fs::write(out, &report.stream_trace).map_err(|e| e.to_string())?;
         println!("wrote stream timeline trace to {out} (open in chrome://tracing or Perfetto)");
     }
+    if let Some(dir) = telemetry_dir {
+        let capture = report.telemetry.as_ref().expect("telemetry was configured");
+        capture.write_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+        // Deterministic summary (no wallclock): safe to diff across runs.
+        println!(
+            "wrote telemetry to {dir}: {} events, {} alerts, {} flight dumps (render with `fzgpu report {dir}`)",
+            capture.events.len(),
+            capture.alert_seqs.len(),
+            capture.dumps.len(),
+        );
+    }
+    Ok(())
+}
+
+/// Render the text dashboard for a telemetry directory produced by
+/// `fzgpu serve --telemetry <dir>`.
+fn report_cmd(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing telemetry directory (from `fzgpu serve --telemetry <dir>`)")?;
+    print!("{}", fz_gpu::serve::render_report(Path::new(dir))?);
     Ok(())
 }

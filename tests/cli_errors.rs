@@ -72,6 +72,36 @@ fn failures_exit_nonzero_with_one_line_error() {
         &["serve", "--replay", "workloads/smoke.json", "--stall-rate", "0.5", "--stall-us", "inf"],
         "--stall-us",
     );
+    assert_cli_error(
+        &[
+            "serve",
+            "--replay",
+            "workloads/smoke.json",
+            "--telemetry",
+            "/tmp/t",
+            "--telemetry-window-us",
+            "nan",
+        ],
+        "--telemetry-window-us",
+    );
+    assert_cli_error(
+        &[
+            "serve",
+            "--replay",
+            "workloads/smoke.json",
+            "--telemetry",
+            "/tmp/t",
+            "--flight-capacity",
+            "0",
+        ],
+        "--flight-capacity",
+    );
+    assert_cli_error(
+        &["serve", "--replay", "workloads/smoke.json", "--telemetry-window-us", "100"],
+        "require --telemetry",
+    );
+    assert_cli_error(&["report"], "missing telemetry directory");
+    assert_cli_error(&["report", "/nonexistent_telemetry_dir"], "No such file");
     assert_cli_error(&["profile", "--synthetic", "NotADataset"], "unknown synthetic dataset");
     assert_cli_error(&["bench"], "missing input path");
     assert_cli_error(&["archive"], "missing input path");

@@ -257,7 +257,7 @@ fn native_path_charges_no_modeled_time() {
 /// An active fault plan must never be silently bypassed: fault injection
 /// lives in the simulator, so Native (and Both) downgrade to the simulated
 /// pipeline while a plan is installed, recording the Det-class
-/// `fzgpu_fault_native_downgrade_total` metric. The produced stream is the
+/// `fzgpu_core_native_downgrade_total` metric. The produced stream is the
 /// injector's output — byte-identical to fault-free when only transient
 /// launch faults (absorbed by retries) are in the plan.
 #[test]
@@ -274,12 +274,12 @@ fn active_fault_plan_is_never_bypassed_on_native() {
     nat.enable_faults(FaultPlan::seeded(7).launch_faults(0.3, 2));
     assert_eq!(nat.path(), PipelinePath::Native, "configured path is unchanged");
     assert_eq!(nat.effective_path(), PipelinePath::Simulated, "calls run simulated");
-    let before = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
+    let before = metrics::counter_value("fzgpu_core_native_downgrade_total", &[]);
     let c = nat.compress(&data, shape, ErrorBound::Abs(1e-3));
     assert!(nat.kernel_time() > 0.0, "the simulated pipeline (with injection) ran");
     assert!(nat.total_retries() > 0, "injection was actually live, not bypassed");
     assert_eq!(c.bytes, baseline, "retry-absorbed transients leave the stream intact");
-    let after = metrics::counter_value("fzgpu_fault_native_downgrade_total", &[]);
+    let after = metrics::counter_value("fzgpu_core_native_downgrade_total", &[]);
     assert!(after > before, "downgrade is recorded in Det metrics");
 
     let mut both = with_path(PipelinePath::Both);

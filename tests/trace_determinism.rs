@@ -76,13 +76,13 @@ fn det_metric_exposition_is_thread_count_invariant() {
         fz.decompress(&c).unwrap();
         trace::metrics::exposition(false)
     });
-    assert!(text.contains("fzgpu_bytes_in_total"), "exposition:\n{text}");
-    assert!(text.contains("fzgpu_kernel_launches_total"));
+    assert!(text.contains("fzgpu_core_bytes_in_total"), "exposition:\n{text}");
+    assert!(text.contains("fzgpu_sim_kernel_launches_total"));
     // The wallclock class stays out of the deterministic exposition. Pool
     // region/chunk counts are execution-strategy artifacts (they differ
     // across simulation engines and fan-out thresholds), so they live in
     // the wallclock class alongside steal counts.
-    assert!(!text.contains("fzgpu_host_seconds"));
+    assert!(!text.contains("fzgpu_core_host_seconds"));
     assert!(!text.contains("fzgpu_pool_chunks_total"));
     assert!(!text.contains("fzgpu_pool_steals_total"));
 }
@@ -104,7 +104,7 @@ fn span_tree_and_metrics_invariant_under_faults_and_retries() {
     });
     assert!(retries > 0, "plan too gentle — no retries fired");
     assert!(tree.contains("@gpu.retry"), "tree:\n{tree}");
-    assert!(text.contains("fzgpu_launch_retries_total"), "exposition:\n{text}");
+    assert!(text.contains("fzgpu_sim_launch_retries_total"), "exposition:\n{text}");
 }
 
 #[test]
@@ -169,7 +169,7 @@ fn stats_json_matches_exposition_values() {
     let bytes_out = metrics
         .iter()
         .find(|m| {
-            m.get("name").and_then(trace::json::Value::as_str) == Some("fzgpu_bytes_out_total")
+            m.get("name").and_then(trace::json::Value::as_str) == Some("fzgpu_core_bytes_out_total")
         })
         .and_then(|m| m.get("value").and_then(trace::json::Value::as_f64))
         .unwrap();
