@@ -24,10 +24,29 @@ pub mod cuzfp;
 pub mod mgard;
 pub mod sz_omp;
 
-pub use common::{Baseline, Run, Setting};
+pub use common::{resolve_eb, Baseline, Run, Setting};
 pub use cusz::CuSz;
 pub use cusz_rle::CuSzRle;
 pub use cuszx::CuSzx;
 pub use cuzfp::CuZfp;
 pub use mgard::Mgard;
 pub use sz_omp::SzOmp;
+
+/// Canonical CLI/registry names of the baseline compressors, matching the
+/// `fzgpu-store` codec registry.
+pub const BASELINE_NAMES: [&str; 6] = ["cusz", "cusz-rle", "cuszx", "cuzfp", "mgard", "sz-omp"];
+
+/// Build a baseline by its canonical name. The single dispatch point for
+/// name-keyed construction — the bench harness and the store codec
+/// registry both route through names rather than concrete types.
+pub fn by_name(name: &str, spec: fzgpu_sim::DeviceSpec) -> Option<Box<dyn Baseline>> {
+    match name {
+        "cusz" => Some(Box::new(CuSz::new(spec))),
+        "cusz-rle" => Some(Box::new(CuSzRle::new(spec))),
+        "cuszx" => Some(Box::new(CuSzx::new(spec))),
+        "cuzfp" => Some(Box::new(CuZfp::new(spec))),
+        "mgard" => Some(Box::new(Mgard::new(spec))),
+        "sz-omp" => Some(Box::new(SzOmp)),
+        _ => None,
+    }
+}

@@ -2,9 +2,9 @@
 //! `T_overall = ((BW * CR)^-1 + T_compr^-1)^-1`, with the paper's measured
 //! congested PCIe bandwidth of 11.4 GB/s per GPU.
 
-use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
+use fzgpu_baselines::{Baseline, Setting};
 use fzgpu_bench::{
-    all_fields, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table, REL_EBS,
+    all_fields, fmt, mean, run_named, scale_from_args, shape_of, FzGpuRunner, Table, REL_EBS,
 };
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_metrics::{overall_throughput, psnr};
@@ -39,25 +39,14 @@ fn main() {
             let mut row = vec![format!("{eb:.0e}")];
             let mut best_other: f64 = 0.0;
 
-            let mut cusz = CuSz::new(A100);
-            let v = cusz.run(&field.data, shape, setting).map(|r| overall(&r));
-            best_other = best_other.max(v.unwrap_or(0.0));
-            row.push(v.map_or("-".into(), fmt));
-
-            let mut zfp = CuZfp::new(A100);
-            let v = zfp_match_psnr(&mut zfp, &field.data, shape, fz_psnr).map(|(_, r)| overall(&r));
-            best_other = best_other.max(v.unwrap_or(0.0));
-            row.push(v.map_or("-".into(), fmt));
-
-            let mut szx = CuSzx::new(A100);
-            let v = szx.run(&field.data, shape, setting).map(|r| overall(&r));
-            best_other = best_other.max(v.unwrap_or(0.0));
-            row.push(v.map_or("-".into(), fmt));
-
-            let mut mgard = Mgard::new(A100);
-            let v = mgard.run(&field.data, shape, setting).map(|r| overall(&r));
-            best_other = best_other.max(v.unwrap_or(0.0));
-            row.push(v.map_or("-".into(), fmt));
+            // Column order matches the table header; construction and
+            // cuZFP's rate search are handled by the shared dispatcher.
+            for name in ["cusz", "cuzfp", "cuszx", "mgard"] {
+                let v = run_named(name, A100, &field.data, shape, setting, fz_psnr)
+                    .map(|r| overall(&r));
+                best_other = best_other.max(v.unwrap_or(0.0));
+                row.push(v.map_or("-".into(), fmt));
+            }
 
             row.push(fmt(fz_overall));
             row.push(fmt(bw));

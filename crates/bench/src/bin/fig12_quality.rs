@@ -2,8 +2,8 @@
 //! at a similar compression ratio (~22.8x), comparing PSNR, SSIM, and the
 //! preservation of the value distribution across all five compressors.
 
-use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
-use fzgpu_bench::{fmt, scale_from_args, FzGpuRunner, Table};
+use fzgpu_baselines::{Baseline, Setting};
+use fzgpu_bench::{fmt, runner_by_name, scale_from_args, Table};
 use fzgpu_core::lorenzo::Shape;
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_data::DatasetInfo;
@@ -32,7 +32,9 @@ fn search_eb(
     best.map(|(_, r)| r)
 }
 
-fn search_rate(zfp: &mut CuZfp, data: &[f32], shape: Shape) -> Option<fzgpu_baselines::Run> {
+/// Search a fixed-rate compressor (cuZFP) for the bitrate whose ratio
+/// lands nearest the target CR.
+fn search_rate(zfp: &mut dyn Baseline, data: &[f32], shape: Shape) -> Option<fzgpu_baselines::Run> {
     let mut best: Option<(f64, fzgpu_baselines::Run)> = None;
     for rate10 in 5..80 {
         let rate = rate10 as f64 / 10.0;
@@ -80,16 +82,17 @@ fn main() {
         ]);
     };
 
-    let mut fz = FzGpuRunner::new(fzgpu_sim::device::A100);
-    report("FZ-GPU", search_eb(&mut fz, &field.data, shape));
-    let mut cusz = CuSz::new(fzgpu_sim::device::A100);
-    report("cuSZ", search_eb(&mut cusz, &field.data, shape));
-    let mut zfp = CuZfp::new(fzgpu_sim::device::A100);
-    report("cuZFP", search_rate(&mut zfp, &field.data, shape));
-    let mut szx = CuSzx::new(fzgpu_sim::device::A100);
-    report("cuSZx", search_eb(&mut szx, &field.data, shape));
-    let mut mgard = Mgard::new(fzgpu_sim::device::A100);
-    report("MGARD-GPU", search_eb(&mut mgard, &field.data, shape));
+    for (label, name) in [
+        ("FZ-GPU", "fz"),
+        ("cuSZ", "cusz"),
+        ("cuZFP", "cuzfp"),
+        ("cuSZx", "cuszx"),
+        ("MGARD-GPU", "mgard"),
+    ] {
+        let mut runner = runner_by_name(name, fzgpu_sim::device::A100).expect("known name");
+        let search = if name == "cuzfp" { search_rate } else { search_eb };
+        report(label, search(runner.as_mut(), &field.data, shape));
+    }
 
     print!("{}", t.render());
     println!("\npaper: FZ-GPU/cuSZ share the highest SSIM and identical visuals;");

@@ -6,10 +6,10 @@
 //! PSNR matches FZ-GPU's, exactly as §4.3 describes. `--summary` prints
 //! the paper's aggregate claims (ratio improvement over cuZFP / cuSZx).
 
-use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
+use fzgpu_baselines::{Baseline, CuZfp, Setting};
 use fzgpu_bench::{
-    all_fields, arg_flag, fmt, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner, Table,
-    REL_EBS,
+    all_fields, arg_flag, fmt, run_named, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner,
+    Table, REL_EBS,
 };
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_metrics::{bitrate, psnr};
@@ -38,24 +38,18 @@ fn main() {
             let fz_ratio = fz_run.ratio(n);
             push(&mut t, eb, "FZ-GPU", fz_ratio, fz_psnr);
 
-            let mut cusz = CuSz::new(A100);
-            if let Some(run) = cusz.run(&field.data, shape, setting) {
-                let p = psnr(&field.data, &run.reconstructed);
-                push(&mut t, eb, "cuSZ", run.ratio(n), p);
-                fz_vs_cusz.push(fz_ratio / run.ratio(n));
-            }
-
-            let mut szx = CuSzx::new(A100);
-            if let Some(run) = szx.run(&field.data, shape, setting) {
-                let p = psnr(&field.data, &run.reconstructed);
-                push(&mut t, eb, "cuSZx", run.ratio(n), p);
-                fz_vs_szx.push(fz_ratio / run.ratio(n));
-            }
-
-            let mut mgard = Mgard::new(A100);
-            if let Some(run) = mgard.run(&field.data, shape, setting) {
-                let p = psnr(&field.data, &run.reconstructed);
-                push(&mut t, eb, "MGARD-GPU", run.ratio(n), p);
+            // Error-bound-driven baselines share the name dispatcher; only
+            // the ratio bookkeeping differs per compressor.
+            for (label, name) in [("cuSZ", "cusz"), ("cuSZx", "cuszx"), ("MGARD-GPU", "mgard")] {
+                if let Some(run) = run_named(name, A100, &field.data, shape, setting, fz_psnr) {
+                    let r = run.ratio(n);
+                    push(&mut t, eb, label, r, psnr(&field.data, &run.reconstructed));
+                    match name {
+                        "cusz" => fz_vs_cusz.push(fz_ratio / r),
+                        "cuszx" => fz_vs_szx.push(fz_ratio / r),
+                        _ => {}
+                    }
+                }
             }
 
             let mut zfp = CuZfp::new(A100);

@@ -5,10 +5,10 @@
 //! bars use the bitrate whose PSNR matches FZ-GPU's at each bound, as in
 //! the paper. The summary prints the headline speedups (§4.4).
 
-use fzgpu_baselines::{Baseline, CuSz, CuSzx, CuZfp, Mgard, Setting};
+use fzgpu_baselines::{Baseline, Setting};
 use fzgpu_bench::{
-    all_fields, arg_value, fmt, mean, scale_from_args, shape_of, zfp_match_psnr, FzGpuRunner,
-    Table, REL_EBS,
+    all_fields, arg_value, fmt, mean, run_named, scale_from_args, shape_of, FzGpuRunner, Table,
+    REL_EBS,
 };
 use fzgpu_core::quant::ErrorBound;
 use fzgpu_metrics::psnr;
@@ -45,16 +45,18 @@ fn main() {
             let fz_gbps = fz_run.throughput_gbps(n);
             let fz_psnr = psnr(&field.data, &fz_run.reconstructed);
 
-            let mut cusz = CuSz::new(spec);
-            let cusz_run = cusz.run(&field.data, shape, setting).unwrap();
+            // All baselines route through the shared name dispatcher;
+            // cuSZ's run also yields the no-codebook (ncb) column.
+            let run_of = |name| run_named(name, spec, &field.data, shape, setting, fz_psnr);
+
+            let cusz_run = run_of("cusz").unwrap();
             let cusz_gbps = cusz_run.throughput_gbps(n);
             let ncb_gbps = cusz_run.throughput_ncb_gbps(n);
             speedup_cusz.push(fz_gbps / cusz_gbps);
             speedup_ncb.push(fz_gbps / ncb_gbps);
 
-            let mut zfp = CuZfp::new(spec);
-            let zfp_gbps = match zfp_match_psnr(&mut zfp, &field.data, shape, fz_psnr) {
-                Some((_, run)) => {
+            let zfp_gbps = match run_of("cuzfp") {
+                Some(run) => {
                     let g = run.throughput_gbps(n);
                     speedup_zfp.push(fz_gbps / g);
                     fmt(g)
@@ -62,13 +64,11 @@ fn main() {
                 None => "-".into(),
             };
 
-            let mut szx = CuSzx::new(spec);
-            let szx_run = szx.run(&field.data, shape, setting).unwrap();
+            let szx_run = run_of("cuszx").unwrap();
             let szx_gbps = szx_run.throughput_gbps(n);
             speedup_szx.push(fz_gbps / szx_gbps);
 
-            let mut mgard = Mgard::new(spec);
-            let mgard_gbps = match mgard.run(&field.data, shape, setting) {
+            let mgard_gbps = match run_of("mgard") {
                 Some(run) => {
                     let g = run.throughput_gbps(n);
                     speedup_mgard.push(fz_gbps / g);

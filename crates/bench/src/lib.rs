@@ -124,6 +124,36 @@ pub fn all_fields(scale: Scale) -> Vec<Field> {
     CATALOG.iter().map(|info| info.generate(scale)).collect()
 }
 
+/// Build any sweep runner by canonical name: `"fz"` / `"fz-omp"` for the
+/// paper's compressor, else one of [`fzgpu_baselines::BASELINE_NAMES`].
+/// The figure binaries dispatch through this instead of hand-constructing
+/// each concrete type.
+pub fn runner_by_name(name: &str, spec: DeviceSpec) -> Option<Box<dyn Baseline>> {
+    match name {
+        "fz" => Some(Box::new(FzGpuRunner::new(spec))),
+        "fz-omp" => Some(Box::new(FzOmpRunner)),
+        _ => fzgpu_baselines::by_name(name, spec),
+    }
+}
+
+/// Run the named compressor once at `setting`. `"cuzfp"` is fixed-rate
+/// only, so it runs the paper's PSNR-matched rate search against
+/// `fz_psnr` instead of the error-bound setting.
+pub fn run_named(
+    name: &str,
+    spec: DeviceSpec,
+    data: &[f32],
+    shape: Shape,
+    setting: Setting,
+    fz_psnr: f64,
+) -> Option<Run> {
+    if name == "cuzfp" {
+        let mut zfp = CuZfp::new(spec);
+        return zfp_match_psnr(&mut zfp, data, shape, fz_psnr).map(|(_, r)| r);
+    }
+    runner_by_name(name, spec)?.run(data, shape, setting)
+}
+
 /// Profiles of one field's full round trip, for the observability harness
 /// (`cargo run -p fzgpu-bench --bin profiles`).
 pub struct FieldProfile {

@@ -32,6 +32,17 @@ use crate::quant::ErrorBound;
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"FZAR";
 /// Directory version written by [`Archive::to_bytes`].
 pub const ARCHIVE_VERSION: u32 = 2;
+/// Sharded-directory version written by [`ShardedArchive::to_bytes`].
+pub const ARCHIVE_VERSION_V3: u32 = 3;
+
+/// v3 fixed directory prefix: magic + version + `total_values` + `nshards`.
+pub const V3_DIR_HEADER_BYTES: usize = 24;
+/// v3 per-shard directory entry: `shard_byte_len u64, nchunks u64, crc u32`.
+pub const V3_DIR_ENTRY_BYTES: usize = 20;
+/// v3 shard inner-index prefix: `nchunks u64`.
+pub const V3_INNER_HEADER_BYTES: usize = 8;
+/// v3 inner-index entry: `chunk_byte_len u64, n_values u64, crc u32`.
+pub const V3_INNER_ENTRY_BYTES: usize = 20;
 
 /// Directory metadata for one chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -345,20 +356,30 @@ impl Archive {
         out
     }
 
-    /// Parse from bytes (directory v1 or v2).
+    /// Parse from bytes (directory v1, v2, or v3 — a v3 sharded directory
+    /// parses via [`ShardedArchive::from_bytes`] and is flattened).
+    ///
+    /// The version word is validated as soon as it is readable (8 bytes),
+    /// *before* any length checks, so a truncated archive from a future
+    /// writer still reports [`FormatError::BadArchiveVersion`] with the
+    /// offending version rather than a generic `Truncated`.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
         if bytes.len() < 4 || bytes[..4] != ARCHIVE_MAGIC {
             return Err(FormatError::BadMagic);
         }
-        if bytes.len() < 24 {
+        if bytes.len() < 8 {
             return Err(FormatError::Truncated);
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
         let entry_bytes = match version {
             1 => 8,
             ARCHIVE_VERSION => 20,
-            v => return Err(FormatError::BadVersion(v)),
+            ARCHIVE_VERSION_V3 => return ShardedArchive::from_bytes(bytes).map(|s| s.flatten()),
+            v => return Err(FormatError::BadArchiveVersion(v)),
         };
+        if bytes.len() < 24 {
+            return Err(FormatError::Truncated);
+        }
         let total_values = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
         let nchunks = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
         let entries_end = nchunks
@@ -412,6 +433,225 @@ impl Archive {
             }
         }
         Ok(Self { total_values, chunks, meta })
+    }
+}
+
+/// One shard of a v3 archive: a run of consecutive chunks with its own
+/// inner offset/CRC index, so readers can fetch a single shard's index and
+/// then range-read only the chunks a query touches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// Serialized chunk streams in this shard, in archive order.
+    pub chunks: Vec<Vec<u8>>,
+    /// Per-chunk metadata, parallel to `chunks` (`crc` is always `Some`).
+    pub meta: Vec<ChunkMeta>,
+}
+
+impl Shard {
+    /// Byte offset of the first chunk inside the serialized shard (the
+    /// inner index — `nchunks`, entries, index CRC — precedes it).
+    pub fn payload_offset(nchunks: usize) -> usize {
+        V3_INNER_HEADER_BYTES + V3_INNER_ENTRY_BYTES * nchunks + 4
+    }
+
+    /// Serialize: `[u64 nchunks][nchunks x {u64 byte_len, u64 n_values,
+    /// u32 crc}][u32 index_crc][chunk bytes...]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self.chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(Self::payload_offset(self.chunks.len()) + payload);
+        out.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+        for (c, m) in self.chunks.iter().zip(&self.meta) {
+            out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(m.n_values as u64).to_le_bytes());
+            out.extend_from_slice(&m.crc.unwrap_or_else(|| crc32(c)).to_le_bytes());
+        }
+        let index_crc = crc32(&out);
+        out.extend_from_slice(&index_crc.to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Parse a serialized shard. The inner index CRC is verified before any
+    /// entry is trusted; per-chunk CRCs are carried in the returned metadata
+    /// (checked lazily at decode time, like the v2 directory).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        if bytes.len() < V3_INNER_HEADER_BYTES + 4 {
+            return Err(FormatError::Truncated);
+        }
+        let nchunks = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        let entries_end = nchunks
+            .checked_mul(V3_INNER_ENTRY_BYTES)
+            .and_then(|n| n.checked_add(V3_INNER_HEADER_BYTES))
+            .ok_or(FormatError::Truncated)?;
+        let index_end = entries_end.checked_add(4).ok_or(FormatError::Truncated)?;
+        if bytes.len() < index_end {
+            return Err(FormatError::Truncated);
+        }
+        let stored = u32::from_le_bytes(bytes[entries_end..index_end].try_into().unwrap());
+        if crc32(&bytes[..entries_end]) != stored {
+            format::note_crc_failure(ChecksumSection::Directory);
+            return Err(FormatError::ChecksumMismatch { section: ChecksumSection::Directory });
+        }
+        let mut chunks = Vec::with_capacity(nchunks);
+        let mut meta = Vec::with_capacity(nchunks);
+        let mut pos = index_end;
+        for i in 0..nchunks {
+            let at = V3_INNER_HEADER_BYTES + V3_INNER_ENTRY_BYTES * i;
+            let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+            let n_values = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[at + 16..at + 20].try_into().unwrap());
+            let end = pos.checked_add(len).ok_or(FormatError::Truncated)?;
+            if end > bytes.len() {
+                return Err(FormatError::Truncated);
+            }
+            chunks.push(bytes[pos..end].to_vec());
+            meta.push(ChunkMeta { n_values, crc: Some(crc) });
+            pos = end;
+        }
+        Ok(Self { chunks, meta })
+    }
+}
+
+/// A v3 archive: the flat chunk list regrouped into shards, each with an
+/// inner offset/CRC index. The top-level directory indexes *shards* (byte
+/// length, chunk count, whole-shard CRC), which keeps the fixed-cost read
+/// for an N-chunk archive at `O(nshards)` directory bytes plus the inner
+/// indexes of only the shards a request intersects.
+///
+/// ```text
+/// [magic "FZAR"][u32 version=3][u64 total_values][u64 nshards]
+/// [nshards x { u64 shard_byte_len, u64 nchunks, u32 shard_crc32 }]
+/// [u32 directory_crc32 over every byte above]
+/// [shard 0][shard 1]...          (each shard as in `Shard::to_bytes`)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedArchive {
+    /// Total values across all shards' chunks.
+    pub total_values: usize,
+    /// The shards, in chunk order.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardedArchive {
+    /// Regroup a flat archive into shards of at most `chunks_per_shard`
+    /// chunks each.
+    pub fn from_archive(a: &Archive, chunks_per_shard: usize) -> Self {
+        assert!(chunks_per_shard > 0, "chunks_per_shard must be positive");
+        let shards = a
+            .chunks
+            .chunks(chunks_per_shard)
+            .zip(a.meta.chunks(chunks_per_shard))
+            .map(|(cs, ms)| Shard {
+                chunks: cs.to_vec(),
+                meta: ms
+                    .iter()
+                    .zip(cs)
+                    .map(|(m, c)| ChunkMeta {
+                        n_values: m.n_values,
+                        crc: Some(m.crc.unwrap_or_else(|| crc32(c))),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self { total_values: a.total_values, shards }
+    }
+
+    /// Flatten back to the v1/v2 in-memory form (chunk order preserved).
+    pub fn flatten(&self) -> Archive {
+        let mut chunks = Vec::new();
+        let mut meta = Vec::new();
+        for s in &self.shards {
+            chunks.extend(s.chunks.iter().cloned());
+            meta.extend(s.meta.iter().copied());
+        }
+        Archive { total_values: self.total_values, chunks, meta }
+    }
+
+    /// Byte offset where shard payloads begin (end of the top directory).
+    pub fn payload_offset(nshards: usize) -> usize {
+        V3_DIR_HEADER_BYTES + V3_DIR_ENTRY_BYTES * nshards + 4
+    }
+
+    /// Serialize to bytes (directory v3).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let shard_bytes: Vec<Vec<u8>> = self.shards.iter().map(Shard::to_bytes).collect();
+        let payload: usize = shard_bytes.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(Self::payload_offset(self.shards.len()) + payload);
+        out.extend_from_slice(&ARCHIVE_MAGIC);
+        out.extend_from_slice(&ARCHIVE_VERSION_V3.to_le_bytes());
+        out.extend_from_slice(&(self.total_values as u64).to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        for (s, b) in self.shards.iter().zip(&shard_bytes) {
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(s.chunks.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(b).to_le_bytes());
+        }
+        let dir_crc = crc32(&out);
+        out.extend_from_slice(&dir_crc.to_le_bytes());
+        for b in &shard_bytes {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Parse from bytes (v3 only — [`Archive::from_bytes`] dispatches here).
+    /// Verifies the top directory CRC and every shard's whole-shard CRC
+    /// and inner-index CRC; chunk CRCs stay lazy.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        if bytes.len() < 4 || bytes[..4] != ARCHIVE_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        if bytes.len() < 8 {
+            return Err(FormatError::Truncated);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != ARCHIVE_VERSION_V3 {
+            return Err(FormatError::BadArchiveVersion(version));
+        }
+        if bytes.len() < V3_DIR_HEADER_BYTES {
+            return Err(FormatError::Truncated);
+        }
+        let total_values = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let nshards = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let entries_end = nshards
+            .checked_mul(V3_DIR_ENTRY_BYTES)
+            .and_then(|n| n.checked_add(V3_DIR_HEADER_BYTES))
+            .ok_or(FormatError::Truncated)?;
+        let dir_end = entries_end.checked_add(4).ok_or(FormatError::Truncated)?;
+        if bytes.len() < dir_end {
+            return Err(FormatError::Truncated);
+        }
+        let stored = u32::from_le_bytes(bytes[entries_end..dir_end].try_into().unwrap());
+        if crc32(&bytes[..entries_end]) != stored {
+            format::note_crc_failure(ChecksumSection::Directory);
+            return Err(FormatError::ChecksumMismatch { section: ChecksumSection::Directory });
+        }
+        let mut shards = Vec::with_capacity(nshards);
+        let mut pos = dir_end;
+        for i in 0..nshards {
+            let at = V3_DIR_HEADER_BYTES + V3_DIR_ENTRY_BYTES * i;
+            let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+            let nchunks = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[at + 16..at + 20].try_into().unwrap());
+            let end = pos.checked_add(len).ok_or(FormatError::Truncated)?;
+            if end > bytes.len() {
+                return Err(FormatError::Truncated);
+            }
+            let body = &bytes[pos..end];
+            if crc32(body) != crc {
+                format::note_crc_failure(ChecksumSection::Chunk(i));
+                return Err(FormatError::ChecksumMismatch { section: ChecksumSection::Chunk(i) });
+            }
+            let shard = Shard::from_bytes(body)?;
+            if shard.chunks.len() != nchunks {
+                return Err(FormatError::Inconsistent("shard chunk count vs directory"));
+            }
+            shards.push(shard);
+            pos = end;
+        }
+        Ok(Self { total_values, shards })
     }
 }
 
@@ -606,5 +846,66 @@ mod tests {
         // n_values recovered from the chunk headers.
         assert_eq!(b.meta.iter().map(|m| m.n_values).sum::<usize>(), 4096);
         assert_eq!(b.decompress(&mut fz).unwrap().len(), 4096);
+    }
+
+    #[test]
+    fn unknown_version_names_the_version_even_when_truncated() {
+        // A future-version archive cut off right after the version word
+        // must still say *which* version was unreadable, not "truncated".
+        let mut fut = Vec::new();
+        fut.extend_from_slice(&ARCHIVE_MAGIC);
+        fut.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(Archive::from_bytes(&fut).unwrap_err(), FormatError::BadArchiveVersion(9));
+        fut.extend_from_slice(&[0u8; 40]);
+        assert_eq!(Archive::from_bytes(&fut).unwrap_err(), FormatError::BadArchiveVersion(9));
+        let msg = FormatError::BadArchiveVersion(9).to_string();
+        assert!(msg.contains("archive version 9"), "diagnosable message, got: {msg}");
+    }
+
+    #[test]
+    fn v3_roundtrip_and_cross_version_read() {
+        let d = data(10_000);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1000, ErrorBound::Abs(1e-3));
+        let sharded = ShardedArchive::from_archive(&a, 4); // 4+4+2 chunks
+        assert_eq!(sharded.shards.len(), 3);
+        let bytes = sharded.to_bytes();
+        // v3-aware parse.
+        let back = ShardedArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(back, sharded);
+        // The generic reader flattens v3 to the same chunks as v2.
+        let flat = Archive::from_bytes(&bytes).unwrap();
+        assert_eq!(flat.chunks, a.chunks);
+        assert_eq!(flat.total_values, a.total_values);
+        let out = flat.decompress(&mut fz).unwrap();
+        assert!(d.iter().zip(&out).all(|(x, y)| (x - y).abs() <= 1.1e-3));
+    }
+
+    #[test]
+    fn v3_corruption_is_detected_at_every_level() {
+        let d = data(6000);
+        let mut fz = FzGpu::new(A100);
+        let a = Archive::compress(&mut fz, &d, 1000, ErrorBound::Abs(1e-3));
+        let good = ShardedArchive::from_archive(&a, 2).to_bytes();
+        // Top directory entry.
+        let mut b = good.clone();
+        b[V3_DIR_HEADER_BYTES + 2] ^= 0x10;
+        assert!(matches!(
+            ShardedArchive::from_bytes(&b).unwrap_err(),
+            FormatError::ChecksumMismatch { section: ChecksumSection::Directory }
+        ));
+        // Inner shard index (first shard starts right after the directory).
+        let mut b = good.clone();
+        let shard0 = ShardedArchive::payload_offset(3);
+        b[shard0 + V3_INNER_HEADER_BYTES + 1] ^= 0x01;
+        assert!(ShardedArchive::from_bytes(&b).is_err());
+        // Chunk body: caught by the whole-shard CRC in the top directory.
+        let mut b = good;
+        let last = b.len() - 1;
+        b[last] ^= 0x80;
+        assert!(matches!(
+            ShardedArchive::from_bytes(&b).unwrap_err(),
+            FormatError::ChecksumMismatch { section: ChecksumSection::Chunk(_) }
+        ));
     }
 }

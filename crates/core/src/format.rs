@@ -119,6 +119,11 @@ pub enum FormatError {
     BadMagic,
     /// Unknown version.
     BadVersion(u32),
+    /// An archive directory declares a version this reader doesn't know.
+    /// Distinct from [`FormatError::BadVersion`] (stream-level) so that a
+    /// v3-archive-on-old-reader failure names the archive version instead
+    /// of surfacing as a generic parse error.
+    BadArchiveVersion(u32),
     /// Header fields are internally inconsistent.
     Inconsistent(&'static str),
     /// A stored CRC-32 does not match the bytes it covers.
@@ -134,6 +139,11 @@ impl core::fmt::Display for FormatError {
             FormatError::Truncated => write!(f, "stream truncated"),
             FormatError::BadMagic => write!(f, "bad magic"),
             FormatError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FormatError::BadArchiveVersion(v) => write!(
+                f,
+                "unsupported archive version {v} (this reader understands 1..={})",
+                crate::archive::ARCHIVE_VERSION_V3
+            ),
             FormatError::Inconsistent(what) => write!(f, "inconsistent header: {what}"),
             FormatError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in {section}")

@@ -41,7 +41,9 @@ pub mod pipeline;
 pub mod quant;
 pub mod zeroblock;
 
-pub use archive::{Archive, ChunkHealth, ChunkMeta, DegradedOutput, FillPolicy, ScrubReport};
+pub use archive::{
+    Archive, ChunkHealth, ChunkMeta, DegradedOutput, FillPolicy, ScrubReport, Shard, ShardedArchive,
+};
 pub use cpu::FzOmp;
 pub use crc::crc32;
 pub use fastpath::{FzNative, PipelinePath};

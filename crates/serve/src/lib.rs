@@ -22,6 +22,10 @@
 //!   and device-loss drain/redispatch, all replaying a seeded
 //!   [`fzgpu_sim::ServiceFaultPlan`] in modeled time. Faults cost time or
 //!   jobs, never correctness (DESIGN.md §15).
+//! * **Store reads** ([`store_read`]): a seeded stream of n-D subregion
+//!   reads against an [`fzgpu_store::ArrayStore`] — the read side of a
+//!   deployed compressor, where cost is the shards/chunks each request
+//!   touches. Digests and counters are backend- and engine-invariant.
 //! * **Telemetry** ([`telemetry`]): deterministic windowed histograms, a
 //!   schema-v1 structured event log, SLO burn-rate alerts, and an
 //!   always-on flight recorder, all keyed on modeled time and therefore
@@ -53,11 +57,13 @@
 pub mod batch;
 pub mod resilience;
 pub mod service;
+pub mod store_read;
 pub mod telemetry;
 pub mod workload;
 
 pub use batch::{fuse_kernel_sequences, BatchKey};
 pub use resilience::{Failed, ResilienceConfig, Shed, SloSummary, StreamHealth};
 pub use service::{Backpressure, JobResult, Rejection, ServeConfig, ServeReport, Service};
+pub use store_read::{run_store_reads, StoreReadReport, StoreReadWorkload};
 pub use telemetry::{render_report, TelemetryCapture, TelemetryConfig};
 pub use workload::{FieldKind, Op, Request, Workload};

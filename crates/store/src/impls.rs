@@ -1,0 +1,841 @@
+//! Built-in [`Codec`] implementations: the FZ-GPU pipeline, the five
+//! baseline compressors (plus cuSZ+RLE), and the lossless codecs from
+//! `fzgpu-codecs`.
+//!
+//! The baseline compressors keep their structured in-memory streams; this
+//! module gives each a byte serialization (via [`crate::wire`]) so they
+//! can live inside archive chunks. Huffman codebooks are stored as their
+//! canonical length tables only — codes are reproducible via
+//! [`Codebook::from_lengths`].
+
+use fzgpu_baselines::cusz::CuSzStream;
+use fzgpu_baselines::cusz_rle::CuSzRleStream;
+use fzgpu_baselines::cuszx::CuSzxStream;
+use fzgpu_baselines::cuzfp::CuZfpStream;
+use fzgpu_baselines::mgard::MgardStream;
+use fzgpu_baselines::sz_omp::SzOmpStream;
+use fzgpu_baselines::{CuSz, CuSzRle, CuSzx, CuZfp, Mgard, SzOmp};
+use fzgpu_codecs::huffman::{self, ChunkedStream};
+use fzgpu_codecs::lz77::{self, Token};
+use fzgpu_codecs::{deflate, rle, Codebook};
+use fzgpu_core::{ErrorBound, FzGpu, Shape};
+use fzgpu_sim::DeviceSpec;
+
+use crate::codec::{Codec, CodecConfig, CodecError};
+use crate::wire::{self, Cursor};
+
+/// Values in a shape.
+fn volume(shape: Shape) -> usize {
+    shape.0 * shape.1 * shape.2
+}
+
+fn f32s_to_le(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_to_f32s(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(CodecError::Malformed("payload length not a multiple of 4"));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+fn check_len(got: usize, shape: Shape) -> Result<(), CodecError> {
+    if got != volume(shape) {
+        return Err(CodecError::Malformed("decoded value count does not match chunk shape"));
+    }
+    Ok(())
+}
+
+fn check_input(data: &[f32], shape: Shape) -> Result<(), CodecError> {
+    if data.len() != volume(shape) {
+        return Err(CodecError::Unsupported("input length does not match chunk shape"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shared wire fragments for the cuSZ-family streams.
+
+fn put_shape(out: &mut Vec<u8>, shape: Shape) {
+    wire::put_u64(out, shape.0 as u64);
+    wire::put_u64(out, shape.1 as u64);
+    wire::put_u64(out, shape.2 as u64);
+}
+
+fn get_shape(c: &mut Cursor<'_>) -> Result<Shape, &'static str> {
+    Ok((c.u64()? as usize, c.u64()? as usize, c.u64()? as usize))
+}
+
+fn put_book(out: &mut Vec<u8>, book: &Codebook) {
+    wire::put_bytes(out, &book.lengths);
+}
+
+fn get_book(c: &mut Cursor<'_>) -> Result<Codebook, &'static str> {
+    Ok(Codebook::from_lengths(c.bytes()?))
+}
+
+fn put_chunked(out: &mut Vec<u8>, s: &ChunkedStream) {
+    wire::put_bytes(out, &s.payload);
+    wire::put_u32s(out, &s.offsets);
+    wire::put_u64(out, s.chunk_symbols as u64);
+    wire::put_u64(out, s.total_symbols as u64);
+}
+
+fn get_chunked(c: &mut Cursor<'_>) -> Result<ChunkedStream, &'static str> {
+    let payload = c.bytes()?;
+    let offsets = c.u32s()?;
+    let chunk_symbols = c.u64()? as usize;
+    let total_symbols = c.u64()? as usize;
+    if offsets.is_empty() || chunk_symbols == 0 {
+        return Err("empty chunk offset table");
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != payload.len() {
+        return Err("chunk offsets do not cover payload");
+    }
+    Ok(ChunkedStream { payload, offsets, chunk_symbols, total_symbols })
+}
+
+fn put_outliers(out: &mut Vec<u8>, outliers: &[(u32, i32)]) {
+    wire::put_u64(out, outliers.len() as u64);
+    for &(i, d) in outliers {
+        wire::put_u32(out, i);
+        wire::put_u32(out, d as u32);
+    }
+}
+
+fn get_outliers(c: &mut Cursor<'_>) -> Result<Vec<(u32, i32)>, &'static str> {
+    let n = c.len(c.remaining() / 8)?;
+    (0..n).map(|_| Ok((c.u32()?, c.u32()? as i32))).collect()
+}
+
+fn malformed(what: &'static str) -> CodecError {
+    CodecError::Malformed(what)
+}
+
+// ---------------------------------------------------------------------------
+// FZ-GPU
+
+/// The fzgpu pipeline behind the [`Codec`] interface. Streams are the
+/// self-describing v2 wire format (header + CRCs), so decode ignores no
+/// corruption the pipeline would catch.
+pub struct FzCodec {
+    fz: FzGpu,
+    eb_abs: f64,
+}
+
+impl FzCodec {
+    /// New instance on `spec` (path/engine resolved from the environment
+    /// like every other `FzGpu`).
+    pub fn new(spec: DeviceSpec, eb_abs: f64) -> Self {
+        Self { fz: FzGpu::new(spec), eb_abs }
+    }
+}
+
+impl Codec for FzCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Fz { eb_abs: self.eb_abs }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(self.fz.compress(data, shape, ErrorBound::Abs(self.eb_abs)).bytes)
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let out = self.fz.decompress_bytes(bytes)?;
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.fz.kernel_time()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cuSZ / SZ-OMP (same stream layout: book + chunked payload + outliers)
+
+/// cuSZ behind the [`Codec`] interface.
+pub struct CuSzCodec {
+    inner: CuSz,
+    eb_abs: f64,
+}
+
+impl CuSzCodec {
+    fn serialize(s: &CuSzStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_shape(&mut out, s.shape);
+        wire::put_f64(&mut out, s.eb);
+        put_book(&mut out, &s.book);
+        put_chunked(&mut out, &s.encoded);
+        put_outliers(&mut out, &s.outliers);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<CuSzStream, &'static str> {
+        let mut c = Cursor::new(bytes);
+        let s = CuSzStream {
+            shape: get_shape(&mut c)?,
+            eb: c.f64()?,
+            book: get_book(&mut c)?,
+            encoded: get_chunked(&mut c)?,
+            outliers: get_outliers(&mut c)?,
+        };
+        c.done()?;
+        Ok(s)
+    }
+}
+
+impl Codec for CuSzCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::CuSz { eb_abs: self.eb_abs }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(Self::serialize(&self.inner.compress(data, shape, self.eb_abs)))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let stream = Self::parse(bytes).map_err(malformed)?;
+        if stream.shape != shape {
+            return Err(malformed("stored shape does not match chunk shape"));
+        }
+        let out = self.inner.decompress(&stream);
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.inner.kernel_time()
+    }
+}
+
+/// SZ-OMP behind the [`Codec`] interface (3D chunks only).
+pub struct SzOmpCodec {
+    inner: SzOmp,
+    eb_abs: f64,
+}
+
+impl SzOmpCodec {
+    fn serialize(s: &SzOmpStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_shape(&mut out, s.shape);
+        wire::put_f64(&mut out, s.eb);
+        put_book(&mut out, &s.book);
+        put_chunked(&mut out, &s.encoded);
+        put_outliers(&mut out, &s.outliers);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<SzOmpStream, &'static str> {
+        let mut c = Cursor::new(bytes);
+        let s = SzOmpStream {
+            shape: get_shape(&mut c)?,
+            eb: c.f64()?,
+            book: get_book(&mut c)?,
+            encoded: get_chunked(&mut c)?,
+            outliers: get_outliers(&mut c)?,
+        };
+        c.done()?;
+        Ok(s)
+    }
+}
+
+impl Codec for SzOmpCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::SzOmp { eb_abs: self.eb_abs }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        let stream = self
+            .inner
+            .compress(data, shape, self.eb_abs)
+            .ok_or(CodecError::Unsupported("SZ-OMP requires 3D chunks"))?;
+        Ok(Self::serialize(&stream))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let stream = Self::parse(bytes).map_err(malformed)?;
+        if stream.shape != shape {
+            return Err(malformed("stored shape does not match chunk shape"));
+        }
+        let out = self.inner.decompress(&stream);
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cuSZ+RLE
+
+/// cuSZ+RLE behind the [`Codec`] interface.
+pub struct CuSzRleCodec {
+    inner: CuSzRle,
+    eb_abs: f64,
+}
+
+impl CuSzRleCodec {
+    fn serialize(s: &CuSzRleStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_shape(&mut out, s.shape);
+        wire::put_f64(&mut out, s.eb);
+        wire::put_u64(&mut out, s.runs.len() as u64);
+        for &(sym, count) in &s.runs {
+            out.extend_from_slice(&sym.to_le_bytes());
+            wire::put_u32(&mut out, count);
+        }
+        put_outliers(&mut out, &s.outliers);
+        wire::put_u64(&mut out, s.n_values as u64);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<CuSzRleStream, &'static str> {
+        let mut c = Cursor::new(bytes);
+        let shape = get_shape(&mut c)?;
+        let eb = c.f64()?;
+        let n_runs = c.len(c.remaining() / 6)?;
+        let runs = (0..n_runs)
+            .map(|_| {
+                let sym = u16::from_le_bytes(c.take(2)?.try_into().unwrap());
+                Ok((sym, c.u32()?))
+            })
+            .collect::<Result<Vec<rle::Run>, &'static str>>()?;
+        let outliers = get_outliers(&mut c)?;
+        let n_values = c.u64()? as usize;
+        c.done()?;
+        Ok(CuSzRleStream { shape, eb, runs, outliers, n_values })
+    }
+}
+
+impl Codec for CuSzRleCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::CuSzRle { eb_abs: self.eb_abs }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(Self::serialize(&self.inner.compress(data, shape, self.eb_abs)))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let stream = Self::parse(bytes).map_err(malformed)?;
+        if stream.shape != shape {
+            return Err(malformed("stored shape does not match chunk shape"));
+        }
+        let out = self.inner.decompress(&stream);
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.inner.kernel_time()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cuSZx
+
+/// cuSZx behind the [`Codec`] interface.
+pub struct CuSzxCodec {
+    inner: CuSzx,
+    eb_abs: f64,
+}
+
+impl CuSzxCodec {
+    fn serialize(s: &CuSzxStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_shape(&mut out, s.shape);
+        wire::put_f64(&mut out, s.eb);
+        wire::put_f32s(&mut out, &s.bases);
+        wire::put_bytes(&mut out, &s.bits);
+        wire::put_u32s(&mut out, &s.payload);
+        wire::put_u64(&mut out, s.n_values as u64);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<CuSzxStream, &'static str> {
+        let mut c = Cursor::new(bytes);
+        let s = CuSzxStream {
+            shape: get_shape(&mut c)?,
+            eb: c.f64()?,
+            bases: c.f32s()?,
+            bits: c.bytes()?,
+            payload: c.u32s()?,
+            n_values: c.u64()? as usize,
+        };
+        c.done()?;
+        if s.bases.len() != s.bits.len() {
+            return Err("base/width tables disagree");
+        }
+        Ok(s)
+    }
+}
+
+impl Codec for CuSzxCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::CuSzx { eb_abs: self.eb_abs }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(Self::serialize(&self.inner.compress(data, shape, self.eb_abs)))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let stream = Self::parse(bytes).map_err(malformed)?;
+        if stream.shape != shape {
+            return Err(malformed("stored shape does not match chunk shape"));
+        }
+        let out = self.inner.decompress(&stream);
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.inner.kernel_time()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cuZFP
+
+/// cuZFP (fixed-rate) behind the [`Codec`] interface.
+pub struct CuZfpCodec {
+    inner: CuZfp,
+    rate: f64,
+}
+
+impl CuZfpCodec {
+    fn serialize(s: &CuZfpStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_shape(&mut out, s.shape);
+        wire::put_f64(&mut out, s.rate);
+        wire::put_u64(&mut out, s.emax.len() as u64);
+        for &e in &s.emax {
+            wire::put_u32(&mut out, e as u32);
+        }
+        wire::put_u32s(&mut out, &s.payload);
+        wire::put_u64(&mut out, s.words_per_block as u64);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<CuZfpStream, &'static str> {
+        let mut c = Cursor::new(bytes);
+        let shape = get_shape(&mut c)?;
+        let rate = c.f64()?;
+        let n = c.len(c.remaining() / 4)?;
+        let emax = (0..n).map(|_| Ok(c.u32()? as i32)).collect::<Result<Vec<i32>, _>>()?;
+        let payload = c.u32s()?;
+        let words_per_block = c.u64()? as usize;
+        c.done()?;
+        if payload.len() != emax.len().saturating_mul(words_per_block) {
+            return Err("payload length disagrees with block count");
+        }
+        Ok(CuZfpStream { shape, rate, emax, payload, words_per_block })
+    }
+}
+
+impl Codec for CuZfpCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::CuZfp { rate: self.rate }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(Self::serialize(&self.inner.compress(data, shape, self.rate)))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let stream = Self::parse(bytes).map_err(malformed)?;
+        if stream.shape != shape {
+            return Err(malformed("stored shape does not match chunk shape"));
+        }
+        let out = self.inner.decompress(&stream);
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.inner.kernel_time()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MGARD
+
+/// MGARD-GPU behind the [`Codec`] interface (2D/3D chunks only).
+pub struct MgardCodec {
+    inner: Mgard,
+    eb_abs: f64,
+}
+
+impl MgardCodec {
+    fn serialize(s: &MgardStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_shape(&mut out, s.shape);
+        wire::put_f64(&mut out, s.step);
+        wire::put_u64(&mut out, s.levels as u64);
+        wire::put_bytes(&mut out, &s.compressed);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<MgardStream, &'static str> {
+        let mut c = Cursor::new(bytes);
+        let s = MgardStream {
+            shape: get_shape(&mut c)?,
+            step: c.f64()?,
+            levels: c.u64()? as usize,
+            compressed: c.bytes()?,
+        };
+        c.done()?;
+        Ok(s)
+    }
+}
+
+impl Codec for MgardCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Mgard { eb_abs: self.eb_abs }
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        let stream = self
+            .inner
+            .compress(data, shape, self.eb_abs)
+            .ok_or(CodecError::Unsupported("MGARD requires 2D or 3D chunks"))?;
+        Ok(Self::serialize(&stream))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let stream = Self::parse(bytes).map_err(malformed)?;
+        if stream.shape != shape {
+            return Err(malformed("stored shape does not match chunk shape"));
+        }
+        let out = self.inner.decompress(&stream);
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.inner.kernel_time()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lossless codecs over the chunk's f32 bytes.
+
+/// Identity codec: raw little-endian f32 bytes.
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Raw
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(f32s_to_le(data))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let out = le_to_f32s(bytes)?;
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+}
+
+/// DEFLATE over the chunk's f32 bytes.
+pub struct DeflateCodec;
+
+impl Codec for DeflateCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Deflate
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        Ok(deflate::compress(&f32s_to_le(data)))
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let raw =
+            deflate::decompress(bytes).map_err(|_| malformed("DEFLATE stream did not decode"))?;
+        let out = le_to_f32s(&raw)?;
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+}
+
+/// Bare LZ77 tokens over the chunk's f32 bytes.
+pub struct Lz77Codec;
+
+impl Codec for Lz77Codec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Lz77
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        let tokens = lz77::tokenize(&f32s_to_le(data));
+        let mut out = Vec::new();
+        wire::put_u64(&mut out, tokens.len() as u64);
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => out.extend_from_slice(&[0, b]),
+                Token::Match { len, dist } => {
+                    out.push(1);
+                    out.extend_from_slice(&len.to_le_bytes());
+                    out.extend_from_slice(&dist.to_le_bytes());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let mut c = Cursor::new(bytes);
+        let n = c.len(c.remaining()).map_err(malformed)?;
+        let mut tokens = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = c.take(1).map_err(malformed)?[0];
+            tokens.push(match tag {
+                0 => Token::Literal(c.take(1).map_err(malformed)?[0]),
+                1 => {
+                    let len = u16::from_le_bytes(c.take(2).map_err(malformed)?.try_into().unwrap());
+                    let dist =
+                        u16::from_le_bytes(c.take(2).map_err(malformed)?.try_into().unwrap());
+                    if dist == 0 {
+                        return Err(malformed("LZ77 match with zero distance"));
+                    }
+                    Token::Match { len, dist }
+                }
+                _ => return Err(malformed("unknown LZ77 token tag")),
+            });
+        }
+        c.done().map_err(malformed)?;
+        let out = le_to_f32s(&lz77::detokenize(&tokens))?;
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+}
+
+/// Run-length encoding over the chunk's u16 view (two symbols per f32).
+pub struct RleCodec;
+
+fn f32s_to_u16s(data: &[f32]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for v in data {
+        let b = v.to_le_bytes();
+        out.push(u16::from_le_bytes([b[0], b[1]]));
+        out.push(u16::from_le_bytes([b[2], b[3]]));
+    }
+    out
+}
+
+impl Codec for RleCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Rle
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        let runs = rle::encode(&f32s_to_u16s(data));
+        let mut out = Vec::new();
+        wire::put_u64(&mut out, runs.len() as u64);
+        for &(sym, count) in &runs {
+            out.extend_from_slice(&sym.to_le_bytes());
+            wire::put_u32(&mut out, count);
+        }
+        Ok(out)
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let mut c = Cursor::new(bytes);
+        let n = c.len(c.remaining() / 6).map_err(malformed)?;
+        let runs = (0..n)
+            .map(|_| {
+                let sym = u16::from_le_bytes(c.take(2)?.try_into().unwrap());
+                Ok((sym, c.u32()?))
+            })
+            .collect::<Result<Vec<rle::Run>, &'static str>>()
+            .map_err(malformed)?;
+        c.done().map_err(malformed)?;
+        let symbols = rle::decode(&runs);
+        if symbols.len() != volume(shape) * 2 {
+            return Err(malformed("decoded symbol count does not match chunk shape"));
+        }
+        let out: Vec<f32> = symbols
+            .chunks_exact(2)
+            .map(|p| {
+                let lo = p[0].to_le_bytes();
+                let hi = p[1].to_le_bytes();
+                f32::from_le_bytes([lo[0], lo[1], hi[0], hi[1]])
+            })
+            .collect();
+        Ok(out)
+    }
+}
+
+/// Byte-wise Huffman (cuSZ's chunked layout) over the chunk's f32 bytes.
+pub struct HuffmanCodec;
+
+/// Symbols per independent Huffman chunk.
+const HUFF_CHUNK: usize = 4096;
+
+impl Codec for HuffmanCodec {
+    fn config(&self) -> CodecConfig {
+        CodecConfig::Huffman
+    }
+
+    fn encode(&mut self, data: &[f32], shape: Shape) -> Result<Vec<u8>, CodecError> {
+        check_input(data, shape)?;
+        let symbols: Vec<u16> = f32s_to_le(data).iter().map(|&b| b as u16).collect();
+        let mut hist = vec![0u32; 256];
+        for &s in &symbols {
+            hist[s as usize] += 1;
+        }
+        let book =
+            Codebook::from_histogram(&hist).map_err(|_| CodecError::Unsupported("empty chunk"))?;
+        let encoded = huffman::encode_chunked(&book, &symbols, HUFF_CHUNK)
+            .map_err(|_| CodecError::Unsupported("huffman encode failed"))?;
+        let mut out = Vec::new();
+        put_book(&mut out, &book);
+        put_chunked(&mut out, &encoded);
+        Ok(out)
+    }
+
+    fn decode(&mut self, bytes: &[u8], shape: Shape) -> Result<Vec<f32>, CodecError> {
+        let mut c = Cursor::new(bytes);
+        let book = get_book(&mut c).map_err(malformed)?;
+        let encoded = get_chunked(&mut c).map_err(malformed)?;
+        c.done().map_err(malformed)?;
+        let symbols = huffman::decode_chunked(&book, &encoded)
+            .map_err(|_| malformed("huffman stream did not decode"))?;
+        if symbols.iter().any(|&s| s > 255) {
+            return Err(malformed("byte symbol out of range"));
+        }
+        let raw: Vec<u8> = symbols.iter().map(|&s| s as u8).collect();
+        let out = le_to_f32s(&raw)?;
+        check_len(out.len(), shape)?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry factory
+
+/// Factory for every built-in codec ([`crate::codec::Registry::builtin`]
+/// registers each name to this function).
+pub fn build_builtin(cfg: &CodecConfig, spec: DeviceSpec) -> Result<Box<dyn Codec>, CodecError> {
+    Ok(match *cfg {
+        CodecConfig::Fz { eb_abs } => Box::new(FzCodec::new(spec, eb_abs)),
+        CodecConfig::CuSz { eb_abs } => Box::new(CuSzCodec { inner: CuSz::new(spec), eb_abs }),
+        CodecConfig::CuSzRle { eb_abs } => {
+            Box::new(CuSzRleCodec { inner: CuSzRle::new(spec), eb_abs })
+        }
+        CodecConfig::CuSzx { eb_abs } => Box::new(CuSzxCodec { inner: CuSzx::new(spec), eb_abs }),
+        CodecConfig::CuZfp { rate } => Box::new(CuZfpCodec { inner: CuZfp::new(spec), rate }),
+        CodecConfig::Mgard { eb_abs } => Box::new(MgardCodec { inner: Mgard::new(spec), eb_abs }),
+        CodecConfig::SzOmp { eb_abs } => Box::new(SzOmpCodec { inner: SzOmp, eb_abs }),
+        CodecConfig::Huffman => Box::new(HuffmanCodec),
+        CodecConfig::Rle => Box::new(RleCodec),
+        CodecConfig::Lz77 => Box::new(Lz77Codec),
+        CodecConfig::Deflate => Box::new(DeflateCodec),
+        CodecConfig::Raw => Box::new(RawCodec),
+        CodecConfig::Custom { ref name, .. } => return Err(CodecError::UnknownCodec(name.clone())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Registry;
+    use fzgpu_sim::device::A100;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01).sin() * 3.0 + (i % 7) as f32 * 0.1).collect()
+    }
+
+    #[test]
+    fn every_builtin_codec_roundtrips_a_3d_chunk() {
+        let shape = (8, 16, 16);
+        let data = field(8 * 16 * 16);
+        let reg = Registry::builtin();
+        let configs = [
+            CodecConfig::Fz { eb_abs: 1e-3 },
+            CodecConfig::CuSz { eb_abs: 1e-3 },
+            CodecConfig::CuSzRle { eb_abs: 1e-3 },
+            CodecConfig::CuSzx { eb_abs: 1e-3 },
+            CodecConfig::CuZfp { rate: 16.0 },
+            CodecConfig::Mgard { eb_abs: 1e-2 },
+            CodecConfig::SzOmp { eb_abs: 1e-3 },
+            CodecConfig::Huffman,
+            CodecConfig::Rle,
+            CodecConfig::Lz77,
+            CodecConfig::Deflate,
+            CodecConfig::Raw,
+        ];
+        for cfg in configs {
+            let mut codec = reg.build(&cfg, A100).unwrap();
+            let bytes = codec.encode(&data, shape).unwrap();
+            let back = codec.decode(&bytes, shape).unwrap();
+            assert_eq!(back.len(), data.len(), "{}", cfg.name());
+            if cfg.lossless() {
+                assert!(
+                    data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{} must be bit-exact",
+                    cfg.name()
+                );
+            } else if let Some(eb) = cfg.eb_abs() {
+                for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+                    assert!(
+                        (a - b).abs() as f64 <= eb * 1.05,
+                        "{} out of bound at {i}: {a} vs {b}",
+                        cfg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_support_is_reported_not_panicked() {
+        let data = field(64);
+        let reg = Registry::builtin();
+        let mut mgard = reg.build(&CodecConfig::Mgard { eb_abs: 1e-2 }, A100).unwrap();
+        assert!(matches!(mgard.encode(&data, (1, 1, 64)).unwrap_err(), CodecError::Unsupported(_)));
+        let mut szomp = reg.build(&CodecConfig::SzOmp { eb_abs: 1e-3 }, A100).unwrap();
+        assert!(matches!(szomp.encode(&data, (1, 8, 8)).unwrap_err(), CodecError::Unsupported(_)));
+    }
+
+    #[test]
+    fn truncated_streams_decode_to_errors() {
+        let shape = (1, 8, 32);
+        let data = field(256);
+        let reg = Registry::builtin();
+        for cfg in [
+            CodecConfig::CuSz { eb_abs: 1e-3 },
+            CodecConfig::CuSzx { eb_abs: 1e-3 },
+            CodecConfig::CuZfp { rate: 8.0 },
+            CodecConfig::Rle,
+            CodecConfig::Lz77,
+        ] {
+            let mut codec = reg.build(&cfg, A100).unwrap();
+            let bytes = codec.encode(&data, shape).unwrap();
+            for cut in [0, 3, bytes.len() / 2, bytes.len().saturating_sub(1)] {
+                assert!(
+                    codec.decode(&bytes[..cut], shape).is_err(),
+                    "{} accepted a truncated stream at {cut}",
+                    cfg.name()
+                );
+            }
+        }
+    }
+}

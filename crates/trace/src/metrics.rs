@@ -242,6 +242,14 @@ const HELP: &[(&str, &str)] = &[
     ("fzgpu_sim_mempool_misses_total", "Device memory pool allocations that grew the pool."),
     ("fzgpu_sim_mempool_releases_total", "Chunks returned to the pool free list."),
     ("fzgpu_sim_transfer_seconds_total", "Modeled PCIe transfer seconds, both directions."),
+    ("fzgpu_store_backend_reads_total", "Storage backend range-read requests, by backend kind."),
+    ("fzgpu_store_backend_writes_total", "Storage backend object writes, by backend kind."),
+    ("fzgpu_store_bytes_read_total", "Bytes fetched from storage backends, by backend kind."),
+    ("fzgpu_store_bytes_written_total", "Bytes written to storage backends, by backend kind."),
+    ("fzgpu_store_chunks_decoded_total", "Chunks decoded by store region reads."),
+    ("fzgpu_store_reads_total", "Store region-read requests served."),
+    ("fzgpu_store_shards_touched_total", "Shard indexes fetched by store region reads."),
+    ("fzgpu_store_values_read_total", "Values returned by store region reads."),
 ];
 
 /// Help string for a metric family, if it is a registered workspace name.

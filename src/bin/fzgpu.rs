@@ -52,8 +52,9 @@ const USAGE: &str = "usage:
                    (datasets: HACC CESM Hurricane Nyx QMCPACK RTM)
   fzgpu stats      (<input.f32> --dims ZxYxX | --synthetic <dataset>) [--eb 1e-3] [--abs]
                    [--device a100|a4000] [--engine interp|analytic] [--timings] [--json]
-  fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--eb 1e-3] [--abs] [--device ...]
-                   [--native | --path sim|native|both] [--engine interp|analytic] [--trace out.json]
+  fzgpu archive    <input.f32> <output.fzar> --chunk-values N [--shard-chunks N] [--eb 1e-3]
+                   [--abs] [--device ...] [--native | --path sim|native|both]
+                   [--engine interp|analytic] [--trace out.json]
   fzgpu verify     <input.fz|input.fzar>
   fzgpu extract    <input.fzar> <output.f32> [--degraded] [--fill nan|zero] [--device ...]
                    [--native | --path sim|native|both] [--engine interp|analytic]
@@ -64,7 +65,16 @@ const USAGE: &str = "usage:
                    [--no-breaker] [--fault-seed S] [--fault-rate P] [--fault-streak N]
                    [--stall-rate P] [--stall-us T] [--loss-at-us T] [--repair-us T]
                    [--telemetry <dir>] [--telemetry-window-us T] [--flight-capacity N]
-  fzgpu report     <telemetry-dir>";
+  fzgpu report     <telemetry-dir>
+  fzgpu store create <input.f32> <store.fzst> --dims 256x256x256 --chunk 64x64x64
+                   [--codec fz|cusz|cusz-rle|cuszx|cuzfp|mgard|sz-omp|huffman|rle|lz77|deflate|raw]
+                   [--eb 1e-3] [--abs] [--rate 8] [--shard-chunks N] [--backend mem|fs|objsim]
+                   [--device a100|a4000]
+  fzgpu store read <store.fzst> <output.f32> [--region 0:64,0:64,0:64] [--backend mem|fs|objsim]
+                   [--device a100|a4000] [--json]
+  fzgpu store stat <store.fzst> [--json]
+  fzgpu store serve <store.fzst> [--reads N] [--seed S] [--backend mem|fs|objsim]
+                   [--device a100|a4000] [--json]";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -154,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "extract" => extract(&args[1..]),
         "serve" => serve(&args[1..]),
         "report" => report_cmd(&args[1..]),
+        "store" => store_cmd(&args[1..]),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -390,16 +401,30 @@ fn archive(args: &[String]) -> Result<(), String> {
     let a = with_unified_trace(args, || {
         Ok(Archive::compress_profiled(&mut fz, &data, chunk_values, eb))
     })?;
-    std::fs::write(output, a.to_bytes()).map_err(|e| e.to_string())?;
+    // --shard-chunks upgrades the on-disk layout to archive v3 (sharded
+    // chunk index, range-readable by `fzgpu store`); without it the flat
+    // v2 layout is kept for compatibility with older readers.
+    let (bytes, layout) = match flag_value(args, "--shard-chunks") {
+        Some(s) => {
+            let n: usize = s.parse().map_err(|_| "bad --shard-chunks value".to_string())?;
+            if n == 0 {
+                return Err("--shard-chunks must be positive".into());
+            }
+            let sharded = fz_gpu::core::ShardedArchive::from_archive(&a, n);
+            (sharded.to_bytes(), format!("v3, {} shards", sharded.shards.len()))
+        }
+        None => (a.to_bytes(), "v2, flat".to_string()),
+    };
+    std::fs::write(output, &bytes).map_err(|e| e.to_string())?;
     println!(
-        "{} -> {}: {} values in {} chunks, {:.2} MB -> {:.2} MB (ratio {:.1}x)",
+        "{} -> {}: {} values in {} chunks ({layout}), {:.2} MB -> {:.2} MB (ratio {:.1}x)",
         input,
         output,
         a.total_values,
         a.chunks.len(),
         (a.total_values * 4) as f64 / 1e6,
-        a.size_bytes() as f64 / 1e6,
-        a.ratio(),
+        bytes.len() as f64 / 1e6,
+        (a.total_values * 4) as f64 / bytes.len() as f64,
     );
     Ok(())
 }
@@ -674,5 +699,257 @@ fn report_cmd(args: &[String]) -> Result<(), String> {
         .filter(|a| !a.starts_with("--"))
         .ok_or("missing telemetry directory (from `fzgpu serve --telemetry <dir>`)")?;
     print!("{}", fz_gpu::serve::render_report(Path::new(dir))?);
+    Ok(())
+}
+
+/// Parse `ZxYxX`-style extents of any rank (the store is n-D; `parse_dims`
+/// is fixed to the paper's 3D naming).
+fn parse_extents(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    let out: Result<Vec<usize>, _> = s.split('x').map(str::parse::<usize>).collect();
+    match out {
+        Ok(v) if !v.is_empty() && v.iter().all(|&e| e > 0) => Ok(v),
+        _ => Err(format!("bad {what} '{s}' (expected AxBxC with positive extents)")),
+    }
+}
+
+/// Parse `--region a:b,c:d,...` (half-open per-axis ranges).
+fn parse_region(s: &str) -> Result<fz_gpu::store::Region, String> {
+    let mut lo = Vec::new();
+    let mut hi = Vec::new();
+    for part in s.split(',') {
+        let (a, b) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad --region '{s}' (expected a:b,c:d,... per axis)"))?;
+        let a: usize = a.trim().parse().map_err(|_| format!("bad --region bound '{part}'"))?;
+        let b: usize = b.trim().parse().map_err(|_| format!("bad --region bound '{part}'"))?;
+        lo.push(a);
+        hi.push(b);
+    }
+    Ok(fz_gpu::store::Region { lo, hi })
+}
+
+/// Build the codec config from `--codec` plus its knobs, resolving
+/// relative error bounds against the input data.
+fn codec_of(args: &[String], data: &[f32]) -> Result<fz_gpu::store::CodecConfig, String> {
+    let name = flag_value(args, "--codec").unwrap_or("fz");
+    let eb_abs = match flag_value(args, "--eb") {
+        Some(_) => Some(fz_gpu::baselines::resolve_eb(data, eb_of(args)?)),
+        None => None,
+    };
+    let rate = flag_value(args, "--rate")
+        .map(|s| s.parse::<f64>().map_err(|_| format!("bad --rate value '{s}'")))
+        .transpose()?;
+    fz_gpu::store::CodecConfig::from_cli(name, eb_abs, rate)
+}
+
+fn store_cmd(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("missing store subcommand (create|read|stat|serve)")?;
+    match sub {
+        "create" => store_create(&args[1..]),
+        "read" => store_read(&args[1..]),
+        "stat" => store_stat(&args[1..]),
+        "serve" => store_serve(&args[1..]),
+        other => {
+            Err(format!("unknown store subcommand '{other}' (expected create|read|stat|serve)"))
+        }
+    }
+}
+
+/// Build the backend for an existing container file. `mem` and `objsim`
+/// load the file into memory (objsim then charges its modeled cost per
+/// range read); `fs` serves range reads straight from the file.
+fn store_backend_open(
+    args: &[String],
+    path: &str,
+) -> Result<Box<dyn fz_gpu::store::StorageBackend>, String> {
+    use fz_gpu::store::{FsBackend, MemBackend, ObjectStoreBackend, ObjectStoreModel};
+    match flag_value(args, "--backend").unwrap_or("fs") {
+        "fs" => Ok(Box::new(FsBackend::new(path))),
+        "mem" => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Box::new(MemBackend::from_bytes(bytes)))
+        }
+        "objsim" => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Box::new(ObjectStoreBackend::from_bytes(bytes, ObjectStoreModel::default())))
+        }
+        other => Err(format!("unknown backend '{other}' (expected mem, fs, or objsim)")),
+    }
+}
+
+fn store_create(args: &[String]) -> Result<(), String> {
+    use fz_gpu::store::{ArrayStore, Registry, StoreSpec};
+
+    let input = args.first().filter(|a| !a.starts_with("--")).ok_or("missing input path")?;
+    let output = args.get(1).filter(|a| !a.starts_with("--")).ok_or("missing output path")?;
+    let dims = parse_extents(flag_value(args, "--dims").ok_or("missing --dims AxBxC")?, "--dims")?;
+    let chunk =
+        parse_extents(flag_value(args, "--chunk").ok_or("missing --chunk AxBxC")?, "--chunk")?;
+    let data = read_flat_f32(input)?;
+    let codec = codec_of(args, &data)?;
+    let chunks_per_shard: usize = match flag_value(args, "--shard-chunks") {
+        Some(s) => {
+            let n = s.parse().map_err(|_| "bad --shard-chunks value".to_string())?;
+            if n == 0 {
+                return Err("--shard-chunks must be positive".into());
+            }
+            n
+        }
+        None => 16,
+    };
+    let spec = StoreSpec { dims, chunk, codec, chunks_per_shard };
+    // Encode into the selected backend (so objsim models the write), then
+    // persist the container at the output path.
+    let mut backend = fz_gpu::store::backend_from_cli(
+        flag_value(args, "--backend").unwrap_or("mem"),
+        Some(output),
+    )?;
+    ArrayStore::create_with_registry(
+        &Registry::builtin(),
+        &mut backend,
+        &spec,
+        &data,
+        device_of(args)?,
+    )
+    .map_err(|e| e.to_string())?;
+    let total = backend.len();
+    if backend.kind() != "fs" {
+        let bytes = backend.read_range(0, total).map_err(|e| e.to_string())?;
+        std::fs::write(output, &bytes).map_err(|e| e.to_string())?;
+    }
+    let store = ArrayStore::open(
+        Box::new(fz_gpu::store::FsBackend::new(output.as_str())),
+        device_of(args)?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} -> {}: {} values in {} chunks / {} shards ({}), {:.2} MB -> {:.2} MB (ratio {:.1}x)",
+        input,
+        output,
+        store.total_values(),
+        store.grid().num_chunks(),
+        store.num_shards(),
+        store.spec().codec.name(),
+        (store.total_values() * 4) as f64 / 1e6,
+        total as f64 / 1e6,
+        (store.total_values() * 4) as f64 / total as f64,
+    );
+    Ok(())
+}
+
+fn store_read(args: &[String]) -> Result<(), String> {
+    use fz_gpu::store::{value_digest, ArrayStore, Region};
+
+    let input = args.first().filter(|a| !a.starts_with("--")).ok_or("missing input path")?;
+    let output = args.get(1).filter(|a| !a.starts_with("--")).ok_or("missing output path")?;
+    let backend = store_backend_open(args, input)?;
+    let mut store =
+        ArrayStore::open(backend, device_of(args)?).map_err(|e| format!("{input}: {e}"))?;
+    let region = match flag_value(args, "--region") {
+        Some(s) => parse_region(s)?,
+        None => Region::full(&store.spec().dims.clone()),
+    };
+    let res = store.read_region(&region).map_err(|e| format!("{input}: {e}"))?;
+    write_f32_file(Path::new(output), &res.values).map_err(|e| e.to_string())?;
+    let digest = value_digest(&res.values);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{{\"values\": {}, \"digest\": {}, \"chunks_decoded\": {}, \"shards_touched\": {}, \
+             \"bytes_read\": {}, \"backend_reads\": {}, \"modeled_io_seconds\": {}}}",
+            res.values.len(),
+            digest,
+            res.chunks_decoded,
+            res.shards_touched,
+            res.bytes_read,
+            res.backend_reads,
+            fz_gpu::trace::json::num(res.modeled_io_seconds),
+        );
+    } else {
+        println!(
+            "{} -> {}: {} values (digest {digest:08x}), {} chunks from {} shards, \
+             {} bytes read in {} requests",
+            input,
+            output,
+            res.values.len(),
+            res.chunks_decoded,
+            res.shards_touched,
+            res.bytes_read,
+            res.backend_reads,
+        );
+    }
+    Ok(())
+}
+
+/// `fzgpu store serve`: replay a deterministic subregion-read workload
+/// (seeded regions, modeled costs) against an existing container.
+fn store_serve(args: &[String]) -> Result<(), String> {
+    use fz_gpu::serve::{run_store_reads, StoreReadWorkload};
+    use fz_gpu::store::ArrayStore;
+
+    let input = args.first().filter(|a| !a.starts_with("--")).ok_or("missing input path")?;
+    let backend = store_backend_open(args, input)?;
+    let mut store =
+        ArrayStore::open(backend, device_of(args)?).map_err(|e| format!("{input}: {e}"))?;
+    let mut workload = StoreReadWorkload::default();
+    if let Some(r) = flag_value(args, "--reads") {
+        workload.reads = r.parse().map_err(|_| "bad --reads value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        workload.seed = s.parse().map_err(|_| "bad --seed value".to_string())?;
+    }
+    let report = run_store_reads(&mut store, &workload).map_err(|e| format!("{input}: {e}"))?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.text_report());
+    }
+    Ok(())
+}
+
+fn store_stat(args: &[String]) -> Result<(), String> {
+    use fz_gpu::store::ArrayStore;
+
+    let input = args.first().filter(|a| !a.starts_with("--")).ok_or("missing input path")?;
+    let backend = store_backend_open(args, input)?;
+    let store = ArrayStore::open(backend, device_of(args)?).map_err(|e| format!("{input}: {e}"))?;
+    let spec = store.spec();
+    let dims: Vec<String> = spec.dims.iter().map(usize::to_string).collect();
+    let chunk: Vec<String> = spec.chunk.iter().map(usize::to_string).collect();
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{{\"dims\": [{}], \"chunk\": [{}], \"codec\": {}, \"chunks\": {}, \"shards\": {}, \
+             \"total_values\": {}, \"container_bytes\": {}, \"ratio\": {}}}",
+            dims.join(","),
+            chunk.join(","),
+            spec.codec.to_json(),
+            store.grid().num_chunks(),
+            store.num_shards(),
+            store.total_values(),
+            store.container_bytes(),
+            fz_gpu::trace::json::num(
+                (store.total_values() * 4) as f64 / store.container_bytes() as f64
+            ),
+        );
+    } else {
+        println!("FZ-GPU store: {input}");
+        println!("  dims:         {}", dims.join(" x "));
+        println!("  chunk:        {}", chunk.join(" x "));
+        println!("  codec:        {}", spec.codec.name());
+        println!(
+            "  chunks:       {} ({} per shard)",
+            store.grid().num_chunks(),
+            spec.chunks_per_shard
+        );
+        println!("  shards:       {}", store.num_shards());
+        println!("  values:       {}", store.total_values());
+        println!("  container:    {} bytes", store.container_bytes());
+        println!(
+            "  ratio:        {:.2}x",
+            (store.total_values() * 4) as f64 / store.container_bytes() as f64
+        );
+    }
     Ok(())
 }

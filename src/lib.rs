@@ -11,4 +11,5 @@ pub use fzgpu_data as data;
 pub use fzgpu_metrics as metrics;
 pub use fzgpu_serve as serve;
 pub use fzgpu_sim as sim;
+pub use fzgpu_store as store;
 pub use fzgpu_trace as trace;

@@ -110,6 +110,100 @@ fn failures_exit_nonzero_with_one_line_error() {
 }
 
 #[test]
+fn store_failures_exit_nonzero_with_one_line_error() {
+    assert_cli_error(&["store"], "missing store subcommand");
+    assert_cli_error(&["store", "frobnicate"], "unknown store subcommand");
+    assert_cli_error(&["store", "create"], "missing input path");
+    assert_cli_error(&["store", "read"], "missing input path");
+    assert_cli_error(&["store", "stat"], "missing input path");
+    assert_cli_error(&["store", "serve"], "missing input path");
+
+    // Build one healthy container to exercise read-side errors against.
+    let dir = std::env::temp_dir().join(format!("fzgpu_cli_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.f32");
+    let container = dir.join("s.fzst");
+    let raw: Vec<u8> = (0..512u32).flat_map(|i| (i as f32 * 0.1).sin().to_le_bytes()).collect();
+    std::fs::write(&input, raw).unwrap();
+    let input = input.to_str().unwrap();
+    let container = container.to_str().unwrap();
+
+    // Bad dims / chunk geometry at create time.
+    assert_cli_error(&["store", "create", input, container], "missing --dims");
+    assert_cli_error(
+        &["store", "create", input, container, "--dims", "8x0x8", "--chunk", "4x4x4"],
+        "--dims",
+    );
+    assert_cli_error(
+        &["store", "create", input, container, "--dims", "potato", "--chunk", "4x4x4"],
+        "--dims",
+    );
+    assert_cli_error(
+        &["store", "create", input, container, "--dims", "8x8x8", "--chunk", "4x4", "--eb", "1e-3"],
+        "chunk rank",
+    );
+    // Unknown codec name, and a codec missing its required knob.
+    assert_cli_error(
+        &[
+            "store",
+            "create",
+            input,
+            container,
+            "--dims",
+            "8x8x8",
+            "--chunk",
+            "4x4x4",
+            "--codec",
+            "middleout",
+        ],
+        "unknown codec",
+    );
+    assert_cli_error(
+        &[
+            "store", "create", input, container, "--dims", "8x8x8", "--chunk", "4x4x4", "--codec",
+            "cuzfp", "--eb", "1e-3",
+        ],
+        "--rate",
+    );
+    // Unknown backend.
+    assert_cli_error(
+        &[
+            "store",
+            "create",
+            input,
+            container,
+            "--dims",
+            "8x8x8",
+            "--chunk",
+            "4x4x4",
+            "--eb",
+            "1e-3",
+            "--backend",
+            "s4",
+        ],
+        "unknown backend",
+    );
+
+    // Healthy create, then out-of-bounds / malformed regions on read.
+    let out = fzgpu(&[
+        "store", "create", input, container, "--dims", "8x8x8", "--chunk", "4x4x4", "--eb", "1e-3",
+    ]);
+    assert!(out.status.success(), "healthy store create failed: {:?}", out);
+    let outfile = dir.join("out.f32");
+    let outfile = outfile.to_str().unwrap();
+    assert_cli_error(&["store", "read", container, outfile, "--region", "0:4,0:4,0:99"], "exceeds");
+    assert_cli_error(&["store", "read", container, outfile, "--region", "4:2,0:4,0:4"], "empty");
+    assert_cli_error(&["store", "read", container, outfile, "--region", "0:4,0:4"], "rank");
+    assert_cli_error(&["store", "read", container, outfile, "--region", "banana"], "--region");
+    assert_cli_error(&["store", "read", container, outfile, "--backend", "s4"], "unknown backend");
+    assert_cli_error(&["store", "read", "/nonexistent.fzst", outfile], "No such file");
+    assert_cli_error(&["store", "stat", "/nonexistent.fzst"], "No such file");
+    // Not a store container.
+    assert_cli_error(&["store", "stat", input], "magic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn usage_only_shown_for_subcommand_errors() {
     // Wrong/missing subcommand: full usage helps.
     let out = fzgpu(&["frobnicate"]);

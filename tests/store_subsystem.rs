@@ -1,0 +1,327 @@
+//! Store subsystem contract: partial decode is *partial* (bytes-read
+//! scales with the request), subregion reads are exact, archive v1/v2/v3
+//! containers interoperate, corrupt shard indices can never produce wrong
+//! data, and store digests are bit-identical across host thread counts,
+//! simulation engines, and pipeline paths.
+
+use fz_gpu::core::{crc32, Archive, ChunkMeta};
+use fz_gpu::sim::device::A100;
+use fz_gpu::store::{
+    backend_from_cli, shape3, value_digest, ArrayStore, ChunkGrid, CodecConfig, MemBackend, Region,
+    Registry, StoreSpec, STORE_MAGIC, STORE_VERSION,
+};
+use proptest::prelude::*;
+
+fn wave(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.013).sin() * 3.0 + (i as f32 * 0.0041).cos()).collect()
+}
+
+fn mem_store(spec: StoreSpec, data: &[f32]) -> ArrayStore {
+    let backend = backend_from_cli("mem", None).expect("mem backend");
+    ArrayStore::create(backend, spec, data, A100).expect("create store")
+}
+
+/// Container bytes as written by `create` into a fresh mem backend.
+fn container_bytes(spec: &StoreSpec, data: &[f32]) -> Vec<u8> {
+    let mut backend = backend_from_cli("mem", None).expect("mem backend");
+    ArrayStore::create_with_registry(&Registry::builtin(), &mut backend, spec, data, A100)
+        .expect("create store");
+    backend.read_range(0, backend.len()).expect("read container back")
+}
+
+/// Wrap pre-built archive bytes in a store container for `spec`.
+fn container_around(spec: &StoreSpec, archive_bytes: &[u8]) -> Vec<u8> {
+    let meta_json = spec.to_json();
+    let mut out = Vec::new();
+    out.extend_from_slice(&STORE_MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(meta_json.len() as u64).to_le_bytes());
+    out.extend_from_slice(meta_json.as_bytes());
+    out.extend_from_slice(archive_bytes);
+    out
+}
+
+/// Encode `data` chunk-by-chunk with `spec`'s codec, yielding the flat
+/// in-memory archive (the v1/v2 layout).
+fn flat_archive(spec: &StoreSpec, data: &[f32]) -> Archive {
+    let grid = ChunkGrid::new(spec.dims.clone(), spec.chunk.clone()).unwrap();
+    let mut codec = Registry::builtin().build(&spec.codec, A100).unwrap();
+    let mut chunks = Vec::new();
+    let mut meta = Vec::new();
+    for id in 0..grid.num_chunks() {
+        let vals = grid.gather_chunk(data, id);
+        let bytes = codec.encode(&vals, shape3(&grid.chunk_extents(id))).unwrap();
+        meta.push(ChunkMeta { n_values: vals.len(), crc: Some(crc32(&bytes)) });
+        chunks.push(bytes);
+    }
+    Archive { total_values: data.len(), chunks, meta }
+}
+
+// ---------------------------------------------------------------------------
+// Partial decode scales with the request
+
+#[test]
+fn bytes_read_scales_with_the_requested_region() {
+    let dims = vec![16usize, 16, 16];
+    let data = wave(16 * 16 * 16);
+    let spec = StoreSpec {
+        dims: dims.clone(),
+        chunk: vec![4, 4, 4],
+        codec: CodecConfig::Fz { eb_abs: 1e-3 },
+        chunks_per_shard: 8,
+    };
+    let mut store = mem_store(spec, &data);
+
+    // Chunk-aligned prefixes of growing size: bytes served must be
+    // strictly monotone, and every partial read strictly below full.
+    let mut last = 0u64;
+    for frac in [4usize, 8, 12, 16] {
+        let region = Region { lo: vec![0; 3], hi: dims.iter().map(|&d| d * frac / 16).collect() };
+        let r = store.read_region(&region).unwrap();
+        assert!(
+            r.bytes_read > last,
+            "bytes served did not grow with the region ({} -> {} at {frac}/16)",
+            last,
+            r.bytes_read,
+        );
+        last = r.bytes_read;
+        assert_eq!(r.values.len(), region.count());
+    }
+    let full = store.read_full().unwrap();
+    let one_chunk = store.read_region(&Region { lo: vec![0; 3], hi: vec![4, 4, 4] }).unwrap();
+    assert!(one_chunk.bytes_read < full.bytes_read / 8, "single-chunk read is not cheap");
+    assert_eq!(one_chunk.chunks_decoded, 1);
+    assert_eq!(one_chunk.shards_touched, 1);
+}
+
+#[test]
+fn det_metrics_account_partial_reads() {
+    let data = wave(1000);
+    let spec = StoreSpec {
+        dims: vec![10, 10, 10],
+        chunk: vec![5, 5, 5],
+        codec: CodecConfig::Raw,
+        chunks_per_shard: 2,
+    };
+    use fz_gpu::trace::metrics::counter_value;
+    let mut store = mem_store(spec, &data);
+    let snap = || {
+        [
+            counter_value("fzgpu_store_reads_total", &[]),
+            counter_value("fzgpu_store_chunks_decoded_total", &[]),
+            counter_value("fzgpu_store_shards_touched_total", &[]),
+            counter_value("fzgpu_store_values_read_total", &[]),
+            counter_value("fzgpu_store_bytes_read_total", &[("backend", "mem")]),
+        ]
+    };
+    let before = snap();
+    let r = store.read_region(&Region { lo: vec![0; 3], hi: vec![5, 5, 5] }).unwrap();
+    let after = snap();
+    let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+    assert_eq!(delta[0], 1, "one read recorded");
+    assert_eq!(delta[1], 1, "one chunk decoded");
+    assert_eq!(delta[2], 1, "one shard touched");
+    assert_eq!(delta[3], 125, "values served");
+    assert_eq!(delta[4], r.bytes_read, "backend bytes accounted in the Det registry");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version interop: v1 and v2 containers read through the same API
+
+#[test]
+fn v1_v2_v3_containers_read_identically() {
+    let dims = vec![12usize, 18];
+    let data = wave(12 * 18);
+    let spec = StoreSpec {
+        dims: dims.clone(),
+        chunk: vec![4, 6],
+        codec: CodecConfig::Fz { eb_abs: 1e-3 },
+        chunks_per_shard: 3,
+    };
+
+    // v3: what `create` writes today.
+    let v3 = container_bytes(&spec, &data);
+
+    // v2: flat archive with CRC'd directory entries.
+    let archive = flat_archive(&spec, &data);
+    let v2 = container_around(&spec, &archive.to_bytes());
+
+    // v1: 8-byte directory entries, no checksums anywhere.
+    let mut v1_arch = Vec::new();
+    v1_arch.extend_from_slice(b"FZAR");
+    v1_arch.extend_from_slice(&1u32.to_le_bytes());
+    v1_arch.extend_from_slice(&(archive.total_values as u64).to_le_bytes());
+    v1_arch.extend_from_slice(&(archive.chunks.len() as u64).to_le_bytes());
+    for c in &archive.chunks {
+        v1_arch.extend_from_slice(&(c.len() as u64).to_le_bytes());
+    }
+    for c in &archive.chunks {
+        v1_arch.extend_from_slice(c);
+    }
+    let v1 = container_around(&spec, &v1_arch);
+
+    let read = |bytes: Vec<u8>| {
+        let mut store =
+            ArrayStore::open(Box::new(MemBackend::from_bytes(bytes)), A100).expect("open");
+        let full = store.read_full().unwrap();
+        let part = store.read_region(&Region { lo: vec![2, 3], hi: vec![9, 14] }).unwrap();
+        (store.num_shards(), value_digest(&full.values), value_digest(&part.values))
+    };
+
+    let (shards3, full3, part3) = read(v3);
+    let (shards2, full2, part2) = read(v2);
+    let (shards1, full1, part1) = read(v1);
+    assert!(shards3 > 1, "v3 container should be sharded");
+    assert_eq!(shards2, 1, "legacy flat archives present as one logical shard");
+    assert_eq!(shards1, 1);
+    assert_eq!((full1, part1), (full3, part3), "v1 read diverges from v3");
+    assert_eq!((full2, part2), (full3, part3), "v2 read diverges from v3");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: digests across thread counts, engines, and pipeline paths
+
+/// The pool and env are process-global; sweeping tests must not
+/// interleave.
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn store_digests_are_invariant_across_threads_engines_and_paths() {
+    let _guard = serialized();
+    let dims = vec![8usize, 12, 10];
+    let data = wave(8 * 12 * 10);
+    let spec = StoreSpec {
+        dims: dims.clone(),
+        chunk: vec![4, 4, 5],
+        codec: CodecConfig::Fz { eb_abs: 1e-3 },
+        chunks_per_shard: 4,
+    };
+    let region = Region { lo: vec![1, 2, 0], hi: vec![7, 11, 9] };
+
+    let mut reference: Option<(Vec<u8>, u32, u32)> = None;
+    for threads in [1usize, 4, 3] {
+        for engine in ["interp", "analytic"] {
+            for path in ["sim", "native"] {
+                rayon::set_num_threads(threads);
+                std::env::set_var("FZGPU_SIM_ENGINE", engine);
+                std::env::set_var("FZGPU_NATIVE", if path == "native" { "1" } else { "0" });
+                let bytes = container_bytes(&spec, &data);
+                let mut store =
+                    ArrayStore::open(Box::new(MemBackend::from_bytes(bytes.clone())), A100)
+                        .unwrap();
+                let full = value_digest(&store.read_full().unwrap().values);
+                let part = value_digest(&store.read_region(&region).unwrap().values);
+                let got = (bytes, full, part);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(
+                        want, &got,
+                        "container or digests diverged at {threads} threads, \
+                         engine {engine}, path {path}"
+                    ),
+                }
+            }
+        }
+    }
+    std::env::remove_var("FZGPU_SIM_ENGINE");
+    std::env::remove_var("FZGPU_NATIVE");
+    rayon::set_num_threads(1);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any subregion of any (small) grid, any chunking: a lossless store
+    /// read returns exactly `grid.extract` of the original data.
+    #[test]
+    fn subregion_reads_are_exact(
+        dims in proptest::collection::vec(1usize..10, 1..=3),
+        chunk_seed in any::<u64>(),
+        region_seed in any::<u64>(),
+    ) {
+        let n: usize = dims.iter().product();
+        let data = wave(n);
+        let mut s = chunk_seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let chunk: Vec<usize> = dims.iter().map(|&d| 1 + next() % d).collect();
+        let mut s2 = region_seed;
+        let mut next2 = || {
+            s2 = s2.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s2 >> 33) as usize
+        };
+        let lo: Vec<usize> = dims.iter().map(|&d| next2() % d).collect();
+        let hi: Vec<usize> =
+            lo.iter().zip(&dims).map(|(&l, &d)| l + 1 + next2() % (d - l)).collect();
+        let region = Region { lo, hi };
+
+        let spec = StoreSpec {
+            dims: dims.clone(),
+            chunk,
+            codec: CodecConfig::Raw,
+            chunks_per_shard: 1 + next() % 5,
+        };
+        let grid = ChunkGrid::new(spec.dims.clone(), spec.chunk.clone()).unwrap();
+        let mut store = mem_store(spec, &data);
+        let got = store.read_region(&region).unwrap();
+        let want = grid.extract(&data, &region);
+        prop_assert_eq!(got.values.len(), want.len());
+        for (i, (a, b)) in got.values.iter().zip(&want).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "value {} differs", i);
+        }
+    }
+
+    /// Flipping any container byte yields a typed error or data
+    /// bit-identical to the clean read — never silently wrong values.
+    /// This covers the top directory, the per-shard indices, and the
+    /// chunk payloads alike.
+    #[test]
+    fn corrupt_containers_error_or_read_exact(
+        pos in 0usize..60_000,
+        flip in 1u8..=255,
+    ) {
+        let dims = vec![10usize, 12, 8];
+        let data = wave(10 * 12 * 8);
+        let spec = StoreSpec {
+            dims: dims.clone(),
+            chunk: vec![5, 4, 4],
+            codec: CodecConfig::Fz { eb_abs: 1e-3 },
+            chunks_per_shard: 3,
+        };
+        let clean = container_bytes(&spec, &data);
+        let mut reference_store =
+            ArrayStore::open(Box::new(MemBackend::from_bytes(clean.clone())), A100).unwrap();
+        let region = Region { lo: vec![2, 1, 0], hi: vec![9, 10, 7] };
+        let want_full = reference_store.read_full().unwrap().values;
+        let want_part = reference_store.read_region(&region).unwrap().values;
+
+        prop_assume!(pos < clean.len());
+        let mut bytes = clean;
+        bytes[pos] ^= flip;
+        let opened = ArrayStore::open(Box::new(MemBackend::from_bytes(bytes)), A100);
+        if let Ok(mut store) = opened {
+            for (r, want) in [(Region::full(&dims), &want_full), (region, &want_part)] {
+                if let Ok(got) = store.read_region(&r) {
+                    prop_assert_eq!(got.values.len(), want.len(), "flip at {} changed geometry", pos);
+                    for (i, (a, b)) in got.values.iter().zip(want).enumerate() {
+                        prop_assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "flip at {} read wrong data at value {}",
+                            pos,
+                            i
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
